@@ -1,0 +1,28 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+rendered output is printed *and* written to ``benchmarks/out/<id>.txt`` so
+it can be inspected after a captured pytest run; EXPERIMENTS.md records
+the paper-vs-measured comparison for each id.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def emit():
+    """emit(name, text): persist + print one experiment's rendered output."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _emit

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""§7.1: CORRECT adapted to GitLab CI/CD.
+
+The paper chose GitHub Actions for ubiquity but notes "CORRECT can be
+adapted for use with frameworks like GitLab CI/CD". This example runs the
+same remote-execution flow as a GitLab *component*: a pipeline job whose
+``component:`` block names ``globus-labs/correct@v1`` from the CI/CD
+catalog, with credentials injected from masked CI/CD variables.
+
+Run:  python examples/gitlab_adaptation.py
+"""
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.experiments import common
+from repro.gitlab import CorrectComponent, GitLabService
+from repro.gitlab.component import COMPONENT_NAME
+from repro.shellsim.session import ShellServices
+from repro.world import World
+
+
+def main() -> None:
+    world = World()
+    user = world.register_user("vhayot", {"anvil": "x-vhayot"})
+    common.provision_user_site(
+        world, user, "anvil", "x-vhayot", "docking", common.DOCKING_STACK
+    )
+    mep = common.deploy_site_mep(world, "anvil", login_only=True)
+
+    # a self-hosted GitLab instance; endpoints clone from it directly
+    gitlab = GitLabService(
+        world.clock, world.runner_pool, shell_services=ShellServices()
+    )
+    gitlab.shell_services.hub = gitlab
+    mep.shell_services.hub = gitlab
+    gitlab.register_component(COMPONENT_NAME, CorrectComponent(world.faas))
+
+    project = gitlab.create_project("hpc/docking-ci", owner="vhayot")
+    project.set_variable("GLOBUS_ID", user.client_id, masked=True)
+    project.set_variable(
+        "GLOBUS_SECRET", user.client_secret, masked=True, protected=True
+    )
+
+    pipeline = f"""stages:
+  - test
+
+remote-tests:
+  stage: test
+  component:
+    name: globus-labs/correct@v1
+    inputs:
+      client_id: $GLOBUS_ID
+      client_secret: $GLOBUS_SECRET
+      endpoint_uuid: {mep.endpoint_id}
+      shell_cmd: pytest
+      conda_env: docking
+      store_artifacts: 'false'
+"""
+    files = dict(parsldock_suite.repo_files())
+    files[".gitlab-ci.yml"] = pipeline
+    gitlab.commit("hpc/docking-ci", author="vhayot", message="add CI",
+                  files=files)
+
+    run = gitlab.pipelines[0]
+    print(f"pipeline {run.run_id} ({run.source}): {run.status}")
+    for job in run.jobs:
+        print(f"  job {job.name}: {job.status}")
+        print("   ", job.log.splitlines()[-1])
+    assert run.status == "success"
+    assert user.client_secret not in run.jobs[0].log, "masked variable leaked!"
+
+    # protected variables stay off unprotected branches
+    gitlab.commit("hpc/docking-ci", author="vhayot", message="experiment",
+                  patch={"notes.md": "wip\n"}, branch="experiment")
+    feature_run = gitlab.pipelines[-1]
+    print(f"\nfeature-branch pipeline: {feature_run.status} "
+          "(GLOBUS_SECRET is protected, so CORRECT cannot authenticate)")
+    assert feature_run.status == "failed"
+
+    print("\nSame driver, different CI front-end — the §7.1 adaptation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""§6.3: reproducing the KaMPIng artifact evaluation with CORRECT.
+
+The KaMPIng (SC'24) artifacts are scripts baked into a published container
+image. The workflow runs one CORRECT step per artifact on a Chameleon
+instance — each executing ``docker run <image> <script>`` — and stores
+every script's output as a workflow artifact, giving reproducibility
+reviewers execution records they can evaluate without re-running anything.
+
+Run:  python examples/kamping_artifacts.py
+"""
+
+from repro.experiments import run_exp63
+
+
+def main() -> None:
+    result = run_exp63()
+    print(f"workflow run: {result.run.run_id} status={result.run.status}\n")
+
+    for name, verdict in result.verdicts().items():
+        print(f"  {name:<24} {'REPRODUCED' if verdict else 'FAILED'}")
+
+    print("\n--- ae-allgatherv-bench output (the headline comparison) ---")
+    print(result.artifact_outputs["ae-allgatherv-bench"])
+
+    print("\n--- ae-bfs-bench output ---")
+    print(result.artifact_outputs["ae-bfs-bench"])
+
+    assert result.all_passed
+    print("\nAll artifact-evaluation experiments reproduced, matching the")
+    print("paper: 'all the Artifact Evaluation experiments pass with CORRECT'.")
+
+
+if __name__ == "__main__":
+    main()

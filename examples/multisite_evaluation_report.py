@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""The paper's thesis as a one-call tool: a reviewer-ready evaluation.
+
+``evaluate_across_sites`` runs a repository's test suite on every
+configured site through CORRECT, captures provenance and environment
+snapshots, packages the evidence into a research crate, and renders the
+markdown report a badge reviewer can evaluate **without any resource
+access** — the §5 argument, end to end.
+
+Run:  python examples/multisite_evaluation_report.py
+"""
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.core import evaluate_across_sites
+from repro.experiments import common
+from repro.world import World
+
+
+def main() -> None:
+    world = World()
+    author = world.register_user("vhayot", {})
+    endpoints = {}
+    for site in ("chameleon", "faster", "expanse"):
+        common.provision_user_site(
+            world, author, site, f"acct-{site}", "docking",
+            common.DOCKING_STACK,
+        )
+        endpoints[site] = common.deploy_site_mep(world, site).endpoint_id
+
+    evaluation = evaluate_across_sites(
+        world,
+        author,
+        "lab/docking-paper",
+        endpoints=endpoints,
+        files=parsldock_suite.repo_files(),
+        conda_env="docking",
+    )
+
+    print(evaluation.render_markdown())
+    print(f"crate: {len(evaluation.crate.records)} execution records, "
+          f"{len(evaluation.crate.artifacts)} artifacts, "
+          f"reviewable={evaluation.crate.is_reviewable()}")
+    assert evaluation.consistent
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""§5.2's nightly-build pattern: cloud smoke tests first, gated HPC after.
+
+The sole-reviewer requirement "may be problematic for nightly builds,
+[but] basic test cases can be executed on cloud infrastructure ... awaiting
+approval for execution on HPC". This example builds exactly that workflow:
+
+* job 1 (`smoke`) runs the cheap tests on the GitHub-hosted runner — no
+  approval needed, results arrive even when the reviewer is asleep;
+* job 2 (`hpc`) `needs: smoke` and deploys to a reviewer-protected
+  environment, running the full suite remotely through CORRECT once the
+  reviewer approves in the morning.
+
+A scheduled (cron) trigger drives the nightly firing.
+
+Run:  python examples/nightly_two_tier_ci.py
+"""
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.core import WorkflowBuilder
+from repro.experiments import common
+from repro.world import World
+
+
+def main() -> None:
+    world = World()
+    user = world.register_user("vhayot", {"expanse": "x-vhayot"})
+    common.provision_user_site(
+        world, user, "expanse", "x-vhayot", "docking", common.DOCKING_STACK
+    )
+    mep = common.deploy_site_mep(world, "expanse")
+
+    smoke_steps = [
+        {"name": "checkout", "uses": "actions/checkout@v4", "with": {"path": "app"}},
+        {"name": "install tooling", "run": "pip install pytest"},
+        {"name": "fast tests on the runner VM",
+         "run": "cd app && pytest -k smiles"},
+    ]
+    hpc_step = WorkflowBuilder.correct_step(
+        name="full suite on Expanse",
+        step_id="full",
+        shell_cmd="pytest",
+        conda_env="docking",
+    )
+    builder = WorkflowBuilder("Nightly").on_schedule("0 3 * * *")
+    builder.add_job("smoke", steps=smoke_steps)
+    builder.add_job(
+        "hpc",
+        steps=[hpc_step],
+        needs=["smoke"],
+        environment="hpc-expanse",
+        env={"ENDPOINT_UUID": mep.endpoint_id},
+    )
+    common.create_repo_with_workflow(
+        world, "lab/nightly-app", owner=user,
+        files=parsldock_suite.repo_files(),
+        workflow_path=".github/workflows/nightly.yml",
+        workflow_text=builder.render(),
+        environments={
+            "hpc-expanse": {
+                "GLOBUS_ID": user.client_id,
+                "GLOBUS_SECRET": user.client_secret,
+            }
+        },
+    )
+
+    # 03:00 — the cron tick fires; the cloud tier runs unattended
+    world.hub.scheduled_tick()
+    run = world.engine.runs[-1]
+    print(f"nightly run {run.run_id} at t={world.clock.now:.0f}s")
+    print(f"  smoke (cloud): {run.job('smoke').status}")
+    print(f"  hpc:           {run.job('hpc').status} "
+          f"(waiting for reviewer: {run.pending_approvals()})")
+    assert run.job("smoke").status == "success"
+    assert run.status == "waiting"
+
+    # 09:00 — the reviewer approves; the HPC tier executes
+    world.clock.advance(6 * 3600.0)
+    world.engine.approve(run, "hpc", "vhayot")
+    print(f"\nafter morning approval at t={world.clock.now:.0f}s:")
+    print(f"  hpc:           {run.job('hpc').status}")
+    full = run.job("hpc").step_outcomes[0]
+    print("  remote result:", full.outputs["stdout"].splitlines()[-1])
+    assert run.status == "success"
+
+    print("\nCloud smoke coverage overnight, reviewer-vouched HPC execution "
+          "in the morning — the §5.2 trade-off, resolved.")
+
+
+if __name__ == "__main__":
+    main()

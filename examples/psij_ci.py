@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""§6.2 / Fig. 5: expressing PSI/J CI jobs with CORRECT on Purdue Anvil.
+
+PSI/J abstracts HPC schedulers, so it must be tested against real
+scheduler deployments — its own CI uses per-site cron jobs. This example
+expresses the same CI job as a CORRECT workflow: tests run on Anvil's
+login node (login-only endpoint template), and stdout/stderr are stored as
+artifacts whether or not the tests pass. With PSI/J v0.9.9 they do NOT
+pass — the run surfaces the upstream batch-attribute renderer bug, which
+is precisely the behaviour Fig. 5 documents.
+
+Run:  python examples/psij_ci.py
+"""
+
+from repro.experiments import run_fig5
+
+
+def main() -> None:
+    result = run_fig5()
+    print(f"workflow run: {result.run.run_id} status={result.run.status}")
+    assert result.run_failed, "expected the v0.9.9 bug to fail the run"
+
+    print("\n--- Action UI: the failure as the runner log shows it ---")
+    for line in result.run.log:
+        if "exited" in line or "step" in line:
+            print(" ", line)
+
+    print("\n--- per-test outcomes recovered from the stdout artifact ---")
+    for name, (outcome, duration) in result.tests.items():
+        marker = "!!" if outcome != "PASSED" else "  "
+        print(f" {marker} {name:<28} {outcome:<7} {duration:8.2f}s")
+
+    print("\n--- stored artifact head (the Fig. 5 bottom pane) ---")
+    print("\n".join(result.stdout_artifact.splitlines()[:10]))
+
+    failing = result.failing_tests
+    print(f"\nfailing test(s): {sorted(failing)} — the known v0.9.9 defect.")
+    print("Evidence survived the failure: artifacts + run log + provenance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""§5.3: the fork-and-swap repeatability recipe for non-contributors.
+
+A reviewer (bob) who is *not* a collaborator evaluates whether alice's
+results repeat on different infrastructure:
+
+1. fork the repository,
+2. instantiate his own endpoint (on SDSC Expanse),
+3. save his FaaS secrets in a GitHub environment he reviews,
+4. swap the endpoint UUID in the workflow,
+5. trigger the workflow and approve it.
+
+The comparison checks per-test *outcomes* (must match) and durations
+(expected to differ with hardware).
+
+Run:  python examples/repeatability_fork.py
+"""
+
+import statistics
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.core import evaluate_repeatability
+from repro.experiments import common
+from repro.experiments.fig4_parsldock import build_workflow
+from repro.world import World
+
+
+def main() -> None:
+    world = World()
+
+    # --- alice's original run on Chameleon --------------------------------
+    alice = world.register_user("alice", {"chameleon": "cc-alice"})
+    common.provision_user_site(
+        world, alice, "chameleon", "cc-alice", "docking", common.DOCKING_STACK
+    )
+    mep_chameleon = common.deploy_site_mep(world, "chameleon")
+    workflow = build_workflow({"chameleon": mep_chameleon.endpoint_id})
+    common.create_repo_with_workflow(
+        world, "alice/docking-study", owner=alice,
+        files=parsldock_suite.repo_files(),
+        workflow_path=".github/workflows/correct.yml",
+        workflow_text=workflow,
+        environments={
+            "hpc-chameleon": {
+                "GLOBUS_ID": alice.client_id,
+                "GLOBUS_SECRET": alice.client_secret,
+            }
+        },
+    )
+    original = world.engine.runs[-1]
+    common.approve_all(world, original, "alice")
+    print(f"original run on chameleon: {original.status}")
+
+    # --- bob forks and re-runs on his own Expanse endpoint ---------------
+    bob = world.register_user("bob", {"expanse": "x-bob"})
+    common.provision_user_site(
+        world, bob, "expanse", "x-bob", "docking", common.DOCKING_STACK
+    )
+    mep_expanse = common.deploy_site_mep(world, "expanse")
+
+    evaluation = evaluate_repeatability(
+        world,
+        "alice/docking-study",
+        original_run=original,
+        evaluator=bob,
+        endpoint_uuid=mep_expanse.endpoint_id,
+        workflow_path=".github/workflows/correct.yml",
+        environment_name="hpc-chameleon",
+        artifact_name="correct-chameleon-stdout",
+    )
+
+    print(f"fork: {evaluation.fork_slug}, run status: "
+          f"{evaluation.fork_run.status}")
+    print(f"same tests ran:      {evaluation.same_tests_ran}")
+    print(f"outcomes match:      {evaluation.outcomes_match}")
+    ratios = evaluation.duration_ratios()
+    print(f"duration ratio (expanse/chameleon), median: "
+          f"{statistics.median(ratios.values()):.2f}x")
+    print("\nper-test comparison:")
+    for name in sorted(evaluation.original_tests):
+        o_out, o_dur = evaluation.original_tests[name]
+        f_out, f_dur = evaluation.fork_tests[name]
+        print(f"  {name:<30} {o_out:<7}{o_dur:8.1f}s -> {f_out:<7}{f_dur:8.1f}s")
+
+    assert evaluation.outcomes_match
+    print("\nRepeatability confirmed: identical outcomes on different "
+          "infrastructure, as §3.1.1 requires (claims, not identical numbers).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: a full working reproduction of *Addressing Reproducibility
+Challenges in HPC with Continuous Integration* (SC 2025).
+
+The package implements the paper's contribution — the **CORRECT** GitHub
+Action for remote reproducibility testing on HPC through a federated FaaS
+platform — together with every substrate it needs, as faithful executable
+simulations: a hosting service with environment-gated secrets, a workflow
+engine, OAuth-style auth with identity mapping, FaaS endpoints
+(single-user and multi-user), a batch scheduler with backfill, site
+models of the four evaluation systems, a simulated shell/conda/container
+stack, provenance capture, and the reproducibility badge process.
+
+Quick start::
+
+    from repro.experiments import run_fig4
+    result = run_fig4()
+    print(result.durations["chameleon"])
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+from repro.world import World, WorldUser
+from repro.core import (
+    CorrectAction,
+    CorrectInputs,
+    CORRECT_REFERENCE,
+    WorkflowBuilder,
+    evaluate_repeatability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "WorldUser",
+    "CorrectAction",
+    "CorrectInputs",
+    "CORRECT_REFERENCE",
+    "WorkflowBuilder",
+    "evaluate_repeatability",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""A GitHub-Actions-like workflow engine.
+
+Workflows are YAML documents under ``.github/workflows/`` in a hosted
+repository; the :class:`~repro.actions.engine.Engine` subscribes to hub
+webhooks, matches triggers, provisions hosted runners (ephemeral VMs on a
+cloud "site"), evaluates ``${{ }}`` expressions, enforces deployment-
+environment protection (reviewer approval gates, wait timers, branch
+filters), executes steps — shell commands and marketplace actions such as
+CORRECT — and stores artifacts.
+"""
+
+from repro.actions.expressions import evaluate, interpolate
+from repro.actions.workflow import Workflow, JobDef, StepDef, parse_workflow
+from repro.actions.runner import RunnerPool, Runner
+from repro.actions.engine import (
+    Engine,
+    EngineServices,
+    WorkflowRun,
+    JobRun,
+    StepOutcome,
+    StepContext,
+)
+
+__all__ = [
+    "evaluate",
+    "interpolate",
+    "Workflow",
+    "JobDef",
+    "StepDef",
+    "parse_workflow",
+    "RunnerPool",
+    "Runner",
+    "Engine",
+    "EngineServices",
+    "WorkflowRun",
+    "JobRun",
+    "StepOutcome",
+    "StepContext",
+]

@@ -1,0 +1,531 @@
+"""The workflow engine: triggering, approval gates, job/step execution."""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.actions.expressions import evaluate, interpolate
+from repro.actions.runner import Runner, RunnerPool
+from repro.actions.workflow import (
+    StepDef,
+    Workflow,
+    WORKFLOW_DIR,
+    parse_workflow,
+)
+from repro.auth.oauth import AuthService
+from repro.errors import (
+    ApprovalRejected,
+    ApprovalRequired,
+    PermissionDenied,
+    ReproError,
+    WorkflowParseError,
+)
+from repro.faas.service import FaaSService
+from repro.hub.models import HostedRepo
+from repro.hub.secrets import resolve_secrets
+from repro.hub.service import HubService
+from repro.shellsim.session import ShellServices
+from repro.util.events import EventLog
+from repro.util.ids import IdFactory
+
+
+@dataclass
+class EngineServices:
+    """External services steps may use (CORRECT needs the FaaS + auth).
+
+    ``provenance`` is an optional :class:`repro.provenance.ProvenanceStore`
+    CORRECT writes execution records into.
+    """
+
+    faas: Optional[FaaSService] = None
+    auth: Optional[AuthService] = None
+    image_commands: Dict[str, Callable] = field(default_factory=dict)
+    provenance: Optional[object] = None
+    # a PermanentArchive for the archive-results builtin action (§7.4)
+    archive: Optional[object] = None
+
+
+@dataclass
+class StepOutcome:
+    """Result of one executed (or skipped) step."""
+
+    status: str  # "success" | "failure" | "skipped"
+    outputs: Dict[str, str] = field(default_factory=dict)
+    log: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failure"
+
+
+@dataclass
+class StepContext:
+    """Everything a marketplace action implementation receives."""
+
+    engine: "Engine"
+    run: "WorkflowRun"
+    job_run: "JobRun"
+    step: StepDef
+    inputs: Dict[str, Any]
+    env: Dict[str, str]
+    secrets: Dict[str, str]
+    runner: Runner
+    services: EngineServices
+
+    def shell_services(self) -> ShellServices:
+        return ShellServices(
+            hub=self.engine.hub,
+            image_commands=dict(self.services.image_commands),
+        )
+
+
+@dataclass
+class JobRun:
+    """One job *instance*'s execution state within a run.
+
+    A plain job has one instance whose ``job_id`` equals its definition
+    id; a matrix job has one instance per combination, with the values in
+    ``matrix`` and a ``job_id`` like ``test (site=faster)``.
+    """
+
+    job_id: str
+    def_id: str = ""
+    matrix: Dict[str, Any] = field(default_factory=dict)
+    status: str = "queued"  # queued|waiting|running|success|failure|skipped
+    approval_state: str = ""  # ""|pending|approved|rejected
+    approved_by: str = ""
+    resolved_environment: str = ""
+    step_outcomes: List[StepOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.def_id:
+            self.def_id = self.job_id
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("success", "failure", "skipped")
+
+
+class WorkflowRun:
+    """One triggered execution of a workflow."""
+
+    def __init__(
+        self,
+        run_id: str,
+        workflow: Workflow,
+        repo_slug: str,
+        event: str,
+        payload: Dict[str, Any],
+        sha: str,
+        branch: str,
+        actor: str,
+    ) -> None:
+        self.run_id = run_id
+        self.workflow = workflow
+        self.repo_slug = repo_slug
+        self.event = event
+        self.payload = payload
+        self.sha = sha
+        self.branch = branch
+        self.actor = actor
+        self.jobs: Dict[str, JobRun] = {}
+        for job_id, job_def in workflow.jobs.items():
+            combinations = job_def.matrix_combinations()
+            for combo in combinations:
+                if combo:
+                    label = ", ".join(f"{k}={v}" for k, v in sorted(combo.items()))
+                    instance_id = f"{job_id} ({label})"
+                else:
+                    instance_id = job_id
+                self.jobs[instance_id] = JobRun(
+                    job_id=instance_id, def_id=job_id, matrix=dict(combo)
+                )
+        self.log: List[str] = []
+
+    @property
+    def status(self) -> str:
+        states = {j.status for j in self.jobs.values()}
+        if "waiting" in states:
+            return "waiting"
+        if "queued" in states or "running" in states:
+            return "in_progress"
+        if "failure" in states:
+            return "failure"
+        return "success"
+
+    def append_log(self, line: str) -> None:
+        self.log.append(line)
+
+    def job(self, job_id: str) -> JobRun:
+        return self.jobs[job_id]
+
+    def pending_approvals(self) -> List[str]:
+        return [
+            j.job_id
+            for j in self.jobs.values()
+            if j.approval_state == "pending"
+        ]
+
+
+class Engine:
+    """Drives workflows for a hub instance."""
+
+    def __init__(
+        self,
+        hub: HubService,
+        runner_pool: RunnerPool,
+        services: Optional[EngineServices] = None,
+        events: Optional[EventLog] = None,
+        auto_subscribe: bool = True,
+    ) -> None:
+        self.hub = hub
+        self.pool = runner_pool
+        self.services = services or EngineServices()
+        self.events = events if events is not None else hub.events
+        self.runs: List[WorkflowRun] = []
+        self._run_ids = IdFactory("run")
+        self._register_builtin_actions()
+        if auto_subscribe:
+            hub.subscribe(self.handle_event)
+
+    @property
+    def clock(self):
+        return self.hub.clock
+
+    # -- builtin marketplace actions -----------------------------------------
+    def _register_builtin_actions(self) -> None:
+        from repro.actions import builtin_actions
+
+        for reference, impl in builtin_actions.BUILTIN_ACTIONS.items():
+            if reference not in self.hub.marketplace.listings():
+                self.hub.marketplace.publish(reference, impl)
+
+    # -- triggering ---------------------------------------------------------------
+    def handle_event(self, event: str, payload: Dict[str, Any]) -> List[WorkflowRun]:
+        """Webhook entry point: match workflows and execute runs."""
+        runs: List[WorkflowRun] = []
+        slugs = [payload["slug"]] if "slug" in payload else self.hub.repos()
+        for slug in slugs:
+            hosted = self.hub.repo(slug)
+            if hosted.repository.is_empty():
+                continue
+            branch = payload.get("branch", hosted.repository.default_branch)
+            try:
+                sha = payload.get("sha") or hosted.repository.head(branch)
+            except ReproError:
+                continue
+            for workflow in self._load_workflows(hosted, sha):
+                if workflow.matches(event, payload):
+                    run = self._create_run(
+                        hosted, workflow, event, payload, sha, branch
+                    )
+                    runs.append(run)
+                    self.process(run)
+        return runs
+
+    def _load_workflows(self, hosted: HostedRepo, ref: str) -> List[Workflow]:
+        try:
+            files = hosted.repository.files_at(ref)
+        except ReproError:
+            return []
+        workflows: List[Workflow] = []
+        for path, content in sorted(files.items()):
+            if not path.startswith(WORKFLOW_DIR + "/"):
+                continue
+            if not path.endswith((".yml", ".yaml")):
+                continue
+            try:
+                workflows.append(parse_workflow(content, path=path))
+            except WorkflowParseError as exc:
+                self.events.emit(
+                    self.clock.now, "actions", "workflow.parse_error",
+                    slug=hosted.slug, path=path, error=str(exc),
+                )
+        return workflows
+
+    def _create_run(
+        self,
+        hosted: HostedRepo,
+        workflow: Workflow,
+        event: str,
+        payload: Dict[str, Any],
+        sha: str,
+        branch: str,
+    ) -> WorkflowRun:
+        run = WorkflowRun(
+            run_id=self._run_ids.next_id(),
+            workflow=workflow,
+            repo_slug=hosted.slug,
+            event=event,
+            payload=payload,
+            sha=sha,
+            branch=branch,
+            actor=str(payload.get("actor") or payload.get("pusher") or ""),
+        )
+        self.runs.append(run)
+        self.events.emit(
+            self.clock.now, "actions", "run.created",
+            run_id=run.run_id, slug=hosted.slug,
+            workflow=workflow.name, event=event,
+        )
+        return run
+
+    # -- approvals ------------------------------------------------------------------
+    def approve(self, run: WorkflowRun, job_id: str, reviewer: str) -> None:
+        """Approve a waiting job instance; resumes the run.
+
+        Only a user listed in the environment's required reviewers may
+        approve — the identity-vouching core of §5.2.
+        """
+        job_run = run.job(job_id)
+        if job_run.approval_state != "pending":
+            raise ApprovalRequired(f"job {job_id} is not awaiting approval")
+        hosted = self.hub.repo(run.repo_slug)
+        env = hosted.environment(job_run.resolved_environment)
+        if not env.protection.can_review(reviewer):
+            raise PermissionDenied(
+                f"{reviewer} is not a required reviewer for "
+                f"environment {env.name!r}"
+            )
+        job_run.approval_state = "approved"
+        job_run.approved_by = reviewer
+        self.events.emit(
+            self.clock.now, "actions", "job.approved",
+            run_id=run.run_id, job=job_id, reviewer=reviewer,
+        )
+        if env.protection.wait_timer > 0:
+            self.clock.advance(env.protection.wait_timer)
+        self.process(run)
+
+    def reject(self, run: WorkflowRun, job_id: str, reviewer: str) -> None:
+        job_run = run.job(job_id)
+        if job_run.approval_state != "pending":
+            raise ApprovalRequired(f"job {job_id} is not awaiting approval")
+        hosted = self.hub.repo(run.repo_slug)
+        env = hosted.environment(job_run.resolved_environment)
+        if not env.protection.can_review(reviewer):
+            raise PermissionDenied(
+                f"{reviewer} is not a required reviewer for "
+                f"environment {env.name!r}"
+            )
+        job_run.approval_state = "rejected"
+        job_run.status = "failure"
+        run.append_log(f"[{job_id}] deployment rejected by {reviewer}")
+        self.events.emit(
+            self.clock.now, "actions", "job.rejected",
+            run_id=run.run_id, job=job_id, reviewer=reviewer,
+        )
+
+    # -- execution ---------------------------------------------------------------
+    def _instances(self, run: WorkflowRun, def_id: str) -> List[JobRun]:
+        return [jr for jr in run.jobs.values() if jr.def_id == def_id]
+
+    def process(self, run: WorkflowRun) -> WorkflowRun:
+        """Execute runnable job instances in order; stop at approval gates."""
+        hosted = self.hub.repo(run.repo_slug)
+        for def_id in run.workflow.job_order():
+            job_def = run.workflow.jobs[def_id]
+            dep_instances = [
+                jr for dep in job_def.needs for jr in self._instances(run, dep)
+            ]
+            failed_dep = any(
+                jr.status in ("failure", "skipped") for jr in dep_instances
+            )
+            unfinished_dep = any(not jr.finished for jr in dep_instances)
+            if failed_dep:
+                for job_run in self._instances(run, def_id):
+                    if not job_run.finished:
+                        job_run.status = "skipped"
+                        run.append_log(
+                            f"[{job_run.job_id}] skipped (dependency failed)"
+                        )
+                continue
+            if unfinished_dep:
+                break  # an earlier gate is blocking
+            for job_run in self._instances(run, def_id):
+                if job_run.finished:
+                    continue
+                # environment protection (name may reference matrix values)
+                if job_def.environment:
+                    env_name = job_def.environment
+                    if "${{" in env_name:
+                        env_name = str(
+                            interpolate(
+                                env_name,
+                                {
+                                    "matrix": job_run.matrix,
+                                    "github": {"ref_name": run.branch},
+                                },
+                            )
+                        )
+                    job_run.resolved_environment = env_name
+                    env = hosted.environment(env_name)
+                    if not env.protection.branch_allowed(run.branch):
+                        job_run.status = "failure"
+                        run.append_log(
+                            f"[{job_run.job_id}] branch {run.branch!r} not "
+                            f"allowed for environment {env.name!r}"
+                        )
+                        continue
+                    if (
+                        env.protection.needs_approval
+                        and job_run.approval_state != "approved"
+                    ):
+                        if job_run.approval_state != "pending":
+                            job_run.approval_state = "pending"
+                            job_run.status = "waiting"
+                            self.events.emit(
+                                self.clock.now, "actions",
+                                "job.waiting_approval",
+                                run_id=run.run_id, job=job_run.job_id,
+                                reviewers=list(
+                                    env.protection.required_reviewers
+                                ),
+                            )
+                        return run
+                self._execute_job(run, job_run, job_def, hosted)
+        return run
+
+    def _execute_job(self, run, job_run, job_def, hosted) -> None:
+        job_run.status = "running"
+        runner = self.pool.acquire(job_def.runs_on)
+        secrets = resolve_secrets(
+            hosted.secret_scopes(job_run.resolved_environment or None)
+        )
+        run.append_log(
+            f"[{job_run.job_id}] started on runner {runner.runner_id}"
+        )
+        job_failed = False
+        step_results: Dict[str, Dict[str, Any]] = {}
+        for step in job_def.steps:
+            outcome = self._execute_step(
+                run, job_run, job_def, step, runner, secrets,
+                step_results, job_failed,
+            )
+            job_run.step_outcomes.append(outcome)
+            if step.id:
+                step_results[step.id] = {
+                    "outputs": outcome.outputs,
+                    "outcome": outcome.status,
+                    "conclusion": outcome.status,
+                }
+            label = step.name or step.id or step.uses or step.run.split("\n")[0]
+            run.append_log(f"[{job_run.job_id}] step {label!r}: {outcome.status}")
+            if outcome.log:
+                run.append_log(outcome.log)
+            if outcome.error:
+                run.append_log(f"Error: {outcome.error}")
+            if outcome.status == "failure" and not step.continue_on_error:
+                job_failed = True
+        job_run.status = "failure" if job_failed else "success"
+        self.events.emit(
+            self.clock.now, "actions", "job.finished",
+            run_id=run.run_id, job=job_run.job_id, status=job_run.status,
+        )
+
+    def _expression_context(
+        self,
+        run: WorkflowRun,
+        job_def,
+        step_env: Dict[str, str],
+        secrets: Dict[str, str],
+        step_results: Dict[str, Dict[str, Any]],
+        job_failed: bool,
+        matrix: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return {
+            "matrix": dict(matrix or {}),
+            "github": {
+                "repository": run.repo_slug,
+                "sha": run.sha,
+                "ref_name": run.branch,
+                "event_name": run.event,
+                "actor": run.actor,
+                "run_id": run.run_id,
+            },
+            "env": step_env,
+            "secrets": secrets,
+            "steps": step_results,
+            "inputs": dict(run.payload.get("inputs", {})),
+            "job": {"status": "failure" if job_failed else "success"},
+            "__functions__": {
+                "always": lambda: True,
+                "success": lambda: not job_failed,
+                "failure": lambda: job_failed,
+                "cancelled": lambda: False,
+            },
+        }
+
+    def _execute_step(
+        self,
+        run: WorkflowRun,
+        job_run: JobRun,
+        job_def,
+        step: StepDef,
+        runner: Runner,
+        secrets: Dict[str, str],
+        step_results: Dict[str, Dict[str, Any]],
+        job_failed: bool,
+    ) -> StepOutcome:
+        env = dict(job_def.env)
+        env.update(step.env)
+        context = self._expression_context(
+            run, job_def, env, secrets, step_results, job_failed,
+            matrix=job_run.matrix,
+        )
+        try:
+            env = {k: str(interpolate(v, context)) for k, v in env.items()}
+            context["env"] = env
+            # `if:` accepts both bare expressions and ${{ }}-wrapped ones
+            condition = step.if_ or "success()"
+            if "${{" in condition:
+                condition_value = interpolate(condition, context)
+            else:
+                condition_value = evaluate(condition, context)
+            if not _truthy(condition_value):
+                return StepOutcome(status="skipped")
+            if step.run:
+                command = str(interpolate(step.run, context))
+                services = ShellServices(
+                    hub=self.hub,
+                    image_commands=dict(self.services.image_commands),
+                )
+                session = runner.shell(services=services, env=env)
+                result = session.run(command)
+                return StepOutcome(
+                    status="success" if result.ok else "failure",
+                    outputs={
+                        "stdout": result.stdout,
+                        "exit_code": str(result.exit_code),
+                    },
+                    log=result.combined_output(),
+                    error="" if result.ok else (
+                        result.stderr or f"exit code {result.exit_code}"
+                    ),
+                )
+            # marketplace action
+            impl = self.hub.marketplace.resolve(step.uses)
+            inputs = interpolate(dict(step.with_), context)
+            step_context = StepContext(
+                engine=self,
+                run=run,
+                job_run=job_run,
+                step=step,
+                inputs=inputs,
+                env=env,
+                secrets=secrets,
+                runner=runner,
+                services=self.services,
+            )
+            return impl.run(step_context)
+        except ReproError as exc:
+            return StepOutcome(status="failure", error=f"{type(exc).__name__}: {exc}")
+        except Exception:  # noqa: BLE001 - step isolation
+            return StepOutcome(status="failure", error=traceback.format_exc())
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value) and value != ""

@@ -1,0 +1,188 @@
+"""``${{ }}`` expression evaluation.
+
+Implements the subset of GitHub's expression language that workflows in
+this repository (and the paper's example, Fig. 3) use:
+
+* dotted context lookups: ``secrets.GLOBUS_ID``, ``steps.tox.outputs.stdout``
+* literals: single-quoted strings, numbers, ``true``/``false``/``null``
+* operators: ``==``, ``!=``, ``!``, ``&&``, ``||``, parentheses
+* status functions: ``always()``, ``success()``, ``failure()``, ``cancelled()``
+
+Unknown context paths evaluate to ``''`` (GitHub's behaviour), but a
+missing *top-level* context name is an error — it is almost always a typo.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExpressionError
+
+_EXPR_RE = re.compile(r"\$\{\{(.*?)\}\}", re.DOTALL)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<op>==|!=|&&|\|\||[()!])"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<path>[A-Za-z_][A-Za-z0-9_.-]*(?:\(\))?)"
+    r")"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ExpressionError(f"bad expression near {text[pos:]!r}")
+        tokens.append(match.group(0).strip())
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive descent: or_expr -> and_expr -> equality -> unary -> atom."""
+
+    def __init__(self, tokens: List[str], context: Dict[str, Any]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.context = context
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Any:
+        value = self.or_expr()
+        if self.peek() is not None:
+            raise ExpressionError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return value
+
+    def or_expr(self) -> Any:
+        left = self.and_expr()
+        while self.peek() == "||":
+            self.take()
+            right = self.and_expr()
+            left = left if _truthy(left) else right
+        return left
+
+    def and_expr(self) -> Any:
+        left = self.equality()
+        while self.peek() == "&&":
+            self.take()
+            right = self.equality()
+            left = right if _truthy(left) else left
+        return left
+
+    def equality(self) -> Any:
+        left = self.unary()
+        while self.peek() in ("==", "!="):
+            op = self.take()
+            right = self.unary()
+            result = _loose_eq(left, right)
+            left = result if op == "==" else not result
+        return left
+
+    def unary(self) -> Any:
+        if self.peek() == "!":
+            self.take()
+            return not _truthy(self.unary())
+        return self.atom()
+
+    def atom(self) -> Any:
+        token = self.take()
+        if token == "(":
+            value = self.or_expr()
+            if self.take() != ")":
+                raise ExpressionError("missing closing parenthesis")
+            return value
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return float(token)
+        if token.endswith("()"):
+            return self._call(token[:-2])
+        if token in ("true", "false"):
+            return token == "true"
+        if token == "null":
+            return None
+        return self._lookup(token)
+
+    def _call(self, name: str) -> Any:
+        functions = self.context.get("__functions__", {})
+        if name not in functions:
+            raise ExpressionError(f"unknown function {name!r}")
+        return functions[name]()
+
+    def _lookup(self, path: str) -> Any:
+        parts = path.split(".")
+        if parts[0] not in self.context:
+            raise ExpressionError(f"unknown context {parts[0]!r} in {path!r}")
+        value: Any = self.context[parts[0]]
+        for part in parts[1:]:
+            if isinstance(value, dict):
+                value = value.get(part, "")
+            else:
+                value = getattr(value, part, "")
+        return value
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value) and value != ""
+
+
+def _loose_eq(a: Any, b: Any) -> bool:
+    # GitHub coerces when comparing across types; we only need the
+    # string/number cases.
+    if type(a) is type(b):
+        return a == b
+    return str(a) == str(b)
+
+
+def evaluate(expression: str, context: Dict[str, Any]) -> Any:
+    """Evaluate one bare expression (no ``${{ }}`` wrapper)."""
+    tokens = _tokenize(expression)
+    if not tokens:
+        return ""
+    return _Parser(tokens, context).parse()
+
+
+def interpolate(text: Any, context: Dict[str, Any]) -> Any:
+    """Replace ``${{ expr }}`` in a string (or recursively in containers).
+
+    A string that is exactly one expression returns the evaluated value
+    with its type preserved; mixed text coerces to string.
+    """
+    if isinstance(text, dict):
+        return {k: interpolate(v, context) for k, v in text.items()}
+    if isinstance(text, list):
+        return [interpolate(v, context) for v in text]
+    if not isinstance(text, str):
+        return text
+    full = _EXPR_RE.fullmatch(text.strip())
+    if full:
+        return evaluate(full.group(1).strip(), context)
+    return _EXPR_RE.sub(
+        lambda m: _to_str(evaluate(m.group(1).strip(), context)), text
+    )
+
+
+def _to_str(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

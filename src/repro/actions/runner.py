@@ -1,0 +1,117 @@
+"""Hosted and self-hosted runners.
+
+GitHub-hosted runners are ephemeral VMs in a cloud the user cannot pick
+hardware for (§4.1) — exactly why they are unsuitable for HPC testing and
+why CORRECT only uses them as a *control plane*. We model the runner
+fleet as a dedicated "github-cloud" site: acquiring a runner creates a
+fresh account (clean VM) and boots it (virtual seconds).
+
+A self-hosted runner wraps a login handle on a user-chosen site — used by
+the Jacamar/Tapis baseline adapters (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.envs.index import PackageIndex
+from repro.errors import NoRunnerAvailable
+from repro.shellsim.session import ShellServices, ShellSession
+from repro.sites.hardware import HardwareProfile
+from repro.sites.network import NetworkPolicy
+from repro.sites.site import NodeHandle, Site
+from repro.util.clock import SimClock
+from repro.util.ids import IdFactory
+
+# Boot time for a hosted runner VM (observed GitHub queue+boot latency).
+RUNNER_BOOT_SECONDS = 12.0
+
+HOSTED_LABELS = {"ubuntu-latest", "ubuntu-22.04", "ubuntu-24.04"}
+
+
+@dataclass
+class Runner:
+    """One acquired runner: a node handle plus label metadata."""
+
+    runner_id: str
+    labels: frozenset
+    handle: NodeHandle
+    self_hosted: bool = False
+
+    def shell(
+        self,
+        services: Optional[ShellServices] = None,
+        env: Optional[Dict[str, str]] = None,
+    ) -> ShellSession:
+        return ShellSession(self.handle, services=services, env=env)
+
+
+class RunnerPool:
+    """Provisions hosted runner VMs (and registers self-hosted ones)."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        package_index: Optional[PackageIndex] = None,
+    ) -> None:
+        self.clock = clock
+        # The runner cloud: modest VMs, full outbound internet.
+        self.cloud = Site(
+            name="github-cloud",
+            clock=clock,
+            profiles={
+                "login": HardwareProfile(
+                    cpu_speed=0.9,
+                    cores_per_node=4,
+                    memory_gb=16,
+                    launch_overhead=0.4,
+                )
+            },
+            login_count=1,
+            network=NetworkPolicy(
+                outbound_internet=frozenset({"login"}),
+                latency_to_cloud=0.02,
+                clone_bandwidth_mbps=80.0,
+            ),
+            package_index=package_index,
+            allow_privileged_daemon=True,
+        )
+        self._ids = IdFactory("runner")
+        self._self_hosted: List[Runner] = []
+
+    def register_self_hosted(
+        self, handle: NodeHandle, labels: List[str]
+    ) -> Runner:
+        runner = Runner(
+            runner_id=self._ids.next_id(),
+            labels=frozenset(labels) | {"self-hosted"},
+            handle=handle,
+            self_hosted=True,
+        )
+        self._self_hosted.append(runner)
+        return runner
+
+    def acquire(self, runs_on: str) -> Runner:
+        """Provision a runner matching the ``runs-on`` label.
+
+        Hosted labels boot a fresh VM (fresh account on the cloud site);
+        anything else must match a registered self-hosted runner.
+        """
+        if runs_on in HOSTED_LABELS:
+            self.clock.advance(RUNNER_BOOT_SECONDS)
+            runner_id = self._ids.next_id()
+            vm_user = f"vm-{runner_id}"
+            self.cloud.add_account(vm_user)
+            return Runner(
+                runner_id=runner_id,
+                labels=frozenset({runs_on}),
+                handle=self.cloud.login_handle(vm_user),
+            )
+        for runner in self._self_hosted:
+            if runs_on in runner.labels:
+                return runner
+        raise NoRunnerAvailable(
+            f"no runner matches runs-on: {runs_on!r} "
+            f"(hosted labels: {sorted(HOSTED_LABELS)})"
+        )

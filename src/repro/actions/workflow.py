@@ -1,0 +1,213 @@
+"""Workflow document model and parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import WorkflowParseError
+from repro.util import yamlite
+
+WORKFLOW_DIR = ".github/workflows"
+
+
+@dataclass
+class StepDef:
+    """One step in a job: either ``run:`` or ``uses:``."""
+
+    name: str = ""
+    id: str = ""
+    uses: str = ""
+    run: str = ""
+    with_: Dict[str, Any] = field(default_factory=dict)
+    env: Dict[str, str] = field(default_factory=dict)
+    if_: str = ""
+    continue_on_error: bool = False
+
+    def __post_init__(self) -> None:
+        if bool(self.uses) == bool(self.run):
+            raise WorkflowParseError(
+                f"step {self.name or self.id or '?'!r} must have exactly "
+                "one of 'uses' or 'run'"
+            )
+
+
+@dataclass
+class JobDef:
+    """One job: a runner requirement, optional environment, and steps.
+
+    ``matrix`` (from ``strategy: matrix:``) maps variable names to value
+    lists; the engine expands the job into one instance per combination,
+    each seeing its values under the ``matrix`` expression context.
+    """
+
+    id: str
+    runs_on: str = "ubuntu-latest"
+    name: str = ""
+    environment: str = ""
+    needs: List[str] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    steps: List[StepDef] = field(default_factory=list)
+    matrix: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise WorkflowParseError(f"job {self.id!r} has no steps")
+        for key, values in self.matrix.items():
+            if not isinstance(values, list) or not values:
+                raise WorkflowParseError(
+                    f"matrix variable {key!r} of job {self.id!r} must be a "
+                    "non-empty list"
+                )
+
+    def matrix_combinations(self) -> List[Dict[str, Any]]:
+        """Cartesian product of the matrix variables ({} if no matrix)."""
+        combinations: List[Dict[str, Any]] = [{}]
+        for key in sorted(self.matrix):
+            combinations = [
+                {**combo, key: value}
+                for combo in combinations
+                for value in self.matrix[key]
+            ]
+        return combinations
+
+
+@dataclass
+class Workflow:
+    """A parsed workflow file."""
+
+    name: str
+    on: Dict[str, Any]
+    jobs: Dict[str, JobDef]
+    path: str = ""
+
+    def job_order(self) -> List[str]:
+        """Topological order respecting ``needs:``; stable otherwise."""
+        order: List[str] = []
+        visiting: Dict[str, int] = {}
+
+        def visit(job_id: str) -> None:
+            state = visiting.get(job_id)
+            if state == 1:
+                return
+            if state == 0:
+                raise WorkflowParseError(f"needs-cycle involving {job_id!r}")
+            if job_id not in self.jobs:
+                raise WorkflowParseError(f"job {job_id!r} referenced by needs is undefined")
+            visiting[job_id] = 0
+            for dep in self.jobs[job_id].needs:
+                visit(dep)
+            visiting[job_id] = 1
+            order.append(job_id)
+
+        for job_id in self.jobs:
+            visit(job_id)
+        return order
+
+    # -- trigger matching --------------------------------------------------
+    def matches(self, event: str, payload: Dict[str, Any]) -> bool:
+        """Does this workflow trigger on ``event`` with ``payload``?"""
+        if event not in self.on:
+            return False
+        config = self.on[event]
+        if event == "push":
+            if isinstance(config, dict) and config.get("branches"):
+                return payload.get("branch") in config["branches"]
+            return True
+        if event == "workflow_dispatch":
+            wanted = payload.get("workflow", "")
+            if wanted:
+                return wanted in (self.path, self.path.rsplit("/", 1)[-1], self.name)
+            return True
+        if event == "schedule":
+            return True
+        if event == "pull_request":
+            if isinstance(config, dict) and config.get("branches"):
+                return payload.get("target_branch") in config["branches"]
+            return True
+        return True
+
+
+def parse_workflow(text: str, path: str = "") -> Workflow:
+    """Parse a workflow YAML document into a :class:`Workflow`."""
+    data = yamlite.loads(text)
+    if not isinstance(data, dict):
+        raise WorkflowParseError("workflow document must be a mapping")
+    # "on:" may parse as the boolean True key under strict YAML; accept both.
+    on_raw = data.get("on", data.get(True))
+    if on_raw is None:
+        raise WorkflowParseError("workflow has no 'on' trigger section")
+    on = _normalize_on(on_raw)
+    jobs_raw = data.get("jobs")
+    if not isinstance(jobs_raw, dict) or not jobs_raw:
+        raise WorkflowParseError("workflow has no jobs")
+    jobs: Dict[str, JobDef] = {}
+    for job_id, job_data in jobs_raw.items():
+        jobs[job_id] = _parse_job(job_id, job_data)
+    return Workflow(
+        name=str(data.get("name", path or "workflow")),
+        on=on,
+        jobs=jobs,
+        path=path,
+    )
+
+
+def _normalize_on(on_raw: Any) -> Dict[str, Any]:
+    if isinstance(on_raw, str):
+        return {on_raw: {}}
+    if isinstance(on_raw, list):
+        return {event: {} for event in on_raw}
+    if isinstance(on_raw, dict):
+        return {k: (v if v is not None else {}) for k, v in on_raw.items()}
+    raise WorkflowParseError(f"bad 'on' section: {on_raw!r}")
+
+
+def _parse_job(job_id: str, data: Any) -> JobDef:
+    if not isinstance(data, dict):
+        raise WorkflowParseError(f"job {job_id!r} must be a mapping")
+    steps_raw = data.get("steps")
+    if not isinstance(steps_raw, list):
+        raise WorkflowParseError(f"job {job_id!r} has no steps list")
+    steps = [_parse_step(job_id, i, s) for i, s in enumerate(steps_raw)]
+    needs = data.get("needs", [])
+    if isinstance(needs, str):
+        needs = [needs]
+    matrix: Dict[str, List[Any]] = {}
+    strategy = data.get("strategy")
+    if isinstance(strategy, dict) and isinstance(strategy.get("matrix"), dict):
+        matrix = {str(k): v for k, v in strategy["matrix"].items()}
+    return JobDef(
+        id=job_id,
+        runs_on=str(data.get("runs-on", "ubuntu-latest")),
+        name=str(data.get("name", job_id)),
+        environment=str(data.get("environment", "") or ""),
+        needs=list(needs),
+        env={str(k): str(v) for k, v in (data.get("env") or {}).items()},
+        steps=steps,
+        matrix=matrix,
+    )
+
+
+def _scalar_to_text(value: Any) -> str:
+    """YAML scalars in string positions coerce like GitHub's parser:
+    ``run: false`` is the command string "false", not an absent key."""
+    if value is None or value == "":
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse_step(job_id: str, index: int, data: Any) -> StepDef:
+    if not isinstance(data, dict):
+        raise WorkflowParseError(f"step {index} of job {job_id!r} must be a mapping")
+    return StepDef(
+        name=_scalar_to_text(data.get("name")),
+        id=_scalar_to_text(data.get("id")),
+        uses=_scalar_to_text(data.get("uses")),
+        run=_scalar_to_text(data.get("run")),
+        with_=dict(data.get("with") or {}),
+        env={str(k): str(v) for k, v in (data.get("env") or {}).items()},
+        if_=str(data.get("if", "") or ""),
+        continue_on_error=bool(data.get("continue-on-error", False)),
+    )

@@ -1,0 +1,15 @@
+"""Rendering helpers for experiment output: ASCII tables and bar series."""
+
+from repro.analysis.tables import (
+    format_table,
+    format_series,
+    format_grouped_bars,
+    format_histogram,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_grouped_bars",
+    "format_histogram",
+]

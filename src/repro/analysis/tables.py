@@ -1,0 +1,106 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """An ASCII table with per-column width fitting."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    label_values: Dict[str, float],
+    width: int = 46,
+    unit: str = "s",
+) -> str:
+    """A horizontal bar chart: one labeled bar per entry."""
+    if not label_values:
+        return "(empty series)"
+    peak = max(label_values.values()) or 1.0
+    label_width = max(len(label) for label in label_values)
+    lines = []
+    for label, value in label_values.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    unit: str = "s",
+) -> str:
+    """An ASCII distribution histogram (the NeuroCI-style result view).
+
+    NeuroCI publishes distribution histograms per pipeline/dataset
+    combination (§4.3.3); dashboards here render duration distributions
+    the same way.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return "(no data)"
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    low, high = min(data), max(data)
+    if high == low:
+        return f"{low:.2f}{unit} |{'#' * width} {len(data)}"
+    step = (high - low) / bins
+    counts = [0] * bins
+    for value in data:
+        index = min(bins - 1, int((value - low) / step))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = low + i * step
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{left:10.2f}{unit} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 34,
+    unit: str = "s",
+) -> str:
+    """Grouped bars: {group: {series: value}} — the Fig. 4 layout
+    (one group per test case, one bar per site)."""
+    if not groups:
+        return "(empty)"
+    peak = max(
+        (v for series in groups.values() for v in series.values()), default=1.0
+    ) or 1.0
+    series_names = sorted({name for s in groups.values() for name in s})
+    name_width = max(len(n) for n in series_names)
+    lines: List[str] = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name in series_names:
+            if name not in series:
+                continue
+            value = series[name]
+            bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+            lines.append(f"  {name.ljust(name_width)} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)

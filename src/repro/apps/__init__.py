@@ -1,0 +1,10 @@
+"""The three evaluation applications from the paper's §6.
+
+* :mod:`repro.apps.parsldock` — protein docking with ML-guided candidate
+  selection (§6.1, Fig. 4).
+* :mod:`repro.apps.psij` — the PSI/J scheduler-portability library, its CI
+  suite with the upstream failure, and its cron-based CI baseline
+  (§6.2, Fig. 5).
+* :mod:`repro.apps.kamping` — the KaMPIng MPI-bindings artifact
+  evaluation, including a simulated MPI layer (§6.3).
+"""

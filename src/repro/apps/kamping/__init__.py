@@ -1,0 +1,37 @@
+"""KaMPIng artifact evaluation (paper §6.3).
+
+KaMPIng (SC'24 Best Reproducibility Advancement Award) provides
+near-zero-overhead C++ MPI bindings. Its artifact evaluation compares the
+bindings against plain MPI and a naive serializing wrapper on collective
+micro-benchmarks and small applications. We rebuild the whole stack in
+Python: a simulated MPI layer with an alpha-beta communication cost model
+(:mod:`repro.apps.kamping.mpi`), the three binding layers
+(:mod:`repro.apps.kamping.bindings`), and the AE artifact scripts baked
+into the published container image (:mod:`repro.apps.kamping.artifacts`)
+that CORRECT executes step by step.
+"""
+
+from repro.apps.kamping.mpi import SimMPI, CommCost
+from repro.apps.kamping.bindings import (
+    PlainMPI,
+    KampingBindings,
+    NaiveSerializingBindings,
+)
+from repro.apps.kamping.artifacts import (
+    kamping_image,
+    register_artifact_commands,
+    ARTIFACT_COMMANDS,
+    KAMPING_IMAGE_REFERENCE,
+)
+
+__all__ = [
+    "SimMPI",
+    "CommCost",
+    "PlainMPI",
+    "KampingBindings",
+    "NaiveSerializingBindings",
+    "kamping_image",
+    "register_artifact_commands",
+    "ARTIFACT_COMMANDS",
+    "KAMPING_IMAGE_REFERENCE",
+]

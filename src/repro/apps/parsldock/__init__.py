@@ -1,0 +1,40 @@
+"""ParslDock: a synthetic but fully-functional protein docking pipeline.
+
+Mirrors the Parsl docking tutorial the paper tests (§6.1): ligand
+preparation from SMILES, receptor preparation, a deterministic
+physics-flavoured docking score (the AutoDock Vina stand-in), and an
+ML surrogate (ridge regression on molecular fingerprints) that guides
+which candidates to dock next. Everything is real, deterministic Python —
+the test suite asserts on actual behaviour, and per-test durations come
+from the site hardware model.
+"""
+
+from repro.apps.parsldock.chemistry import Molecule, parse_smiles
+from repro.apps.parsldock.docking import (
+    Receptor,
+    PreparedLigand,
+    prepare_ligand,
+    prepare_receptor,
+    dock,
+    DEFAULT_RECEPTOR_SEQUENCE,
+)
+from repro.apps.parsldock.ml import fingerprint, SurrogateModel
+from repro.apps.parsldock.pipeline import DockingCampaign, CANDIDATE_SMILES
+from repro.apps.parsldock.suite import PARSLDOCK_SUITE, repo_files
+
+__all__ = [
+    "Molecule",
+    "parse_smiles",
+    "Receptor",
+    "PreparedLigand",
+    "prepare_ligand",
+    "prepare_receptor",
+    "dock",
+    "DEFAULT_RECEPTOR_SEQUENCE",
+    "fingerprint",
+    "SurrogateModel",
+    "DockingCampaign",
+    "CANDIDATE_SMILES",
+    "PARSLDOCK_SUITE",
+    "repo_files",
+]

@@ -1,0 +1,35 @@
+"""PSI/J: a portable job-submission abstraction over HPC schedulers.
+
+The §6.2 application: PSI/J must be tested *on real scheduler deployments*
+(containers do not match site configurations), so its CI has to run at HPC
+sites. This package implements the library (job specs, local and SLURM
+executors over the simulated scheduler), its CI test suite — including the
+upstream codebase error the paper hit (Fig. 5) — the cron-based CI
+baseline PSI/J actually uses, and its public results dashboard.
+"""
+
+from repro.apps.psij.jobspec import JobSpec, JobStatus, PsiJJob
+from repro.apps.psij.executors import (
+    JobExecutor,
+    LocalJobExecutor,
+    SlurmJobExecutor,
+    get_executor,
+)
+from repro.apps.psij.suite import PSIJ_SUITE, repo_files
+from repro.apps.psij.cron import CronCI, BranchPolicy
+from repro.apps.psij.dashboard import Dashboard
+
+__all__ = [
+    "JobSpec",
+    "JobStatus",
+    "PsiJJob",
+    "JobExecutor",
+    "LocalJobExecutor",
+    "SlurmJobExecutor",
+    "get_executor",
+    "PSIJ_SUITE",
+    "repo_files",
+    "CronCI",
+    "BranchPolicy",
+    "Dashboard",
+]

@@ -1,0 +1,64 @@
+"""The PSI/J public results dashboard.
+
+PSI/J's cron CI publishes per-site test results to a community dashboard
+(§6.2). The dashboard records every report with its site, branch, and
+virtual timestamp, and renders the status table reviewers consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.shellsim.suites import TestReport
+
+
+@dataclass
+class DashboardEntry:
+    site: str
+    branch: str
+    time: float
+    report: TestReport
+    source: str = "cron"  # "cron" | "correct"
+
+
+class Dashboard:
+    """Append-only store of published CI reports."""
+
+    def __init__(self) -> None:
+        self._entries: List[DashboardEntry] = []
+
+    def publish(
+        self,
+        site: str,
+        branch: str,
+        time: float,
+        report: TestReport,
+        source: str = "cron",
+    ) -> DashboardEntry:
+        entry = DashboardEntry(
+            site=site, branch=branch, time=time, report=report, source=source
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(self, site: Optional[str] = None) -> List[DashboardEntry]:
+        return [e for e in self._entries if site is None or e.site == site]
+
+    def latest(self, site: str) -> Optional[DashboardEntry]:
+        matching = self.entries(site)
+        return matching[-1] if matching else None
+
+    def sites(self) -> List[str]:
+        return sorted({e.site for e in self._entries})
+
+    def render(self) -> str:
+        """The status table shown on the public web UI."""
+        lines = [f"{'site':<12} {'branch':<10} {'time':>10} {'result':<18} source"]
+        for entry in self._entries:
+            result = f"{entry.report.passed}P/{entry.report.failed}F"
+            lines.append(
+                f"{entry.site:<12} {entry.branch:<10} {entry.time:>10.0f} "
+                f"{result:<18} {entry.source}"
+            )
+        return "\n".join(lines)

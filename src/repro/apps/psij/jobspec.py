@@ -1,0 +1,72 @@
+"""PSI/J job specifications and job objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class JobStatus(enum.Enum):
+    NEW = "NEW"
+    QUEUED = "QUEUED"
+    ACTIVE = "ACTIVE"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+    @property
+    def final(self) -> bool:
+        return self in (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELED)
+
+
+@dataclass
+class ResourceSpec:
+    """Resources a job needs."""
+
+    node_count: int = 1
+    processes_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1 or self.processes_per_node < 1:
+            raise ValueError("node_count and processes_per_node must be >= 1")
+
+
+@dataclass
+class JobSpec:
+    """A portable job description.
+
+    ``custom_attributes`` carries scheduler-specific extras (queue name,
+    account). Note the field is named ``custom_attributes`` — the v0.9.9
+    batch-script renderer in :mod:`repro.apps.psij.executors` mistakenly
+    reads ``spec.attributes``, which is the upstream defect Fig. 5's CI
+    run catches.
+    """
+
+    executable: str
+    arguments: List[str] = field(default_factory=list)
+    directory: str = ""
+    stdout_path: str = ""
+    stderr_path: str = ""
+    duration: float = 10.0  # requested walltime-ish, virtual seconds
+    work: float = 1.0  # actual payload cost in reference-core seconds
+    resources: ResourceSpec = field(default_factory=ResourceSpec)
+    custom_attributes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def command_line(self) -> str:
+        parts = [self.executable] + [str(a) for a in self.arguments]
+        return " ".join(parts)
+
+
+@dataclass
+class PsiJJob:
+    """A job instance tracked by an executor."""
+
+    spec: JobSpec
+    status: JobStatus = JobStatus.NEW
+    native_id: str = ""
+    exit_code: Optional[int] = None
+
+    def mark(self, status: JobStatus) -> None:
+        self.status = status

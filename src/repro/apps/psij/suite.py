@@ -1,0 +1,147 @@
+"""The PSI/J CI test suite.
+
+Eight tests exercising both executors against whatever site the suite
+lands on. ``test_batch_attributes`` hits the v0.9.9 renderer defect and
+fails — the real-codebase error §6.2 reports CORRECT catching. The §6.2
+run uses a login-node MEP (LocalProvider), so scheduler-dependent tests
+skip gracefully when the login node's site has no scheduler visible to
+the test account.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.psij.executors import (
+    LocalJobExecutor,
+    SlurmJobExecutor,
+    get_executor,
+    render_batch_attributes,
+)
+from repro.apps.psij.jobspec import JobSpec, JobStatus, PsiJJob, ResourceSpec
+from repro.shellsim.suites import SuiteContext, TestSuite
+
+
+def _test_version_installed(ctx: SuiteContext) -> None:
+    env_name = ctx.env.get("CONDA_DEFAULT_ENV", "base")
+    env = ctx.handle.conda().env(env_name)
+    assert env.has("psij-python", "0.9.9"), (
+        f"psij-python 0.9.9 not installed in {env_name} "
+        f"(have {env.freeze()})"
+    )
+
+
+def _test_local_submit(ctx: SuiteContext) -> None:
+    executor = LocalJobExecutor(ctx.handle)
+    job = PsiJJob(JobSpec(executable="echo", arguments=["psij"], work=0.5))
+    executor.submit(job)
+    assert executor.wait(job) is JobStatus.COMPLETED
+    assert job.exit_code == 0
+
+
+def _test_local_stdout_capture(ctx: SuiteContext) -> None:
+    out_path = f"{ctx.handle.home()}/psij-out.txt" if ctx.handle.fs_isdir(
+        ctx.handle.home()
+    ) else f"{ctx.handle.scratch()}/psij-out.txt"
+    executor = LocalJobExecutor(ctx.handle)
+    job = PsiJJob(
+        JobSpec(
+            executable="echo",
+            arguments=["captured", "output"],
+            stdout_path=out_path,
+            work=0.3,
+        )
+    )
+    executor.submit(job)
+    assert ctx.handle.fs_read(out_path) == "captured output"
+
+
+def _test_failed_job_status(ctx: SuiteContext) -> None:
+    executor = LocalJobExecutor(ctx.handle)
+    job = PsiJJob(JobSpec(executable="false", work=0.2))
+    executor.submit(job)
+    assert executor.wait(job) is JobStatus.FAILED
+    assert job.exit_code != 0
+
+
+def _test_executor_factory(ctx: SuiteContext) -> None:
+    local = get_executor("local", ctx.handle)
+    assert isinstance(local, LocalJobExecutor)
+    try:
+        get_executor("pbs", ctx.handle)
+        raise AssertionError("unknown executor name must raise")
+    except ValueError:
+        pass
+
+
+def _test_slurm_roundtrip(ctx: SuiteContext) -> None:
+    site = ctx.handle.site
+    if not site.has_scheduler:
+        return  # cloud VM: nothing to test, matches upstream skip behaviour
+    partition = next(iter(site.scheduler._partitions))
+    executor = SlurmJobExecutor(ctx.handle, partition)
+    job = PsiJJob(
+        JobSpec(executable="true", work=2.0, duration=60.0,
+                resources=ResourceSpec(node_count=1))
+    )
+    executor.submit(job)
+    assert job.status is JobStatus.QUEUED
+    assert executor.wait(job) is JobStatus.COMPLETED
+
+
+def _test_slurm_cancel(ctx: SuiteContext) -> None:
+    site = ctx.handle.site
+    if not site.has_scheduler:
+        return
+    partition = next(iter(site.scheduler._partitions))
+    executor = SlurmJobExecutor(ctx.handle, partition)
+    job = PsiJJob(JobSpec(executable="true", work=500.0, duration=600.0))
+    executor.submit(job)
+    executor.cancel(job)
+    assert job.status is JobStatus.CANCELED
+
+
+def _test_batch_attributes(ctx: SuiteContext) -> None:
+    # Exercises the v0.9.9 renderer — fails with AttributeError upstream.
+    spec = JobSpec(
+        executable="true",
+        custom_attributes={"partition": "shared", "account": "abc123"},
+    )
+    directives = render_batch_attributes(spec)
+    assert "#SBATCH --partition=shared" in directives
+
+
+def _build_suite() -> TestSuite:
+    suite = TestSuite("tests/test_executors.py")
+    suite.add("test_version_installed", work=0.3, fn=_test_version_installed)
+    suite.add("test_local_submit", work=1.0, fn=_test_local_submit)
+    suite.add("test_local_stdout_capture", work=1.2, fn=_test_local_stdout_capture)
+    suite.add("test_failed_job_status", work=0.8, fn=_test_failed_job_status)
+    suite.add("test_executor_factory", work=0.5, fn=_test_executor_factory)
+    suite.add("test_slurm_roundtrip", work=3.0, fn=_test_slurm_roundtrip)
+    suite.add("test_slurm_cancel", work=2.0, fn=_test_slurm_cancel)
+    suite.add("test_batch_attributes", work=0.6, fn=_test_batch_attributes)
+    return suite
+
+
+PSIJ_SUITE = _build_suite()
+
+
+def repo_files() -> Dict[str, str]:
+    """Contents of the hosted psij-python repository."""
+    return {
+        "README.md": (
+            "# PSI/J\n\nA portable interface for submitting, monitoring, "
+            "and managing jobs across HPC schedulers.\n"
+        ),
+        "requirements.txt": (
+            "psutil>=5.9\npystache>=0.6.0\ntypeguard>=3.0.1\npytest>=7\n"
+        ),
+        ".repro-suite": "repro.apps.psij.suite:PSIJ_SUITE",
+        "tox.ini": (
+            "[tox]\nenvlist = py311\n\n[testenv]\ndeps =\n"
+            "    psutil>=5.9\n    pystache>=0.6.0\n    typeguard>=3.0.1\n"
+            "    pytest>=7\n    psij-python==0.9.9\ncommands = pytest\n"
+        ),
+        "src/psij/__init__.py": "# psij package\n",
+    }

@@ -1,0 +1,24 @@
+"""Globus-Auth-like authentication and authorization.
+
+Models the pieces CORRECT's security story depends on (§5.1–§5.2):
+
+* identity providers and identities,
+* confidential clients (client id + secret) owned by a single user,
+* scoped bearer tokens with expiry,
+* site-local identity mapping (Globus identity → local account),
+* high-assurance policies (required identity provider, session enforcement).
+"""
+
+from repro.auth.identity import Identity, IdentityProvider, IdentityMap
+from repro.auth.oauth import AuthService, Client, Token
+from repro.auth.policies import HighAssurancePolicy
+
+__all__ = [
+    "Identity",
+    "IdentityProvider",
+    "IdentityMap",
+    "AuthService",
+    "Client",
+    "Token",
+    "HighAssurancePolicy",
+]

@@ -1,0 +1,79 @@
+"""Identities, identity providers, and site-local identity mapping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import IdentityMappingError
+from repro.util.ids import deterministic_uuid
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A federated identity: ``user@provider`` with a stable UUID."""
+
+    username: str
+    provider: str
+
+    @property
+    def urn(self) -> str:
+        return f"{self.username}@{self.provider}"
+
+    @property
+    def uuid(self) -> str:
+        return deterministic_uuid("identity", self.urn)
+
+
+class IdentityProvider:
+    """An institutional identity provider (e.g. a university IdP)."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self._users: Dict[str, Identity] = {}
+
+    def register(self, username: str) -> Identity:
+        identity = Identity(username, self.domain)
+        self._users[username] = identity
+        return identity
+
+    def lookup(self, username: str) -> Optional[Identity]:
+        return self._users.get(username)
+
+    def identities(self) -> List[Identity]:
+        return list(self._users.values())
+
+
+class IdentityMap:
+    """Site-local mapping from federated identities to local accounts.
+
+    This is the mechanism multi-user endpoints use to decide which local
+    account a user endpoint runs as — the paper's security requirement (i):
+    "identity used to run the code matches the user who intended to launch
+    it" (§4.4.1, §5.1).
+    """
+
+    def __init__(self, site_name: str) -> None:
+        self.site_name = site_name
+        self._map: Dict[str, str] = {}
+
+    def add(self, identity: Identity, local_account: str) -> None:
+        self._map[identity.uuid] = local_account
+
+    def remove(self, identity: Identity) -> None:
+        self._map.pop(identity.uuid, None)
+
+    def resolve(self, identity: Identity) -> str:
+        """Local account for ``identity``; raises if unmapped."""
+        try:
+            return self._map[identity.uuid]
+        except KeyError:
+            raise IdentityMappingError(
+                f"{identity.urn} has no local account at {self.site_name}"
+            ) from None
+
+    def is_mapped(self, identity: Identity) -> bool:
+        return identity.uuid in self._map
+
+    def accounts(self) -> List[str]:
+        return sorted(set(self._map.values()))

@@ -1,0 +1,134 @@
+"""Confidential clients, scoped bearer tokens, and the auth service."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.auth.identity import Identity
+from repro.errors import InsufficientScope, InvalidCredentials, TokenExpired
+from repro.util.clock import SimClock
+from repro.util.ids import IdFactory
+
+# Default bearer-token lifetime (Globus tokens live ~48h).
+DEFAULT_TOKEN_LIFETIME = 48 * 3600.0
+
+# Scope names used by the FaaS platform.
+SCOPE_COMPUTE = "compute.all"
+SCOPE_TRANSFER = "transfer.all"
+
+
+@dataclass
+class Client:
+    """A confidential OAuth client owned by exactly one identity.
+
+    In the paper, Globus Compute client credentials are stored as GitHub
+    environment secrets; the *single owner* property is what lets a sole
+    environment reviewer vouch for every run using the secret (§5.2).
+    """
+
+    client_id: str
+    secret_hash: str
+    owner: Identity
+    name: str = ""
+
+    def check_secret(self, secret: str) -> bool:
+        return _hash_secret(secret) == self.secret_hash
+
+
+@dataclass(frozen=True)
+class Token:
+    """A scoped bearer token."""
+
+    value: str
+    identity: Identity
+    scopes: FrozenSet[str]
+    issued_at: float
+    expires_at: float
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+def _hash_secret(secret: str) -> str:
+    return hashlib.sha256(secret.encode("utf-8")).hexdigest()
+
+
+class AuthService:
+    """Issues client credentials and validates bearer tokens."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._clients: Dict[str, Client] = {}
+        self._tokens: Dict[str, Token] = {}
+        self._client_ids = IdFactory("client")
+        self._token_ids = IdFactory("token")
+        self._revoked: set = set()
+
+    # -- client management ----------------------------------------------------
+    def create_client(self, owner: Identity, name: str = "") -> tuple:
+        """Register a confidential client; returns (client_id, client_secret).
+
+        The plaintext secret is returned exactly once, like real OAuth
+        dashboards; only its hash is stored.
+        """
+        client_id = self._client_ids.uuid()
+        secret = f"secret-{self._client_ids.count:06d}-{client_id[:8]}"
+        self._clients[client_id] = Client(
+            client_id=client_id,
+            secret_hash=_hash_secret(secret),
+            owner=owner,
+            name=name,
+        )
+        return client_id, secret
+
+    def client_owner(self, client_id: str) -> Identity:
+        client = self._clients.get(client_id)
+        if client is None:
+            raise InvalidCredentials(f"unknown client {client_id}")
+        return client.owner
+
+    # -- token lifecycle --------------------------------------------------------
+    def client_credentials_grant(
+        self,
+        client_id: str,
+        client_secret: str,
+        scopes: Iterable[str] = (SCOPE_COMPUTE,),
+        lifetime: float = DEFAULT_TOKEN_LIFETIME,
+    ) -> Token:
+        """OAuth2 client-credentials flow: secret in, bearer token out."""
+        client = self._clients.get(client_id)
+        if client is None or not client.check_secret(client_secret):
+            raise InvalidCredentials("client id/secret mismatch")
+        now = self._clock.now
+        token = Token(
+            value=self._token_ids.uuid(),
+            identity=client.owner,
+            scopes=frozenset(scopes),
+            issued_at=now,
+            expires_at=now + lifetime,
+        )
+        self._tokens[token.value] = token
+        return token
+
+    def introspect(self, token_value: str, required_scope: Optional[str] = None) -> Token:
+        """Validate a bearer token; returns it or raises."""
+        token = self._tokens.get(token_value)
+        if token is None or token_value in self._revoked:
+            raise InvalidCredentials("unknown or revoked token")
+        if token.is_expired(self._clock.now):
+            raise TokenExpired(
+                f"token expired at t={token.expires_at:.0f}, now {self._clock.now:.0f}"
+            )
+        if required_scope is not None and required_scope not in token.scopes:
+            raise InsufficientScope(
+                f"token lacks scope {required_scope!r} (has {sorted(token.scopes)})"
+            )
+        return token
+
+    def revoke(self, token_value: str) -> None:
+        self._revoked.add(token_value)
+
+    def tokens_for(self, identity: Identity) -> List[Token]:
+        return [t for t in self._tokens.values() if t.identity == identity]

@@ -1,0 +1,32 @@
+"""Reproducibility badges: levels, review simulation, and SC history.
+
+§3.1 describes the three-level badge system and the AD/AE review
+methodology; Fig. 1 plots badges awarded by SC over time. This package
+implements the badge rules, a reviewer simulation with the standard
+~8-hour time budget, and a seeded cohort model that regenerates the
+Fig. 1 trend by *running* reviews over synthetic submissions.
+"""
+
+from repro.badges.levels import BadgeLevel, badge_requirements
+from repro.badges.review import (
+    ArtifactDescription,
+    ArtifactEvaluation,
+    ArtifactSubmission,
+    Reviewer,
+    ReviewOutcome,
+    review_submission,
+)
+from repro.badges.history import BadgeHistoryModel, YearCohort
+
+__all__ = [
+    "BadgeLevel",
+    "badge_requirements",
+    "ArtifactDescription",
+    "ArtifactEvaluation",
+    "ArtifactSubmission",
+    "Reviewer",
+    "ReviewOutcome",
+    "review_submission",
+    "BadgeHistoryModel",
+    "YearCohort",
+]

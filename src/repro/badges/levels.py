@@ -1,0 +1,47 @@
+"""Badge levels and their requirements (§3.1.1)."""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+
+class BadgeLevel(enum.IntEnum):
+    """Three cumulative levels; higher implies lower-level requirements."""
+
+    NONE = 0
+    ARTIFACTS_AVAILABLE = 1  # "Open Research Objects"
+    ARTIFACTS_EVALUATED = 2  # "Research Objects Reviewed"
+    RESULTS_REPRODUCED = 3  # "Results Replicated"
+
+    @property
+    def display_name(self) -> str:
+        return {
+            BadgeLevel.NONE: "(none)",
+            BadgeLevel.ARTIFACTS_AVAILABLE: "Artifacts Available",
+            BadgeLevel.ARTIFACTS_EVALUATED: "Artifacts Evaluated",
+            BadgeLevel.RESULTS_REPRODUCED: "Results Reproduced",
+        }[self]
+
+
+def badge_requirements(level: BadgeLevel) -> List[str]:
+    """Human-readable requirement checklist per level."""
+    available = [
+        "software and input data in a permanent public repository",
+        "open license",
+        "documentation sufficient to understand core functionality",
+    ]
+    evaluated = available + [
+        "reviewers installed the software",
+        "core functionality verified with a small experiment",
+    ]
+    reproduced = evaluated + [
+        "key computational results reproduced by reviewers",
+        "central claims validated (not necessarily identical numbers)",
+    ]
+    return {
+        BadgeLevel.NONE: [],
+        BadgeLevel.ARTIFACTS_AVAILABLE: available,
+        BadgeLevel.ARTIFACTS_EVALUATED: evaluated,
+        BadgeLevel.RESULTS_REPRODUCED: reproduced,
+    }[level]

@@ -1,0 +1,162 @@
+"""The artifact review process (§3.1.2).
+
+Authors submit an Artifact Description (machine-agnostic) and an Artifact
+Evaluation (machine-specific instructions). A reviewer with a limited
+time budget (typically eight hours) works through the AE steps; each step
+has a cost and a probability-free, *quality-derived* outcome: steps fail
+when the submission's documented defects (missing env vars, implicit
+assumptions, inaccessible data...) bite. The awarded badge is the highest
+level whose requirements completed within budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.badges.levels import BadgeLevel
+
+REVIEW_TIME_BUDGET_HOURS = 8.0
+
+
+@dataclass
+class ArtifactDescription:
+    """The AD: what the paper claims and which experiments matter."""
+
+    contributions: List[str]
+    experiments_to_reproduce: List[str]
+    expected_trends: str = ""
+
+    def is_complete(self) -> bool:
+        return bool(self.contributions) and bool(self.experiments_to_reproduce)
+
+
+@dataclass
+class EvaluationStep:
+    """One AE step: install, smoke-test, or experiment reproduction."""
+
+    name: str
+    kind: str  # "install" | "functionality" | "experiment"
+    hours: float
+    defects: List[str] = field(default_factory=list)  # empty = works
+
+
+@dataclass
+class ArtifactEvaluation:
+    """The AE: concrete machine-specific instructions."""
+
+    machine: str
+    steps: List[EvaluationStep]
+
+    def total_hours(self) -> float:
+        return sum(s.hours for s in self.steps)
+
+
+@dataclass
+class ArtifactSubmission:
+    """A complete artifact: repo metadata + AD + AE."""
+
+    repo_public: bool
+    has_open_license: bool
+    has_documentation: bool
+    description: ArtifactDescription
+    evaluation: ArtifactEvaluation
+
+
+@dataclass
+class Reviewer:
+    """A reviewer with a time budget and author-contact behaviour."""
+
+    name: str = "reviewer"
+    budget_hours: float = REVIEW_TIME_BUDGET_HOURS
+    #: hours one author round-trip costs when a step hits a fixable defect
+    author_contact_hours: float = 1.0
+    #: defects the authors can fix over email during the review window
+    fixable_defects: frozenset = frozenset(
+        {"missing env var", "missing documentation", "implicit assumption"}
+    )
+
+
+@dataclass
+class ReviewOutcome:
+    """What the reviewer reports back."""
+
+    badge: BadgeLevel
+    hours_spent: float
+    problems: List[str] = field(default_factory=list)
+    steps_completed: List[str] = field(default_factory=list)
+
+
+def review_submission(
+    submission: ArtifactSubmission, reviewer: Optional[Reviewer] = None
+) -> ReviewOutcome:
+    """Run the review; returns the badge and the report details."""
+    reviewer = reviewer or Reviewer()
+    problems: List[str] = []
+    completed: List[str] = []
+    hours = 0.0
+
+    # Level 1: availability is a metadata check, not an execution
+    if not (
+        submission.repo_public
+        and submission.has_open_license
+        and submission.has_documentation
+        and submission.description.is_complete()
+    ):
+        if not submission.repo_public:
+            problems.append("artifacts not in a public permanent repository")
+        if not submission.has_open_license:
+            problems.append("no open license")
+        if not submission.has_documentation:
+            problems.append("insufficient documentation")
+        if not submission.description.is_complete():
+            problems.append("incomplete artifact description")
+        return ReviewOutcome(BadgeLevel.NONE, hours, problems, completed)
+
+    badge = BadgeLevel.ARTIFACTS_AVAILABLE
+    functionality_done = False
+    experiments_total = 0
+    experiments_done = 0
+
+    for step in submission.evaluation.steps:
+        if hours + step.hours > reviewer.budget_hours:
+            problems.append(
+                f"time budget exhausted before step {step.name!r}"
+            )
+            break
+        hours += step.hours
+        step_problems = list(step.defects)
+        # fixable defects cost an author round-trip each, then clear
+        remaining: List[str] = []
+        for defect in step_problems:
+            if defect in reviewer.fixable_defects:
+                if hours + reviewer.author_contact_hours > reviewer.budget_hours:
+                    remaining.append(defect + " (no time to resolve)")
+                    continue
+                hours += reviewer.author_contact_hours
+                problems.append(f"{step.name}: {defect} (resolved with authors)")
+            else:
+                remaining.append(defect)
+        if remaining:
+            problems.extend(f"{step.name}: {d}" for d in remaining)
+            if step.kind == "install":
+                break  # cannot proceed past a broken install
+            continue  # a failed experiment does not block later ones
+        completed.append(step.name)
+        if step.kind == "functionality":
+            functionality_done = True
+        if step.kind == "experiment":
+            experiments_done += 1
+
+    experiments_total = sum(
+        1 for s in submission.evaluation.steps if s.kind == "experiment"
+    )
+    if functionality_done:
+        badge = BadgeLevel.ARTIFACTS_EVALUATED
+    if (
+        functionality_done
+        and experiments_total > 0
+        and experiments_done == experiments_total
+    ):
+        badge = BadgeLevel.RESULTS_REPRODUCED
+    return ReviewOutcome(badge, hours, problems, completed)

@@ -1,0 +1,89 @@
+"""Descriptors and the adapter interface for baseline CI frameworks."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class CIFrameworkDescriptor:
+    """One row of the paper's comparison tables."""
+
+    name: str
+    ci_platform: str
+    compute_resource: str = ""
+    objective: str = ""
+    visualization: str = ""
+    authentication: str = ""
+    site_specific_execution: bool = False
+    containerization: Tuple[str, ...] = ()
+
+    def table2_row(self) -> List[str]:
+        """Columns of Table 2 (scientific-application CI usage)."""
+        return [
+            self.name,
+            self.ci_platform,
+            self.compute_resource,
+            self.objective,
+            self.visualization,
+        ]
+
+    def table4_row(self) -> List[str]:
+        """Columns of Table 4 (HPC CI framework features)."""
+        return [
+            self.name,
+            self.ci_platform,
+            self.authentication,
+            "Yes" if self.site_specific_execution else "No",
+            ", ".join(self.containerization) or "None",
+        ]
+
+
+class CIFrameworkAdapter(abc.ABC):
+    """An executable stand-in for one baseline framework."""
+
+    descriptor: CIFrameworkDescriptor
+
+    @abc.abstractmethod
+    def probe(self, world) -> Dict[str, bool]:
+        """Demonstrate the descriptor's claims against the simulation.
+
+        Returns named boolean checks; the Table 4 benchmark asserts they
+        all hold and that they agree with the descriptor row.
+        """
+
+
+# Table 2 rows: CI usage in four scientific applications (descriptors
+# only — these projects' stacks are surveyed, not re-implemented).
+SCIENCE_APP_DESCRIPTORS: List[CIFrameworkDescriptor] = [
+    CIFrameworkDescriptor(
+        name="GNSS-SDR",
+        ci_platform="GitLab",
+        compute_resource="Cloud",
+        objective="Reproducibility",
+        visualization="Stored artifacts",
+    ),
+    CIFrameworkDescriptor(
+        name="ATLAS",
+        ci_platform="Jenkins",
+        compute_resource="Internal HPC cluster",
+        objective="CI",
+        visualization="Monitoring dashboard",
+    ),
+    CIFrameworkDescriptor(
+        name="AMBER",
+        ci_platform="CruiseControl",
+        compute_resource="Workstation",
+        objective="CI",
+        visualization="GNUPlot performance plots",
+    ),
+    CIFrameworkDescriptor(
+        name="NeuroCI",
+        ci_platform="CircleCI",
+        compute_resource="Distributed HPC clusters",
+        objective="Reproducibility",
+        visualization="Scatter/distribution plots",
+    ),
+]

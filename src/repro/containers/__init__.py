@@ -1,0 +1,27 @@
+"""Container images, registries, and runtimes.
+
+Models the distinction the paper's survey leans on (§2.1): Docker needs a
+privileged daemon, which HPC sites refuse; Apptainer (Singularity) runs
+unprivileged and is what HPC CI frameworks use (Table 4). §6.3 runs the
+KaMPIng artifacts inside a published container image pulled from a
+registry, with a Globus Compute MEP started *inside* the container.
+"""
+
+from repro.containers.image import ContainerImage, ImageRecipe
+from repro.containers.registry import ContainerRegistry
+from repro.containers.runtime import (
+    ContainerRuntime,
+    DockerRuntime,
+    ApptainerRuntime,
+    RunningContainer,
+)
+
+__all__ = [
+    "ContainerImage",
+    "ImageRecipe",
+    "ContainerRegistry",
+    "ContainerRuntime",
+    "DockerRuntime",
+    "ApptainerRuntime",
+    "RunningContainer",
+]

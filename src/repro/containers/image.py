@@ -1,0 +1,65 @@
+"""Container images and build recipes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.ids import deterministic_uuid
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An immutable image: filesystem overlay + provided commands + env.
+
+    ``files`` is a {path: content} overlay merged into the container's
+    root; ``commands`` lists shell commands baked into the image (the
+    KaMPIng image bakes its artifact scripts and an MPI toolchain);
+    ``env`` is baked environment variables.
+    """
+
+    reference: str  # e.g. "ghcr.io/kamping-site/kamping-reproducibility:v1"
+    files: Tuple[Tuple[str, str], ...] = ()
+    commands: Tuple[str, ...] = ()
+    env: Tuple[Tuple[str, str], ...] = ()
+    size_mb: float = 500.0
+
+    @property
+    def digest(self) -> str:
+        return deterministic_uuid(
+            "image", self.reference, str(self.files), str(self.commands)
+        )
+
+    @property
+    def file_map(self) -> Dict[str, str]:
+        return dict(self.files)
+
+    @property
+    def env_map(self) -> Dict[str, str]:
+        return dict(self.env)
+
+
+@dataclass(frozen=True)
+class ImageRecipe:
+    """A build recipe (Dockerfile / Apptainer definition equivalent).
+
+    Building produces a :class:`ContainerImage` deterministically from the
+    recipe content — the property that makes container recipes a
+    reproducibility tool (§2.1).
+    """
+
+    name: str
+    base: str
+    files: Tuple[Tuple[str, str], ...] = ()
+    commands: Tuple[str, ...] = ()
+    env: Tuple[Tuple[str, str], ...] = ()
+    size_mb: float = 500.0
+
+    def build(self, tag: str) -> ContainerImage:
+        return ContainerImage(
+            reference=tag,
+            files=self.files,
+            commands=self.commands,
+            env=self.env,
+            size_mb=self.size_mb,
+        )

@@ -1,0 +1,34 @@
+"""Container registries (DockerHub / GitHub Container Registry stand-ins)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.containers.image import ContainerImage
+from repro.errors import ImageNotFound
+
+
+class ContainerRegistry:
+    """A named registry mapping references to images."""
+
+    def __init__(self, name: str = "registry") -> None:
+        self.name = name
+        self._images: Dict[str, ContainerImage] = {}
+
+    def push(self, image: ContainerImage) -> str:
+        self._images[image.reference] = image
+        return image.digest
+
+    def pull(self, reference: str) -> ContainerImage:
+        try:
+            return self._images[reference]
+        except KeyError:
+            raise ImageNotFound(
+                f"{self.name}: no image {reference!r}"
+            ) from None
+
+    def has(self, reference: str) -> bool:
+        return reference in self._images
+
+    def references(self) -> List[str]:
+        return sorted(self._images)

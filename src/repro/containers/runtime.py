@@ -1,0 +1,125 @@
+"""Container runtimes: Docker (privileged daemon) vs Apptainer (rootless).
+
+A runtime pulls an image and starts a :class:`RunningContainer`, whose
+filesystem overlay and baked-in commands become visible to the shell
+(:mod:`repro.shellsim`) while the container is the active execution
+context. Docker's :meth:`DockerRuntime.start` refuses to run on hosts that
+do not allow a privileged daemon — which is every HPC site in the catalog,
+reproducing the constraint in §2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.containers.image import ContainerImage
+from repro.containers.registry import ContainerRegistry
+from repro.errors import ImageNotFound, PrivilegeError
+from repro.util.ids import IdFactory
+
+
+@dataclass
+class RunningContainer:
+    """A started container instance."""
+
+    container_id: str
+    image: ContainerImage
+    runtime: str
+    user: str
+    env: Dict[str, str] = field(default_factory=dict)
+    running: bool = True
+
+    def stop(self) -> None:
+        self.running = False
+
+    def has_command(self, name: str) -> bool:
+        return name in self.image.commands
+
+
+class ContainerRuntime:
+    """Base runtime: pull from registries, start/stop containers."""
+
+    name = "generic"
+    requires_privileged_daemon = False
+
+    def __init__(self, registries: Optional[List[ContainerRegistry]] = None) -> None:
+        self.registries = list(registries or [])
+        self._cache: Dict[str, ContainerImage] = {}
+        self._ids = IdFactory(f"{self.name}-ctr")
+        self._running: List[RunningContainer] = []
+
+    def pull(self, reference: str) -> ContainerImage:
+        """Pull an image, consulting the local cache first.
+
+        Returns the image; :meth:`last_pull_mb` reports the bytes fetched
+        so callers can charge the clock for the transfer.
+        """
+        self._last_pull_mb = 0.0
+        if reference in self._cache:
+            return self._cache[reference]
+        for registry in self.registries:
+            if registry.has(reference):
+                image = registry.pull(reference)
+                self._cache[reference] = image
+                self._last_pull_mb = image.size_mb
+                return image
+        raise ImageNotFound(f"{self.name}: cannot pull {reference!r}")
+
+    def last_pull_mb(self) -> float:
+        return getattr(self, "_last_pull_mb", 0.0)
+
+    def start(
+        self,
+        image: ContainerImage,
+        user: str,
+        privileged_daemon_allowed: bool = False,
+        env: Optional[Dict[str, str]] = None,
+    ) -> RunningContainer:
+        if self.requires_privileged_daemon and not privileged_daemon_allowed:
+            raise PrivilegeError(
+                f"{self.name} requires a privileged daemon, which this "
+                f"host does not allow"
+            )
+        merged_env = dict(image.env_map)
+        merged_env.update(env or {})
+        container = RunningContainer(
+            container_id=self._ids.next_id(),
+            image=image,
+            runtime=self.name,
+            user=user,
+            env=merged_env,
+        )
+        self._running.append(container)
+        return container
+
+    def running(self) -> List[RunningContainer]:
+        return [c for c in self._running if c.running]
+
+
+class DockerRuntime(ContainerRuntime):
+    """Docker: fast and ubiquitous, but needs a root daemon."""
+
+    name = "docker"
+    requires_privileged_daemon = True
+
+
+class ApptainerRuntime(ContainerRuntime):
+    """Apptainer/Singularity: unprivileged, HPC-friendly.
+
+    Supports converting Docker-format images transparently, which is how
+    the Tapis CI setup avoids maintaining separate images (§4.4.2).
+    """
+
+    name = "apptainer"
+    requires_privileged_daemon = False
+
+    def convert_from_docker(self, image: ContainerImage) -> ContainerImage:
+        """Docker→SIF conversion: same content, new reference."""
+        return ContainerImage(
+            reference=image.reference + ".sif",
+            files=image.files,
+            commands=image.commands,
+            env=image.env,
+            size_mb=image.size_mb,
+        )

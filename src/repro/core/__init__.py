@@ -1,0 +1,63 @@
+"""CORRECT — COntinuous Reproducibility with a Remote Execution Computing Tool.
+
+The paper's contribution (§5.3): a GitHub Action that executes
+reproducibility tests on arbitrary remote computing sites through the
+federated FaaS platform, from an ordinary workflow step:
+
+.. code-block:: yaml
+
+    - name: Run tox
+      id: tox
+      uses: globus-labs/correct@v1
+      with:
+        client_id: ${{ secrets.GLOBUS_ID }}
+        client_secret: ${{ secrets.GLOBUS_SECRET }}
+        endpoint_uuid: ${{ env.ENDPOINT_UUID }}
+        shell_cmd: 'tox'
+
+The action authenticates with the client credentials, clones the
+triggering repository on the endpoint (login node when compute nodes lack
+outbound internet), runs the user's shell command or pre-registered
+function, and returns stdout/stderr to the runner — storing them as
+workflow artifacts and emitting a provenance record.
+"""
+
+from repro.core.inputs import CorrectInputs
+from repro.core.action import CorrectAction, CORRECT_REFERENCE, publish_correct
+from repro.core.security import (
+    sole_reviewer_rules,
+    correct_function_ids,
+    restrict_template_to_correct,
+    audit_environment,
+)
+from repro.core.reporting import parse_pytest_stdout, summarize_result
+from repro.core.workflow_builder import WorkflowBuilder, render_yaml
+from repro.core.repeatability import RepeatabilityEvaluation, evaluate_repeatability
+from repro.core.driver import CorrectResult, execute_correct
+from repro.core.evaluation import (
+    MultiSiteEvaluation,
+    SiteEvaluation,
+    evaluate_across_sites,
+)
+
+__all__ = [
+    "CorrectInputs",
+    "CorrectAction",
+    "CORRECT_REFERENCE",
+    "publish_correct",
+    "sole_reviewer_rules",
+    "correct_function_ids",
+    "restrict_template_to_correct",
+    "audit_environment",
+    "parse_pytest_stdout",
+    "summarize_result",
+    "WorkflowBuilder",
+    "render_yaml",
+    "RepeatabilityEvaluation",
+    "evaluate_repeatability",
+    "CorrectResult",
+    "execute_correct",
+    "MultiSiteEvaluation",
+    "SiteEvaluation",
+    "evaluate_across_sites",
+]

@@ -1,0 +1,141 @@
+"""The CI-framework-agnostic core of CORRECT.
+
+§7.1: "We chose GitHub Actions as a CI framework due to its ubiquity...
+however, CORRECT can be adapted for use with frameworks like GitLab
+CI/CD." :func:`execute_correct` is that adaptable core — authenticate,
+register helpers, clone, execute, collect — used by both the GitHub
+Action (:mod:`repro.core.action`) and the GitLab component
+(:mod:`repro.gitlab.component`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.inputs import CorrectInputs
+from repro.core.remote import FN_CLONE, FN_RUN_SHELL, REMOTE_FUNCTIONS
+from repro.errors import CloneFailed, RemoteExecutionFailed, TaskFailed
+from repro.faas.client import ComputeClient
+from repro.faas.service import FaaSService
+
+
+@dataclass
+class CorrectResult:
+    """Everything a CI front-end needs to report one CORRECT execution."""
+
+    exit_code: int
+    stdout: str
+    stderr: str
+    task_id: str
+    clone_path: str = ""
+    sha: str = ""
+    environment: Optional[dict] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+def register_helpers(client: ComputeClient) -> Dict[str, str]:
+    """Register (or refresh) CORRECT's helper functions; returns name→id."""
+    return {
+        name: client.register_function(fn, name=name, needs_outbound=outbound)
+        for name, (fn, outbound) in REMOTE_FUNCTIONS.items()
+    }
+
+
+def execute_correct(
+    faas: FaaSService,
+    inputs: CorrectInputs,
+    default_repo: str,
+    default_branch: str,
+) -> CorrectResult:
+    """Run the CORRECT flow (§5.3 steps 2–5).
+
+    Raises :class:`~repro.errors.InvalidCredentials` on bad client
+    credentials, :class:`~repro.errors.CloneFailed` when the repository
+    clone fails remotely, and :class:`~repro.errors.RemoteExecutionFailed`
+    when the task infrastructure fails (a non-zero *exit code* from the
+    user's command is a normal result, not an exception).
+    """
+    client = ComputeClient(faas, inputs.client_id, inputs.client_secret)
+    function_ids = register_helpers(client)
+
+    clone_path = ""
+    sha = ""
+    if inputs.clone:
+        slug = inputs.repository or default_repo
+        branch = inputs.branch or default_branch
+        try:
+            task_id = client.run(
+                inputs.endpoint_uuid,
+                function_ids[FN_CLONE],
+                slug,
+                branch,
+                template=inputs.template,
+            )
+            clone_result = client.get_result(task_id)
+        except TaskFailed as exc:
+            raise CloneFailed(
+                f"repository clone of {slug}@{branch} failed: "
+                f"{exc.remote_traceback or exc}"
+            ) from exc
+        clone_path = clone_result["path"]
+        sha = clone_result.get("sha", "")
+
+    if inputs.shell_cmd:
+        command = inputs.shell_cmd
+        if inputs.container_image:
+            command = (
+                f"{inputs.container_runtime} exec "
+                f"{inputs.container_image} {inputs.shell_cmd}"
+            )
+        try:
+            task_id = client.run(
+                inputs.endpoint_uuid,
+                function_ids[FN_RUN_SHELL],
+                command,
+                cwd=inputs.cwd or clone_path,
+                conda_env=inputs.conda_env,
+                template=inputs.template,
+            )
+            result = client.get_result(task_id)
+        except TaskFailed as exc:
+            raise RemoteExecutionFailed(
+                f"remote execution failed: {exc}",
+                stderr=exc.remote_traceback,
+            ) from exc
+        return CorrectResult(
+            exit_code=int(result["exit_code"]),
+            stdout=result["stdout"],
+            stderr=result["stderr"],
+            task_id=task_id,
+            clone_path=clone_path,
+            sha=sha,
+            environment=result.get("environment"),
+            duration=float(result.get("duration", 0.0)),
+        )
+
+    try:
+        task_id = client.run(
+            inputs.endpoint_uuid,
+            inputs.function_uuid,
+            *inputs.function_args,
+            template=inputs.template,
+        )
+        value = client.get_result(task_id)
+    except TaskFailed as exc:
+        raise RemoteExecutionFailed(
+            f"remote execution failed: {exc}",
+            stderr=exc.remote_traceback,
+        ) from exc
+    return CorrectResult(
+        exit_code=0,
+        stdout=str(value),
+        stderr="",
+        task_id=task_id,
+        clone_path=clone_path,
+        sha=sha,
+    )

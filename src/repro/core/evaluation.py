@@ -1,0 +1,214 @@
+"""Multi-site reproducibility evaluations as a one-call service.
+
+The paper's thesis: "with sufficient accounting (previous execution runs
+and their results, system provenance, source code) and automated periodic
+reexecution demonstrating result validity, it is possible to evaluate
+reproducibility without direct access to the infrastructure" (§5).
+
+:func:`evaluate_across_sites` operationalizes that: given a repository and
+a set of endpoints, it builds the CORRECT workflow, drives the run through
+every gate, collects per-site test reports, provenance records, and
+artifacts, packages everything into a research crate, and renders a
+reviewer-facing markdown report with a badge-level recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.badges.levels import BadgeLevel
+from repro.core.reporting import parse_pytest_stdout
+from repro.core.workflow_builder import WorkflowBuilder
+from repro.errors import CorrectError
+from repro.provenance.crate import ResearchCrate
+from repro.provenance.record import ExecutionRecord
+
+
+@dataclass
+class SiteEvaluation:
+    """One site's slice of the evaluation."""
+
+    site: str
+    endpoint_id: str
+    tests: Dict[str, Tuple[str, float]] = field(default_factory=dict)
+    record: Optional[ExecutionRecord] = None
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for o, _ in self.tests.values() if o == "PASSED")
+
+    @property
+    def failed(self) -> int:
+        return len(self.tests) - self.passed
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.tests) and self.failed == 0
+
+
+@dataclass
+class MultiSiteEvaluation:
+    """The complete evaluation: per-site results + the evidence crate."""
+
+    slug: str
+    sha: str
+    run_id: str
+    sites: Dict[str, SiteEvaluation]
+    crate: ResearchCrate
+
+    @property
+    def consistent(self) -> bool:
+        """Same tests, same outcomes, at every site."""
+        outcome_maps = [
+            {name: o for name, (o, _) in s.tests.items()}
+            for s in self.sites.values()
+        ]
+        return bool(outcome_maps) and all(m == outcome_maps[0] for m in outcome_maps)
+
+    def recommended_badge(self) -> BadgeLevel:
+        """The badge level this evidence supports (§3.1.1 semantics).
+
+        * code reference + executions → Artifacts Available;
+        * at least one site ran the suite with full provenance →
+          Artifacts Evaluated;
+        * consistent passing results on ≥2 sites → evidence supporting
+          Results Reproduced.
+        """
+        report = self.crate.completeness_report()
+        if not (report["has_code_reference"] and report["has_executions"]):
+            return BadgeLevel.NONE
+        if not report["all_have_environment"]:
+            return BadgeLevel.ARTIFACTS_AVAILABLE
+        if (
+            report["multi_site"]
+            and self.consistent
+            and all(s.ok for s in self.sites.values())
+        ):
+            return BadgeLevel.RESULTS_REPRODUCED
+        return BadgeLevel.ARTIFACTS_EVALUATED
+
+    def render_markdown(self) -> str:
+        """The reviewer-facing report."""
+        lines = [
+            f"# Reproducibility evaluation: {self.slug}",
+            "",
+            f"* commit: `{self.sha}`",
+            f"* workflow run: `{self.run_id}`",
+            f"* sites evaluated: {', '.join(sorted(self.sites))}",
+            f"* outcomes consistent across sites: **{self.consistent}**",
+            f"* recommended badge: **{self.recommended_badge().display_name}**",
+            "",
+            "## Per-site results",
+            "",
+            "| site | passed | failed | node | conda packages |",
+            "|---|---|---|---|---|",
+        ]
+        for name in sorted(self.sites):
+            s = self.sites[name]
+            node = s.record.environment.node_name if s.record and s.record.environment else "?"
+            pkgs = (
+                len(s.record.environment.packages)
+                if s.record and s.record.environment
+                else 0
+            )
+            lines.append(
+                f"| {name} | {s.passed} | {s.failed} | {node} | {pkgs} recorded |"
+            )
+        lines += ["", "## Per-test outcomes", ""]
+        all_tests = sorted(
+            {t for s in self.sites.values() for t in s.tests}
+        )
+        header = "| test | " + " | ".join(sorted(self.sites)) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (len(self.sites) + 1))
+        for test in all_tests:
+            cells = []
+            for site in sorted(self.sites):
+                outcome = self.sites[site].tests.get(test)
+                cells.append(
+                    f"{outcome[0]} ({outcome[1]:.1f}s)" if outcome else "—"
+                )
+            lines.append(f"| {test} | " + " | ".join(cells) + " |")
+        checklist = self.crate.completeness_report()
+        lines += ["", "## Evidence completeness", ""]
+        for check, ok in checklist.items():
+            lines.append(f"- [{'x' if ok else ' '}] {check.replace('_', ' ')}")
+        return "\n".join(lines) + "\n"
+
+
+def evaluate_across_sites(
+    world,
+    user,
+    slug: str,
+    endpoints: Dict[str, str],
+    files: Dict[str, str],
+    shell_cmd: str = "pytest",
+    conda_env: str = "",
+    workflow_path: str = ".github/workflows/correct.yml",
+) -> MultiSiteEvaluation:
+    """Create the repo+workflow, run CORRECT at every site, package evidence.
+
+    ``endpoints`` maps site name → endpoint UUID (deployed by the caller —
+    each needs a mapped account for ``user``). The run's environments are
+    created with ``user`` as the sole reviewer and auto-approved by them.
+    """
+    if not endpoints:
+        raise CorrectError("no endpoints to evaluate against")
+    from repro.experiments import common  # local import: avoids a cycle
+
+    builder = WorkflowBuilder(f"evaluation of {slug}").on_push()
+    for site, endpoint_id in endpoints.items():
+        step = WorkflowBuilder.correct_step(
+            name=f"tests on {site}",
+            step_id=f"t-{site}",
+            shell_cmd=shell_cmd,
+            conda_env=conda_env,
+            artifact_prefix=f"correct-{site}",
+            capture_environment="true",
+        )
+        builder.add_job(
+            f"eval-{site}", steps=[step], environment=f"hpc-{site}",
+            env={"ENDPOINT_UUID": endpoint_id},
+        )
+    common.create_repo_with_workflow(
+        world, slug, owner=user, files=files,
+        workflow_path=workflow_path,
+        workflow_text=builder.render(),
+        environments={
+            f"hpc-{site}": {
+                "GLOBUS_ID": user.client_id,
+                "GLOBUS_SECRET": user.client_secret,
+            }
+            for site in endpoints
+        },
+    )
+    run = world.engine.runs[-1]
+    common.approve_all(world, run, user.login)
+
+    crate = ResearchCrate(
+        slug, commit_sha=run.sha,
+        title=f"Reproducibility evidence for {slug}",
+    )
+    sites: Dict[str, SiteEvaluation] = {}
+    for site, endpoint_id in endpoints.items():
+        evaluation = SiteEvaluation(site=site, endpoint_id=endpoint_id)
+        try:
+            artifact = world.hub.artifacts.download(
+                run.run_id, f"correct-{site}-stdout"
+            )
+            evaluation.tests = parse_pytest_stdout(artifact.content)
+            crate.add_artifact(artifact.name, artifact.content)
+        except Exception:  # noqa: BLE001 - a failed site still appears
+            pass
+        records = [
+            r for r in world.provenance.for_repo(slug)
+            if r.run_id == run.run_id and r.site == site
+        ]
+        if records:
+            evaluation.record = records[-1]
+            crate.add_record(records[-1])
+        sites[site] = evaluation
+    return MultiSiteEvaluation(
+        slug=slug, sha=run.sha, run_id=run.run_id, sites=sites, crate=crate
+    )

@@ -1,0 +1,119 @@
+"""The remote function bodies CORRECT registers with the FaaS service.
+
+Each takes a :class:`~repro.faas.functions.FunctionContext` (injected by
+the endpoint) and returns plain data. ``clone_repository`` is flagged
+``needs_outbound`` so restricted sites route it to the login node
+(§6.1's MEP-template behaviour); ``run_shell_command`` runs wherever the
+endpoint's template puts ordinary tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict
+
+from repro.faas.functions import FunctionContext
+from repro.provenance.record import EnvironmentSnapshot
+
+CLONE_DIR_NAME = "gc-action-temp"
+
+FN_CLONE = "correct.clone_repository"
+FN_RUN_SHELL = "correct.run_shell_command"
+FN_CAPTURE_ENV = "correct.capture_environment"
+FN_READ_FILE = "correct.read_file"
+
+
+def clone_repository(
+    fctx: FunctionContext,
+    slug: str,
+    branch: str = "",
+    dest_root: str = "",
+) -> Dict[str, str]:
+    """Clone ``slug`` into a compute-accessible temporary directory.
+
+    Returns the clone path and resolved commit SHA. A pre-existing clone
+    is removed first so every evaluation tests the latest code (§5.3).
+    """
+    shell = fctx.shell()
+    root = dest_root or f"{fctx.handle.scratch()}/{CLONE_DIR_NAME}"
+    repo_name = slug.rsplit("/", 1)[-1]
+    dest = f"{root}/{repo_name}"
+    shell.run(f"mkdir -p {root}")
+    if fctx.handle.fs_exists(dest):
+        shell.run(f"rm -rf {dest}")
+    branch_flag = f"-b {branch} " if branch else ""
+    result = shell.run(
+        f"cd {root} && git clone {branch_flag}https://github.com/{slug}"
+    )
+    if not result.ok:
+        raise RuntimeError(f"clone of {slug} failed: {result.stderr}")
+    return {"path": dest, "sha": shell.env.get("GIT_HEAD", "")}
+
+
+def run_shell_command(
+    fctx: FunctionContext,
+    command: str,
+    cwd: str = "",
+    conda_env: str = "",
+) -> Dict[str, Any]:
+    """Run a user shell command; returns exit code, output, and a snapshot.
+
+    Only stdout/stderr travel back — shell functions cannot return output
+    *files*, the limitation §7.4 discusses (use :func:`read_file` for a
+    specific remote file).
+    """
+    shell = fctx.shell()
+    if cwd:
+        cd = shell.run(f"cd {cwd}")
+        if not cd.ok:
+            return {
+                "exit_code": cd.exit_code,
+                "stdout": cd.stdout,
+                "stderr": cd.stderr,
+                "duration": 0.0,
+                "environment": None,
+            }
+    if conda_env:
+        activate = shell.run(f"conda activate {conda_env}")
+        if not activate.ok:
+            return {
+                "exit_code": activate.exit_code,
+                "stdout": activate.stdout,
+                "stderr": activate.stderr,
+                "duration": 0.0,
+                "environment": None,
+            }
+    result = shell.run(command)
+    snapshot = EnvironmentSnapshot.capture(
+        fctx.handle,
+        conda_env=conda_env or shell.active_env,
+        env_vars=dict(shell.env),
+    )
+    return {
+        "exit_code": result.exit_code,
+        "stdout": result.stdout,
+        "stderr": result.stderr,
+        "duration": result.duration,
+        "environment": asdict(snapshot),
+    }
+
+
+def capture_environment(
+    fctx: FunctionContext, conda_env: str = "base"
+) -> Dict[str, Any]:
+    """Snapshot the endpoint environment (the §7.4 provenance extension)."""
+    snapshot = EnvironmentSnapshot.capture(fctx.handle, conda_env=conda_env)
+    return asdict(snapshot)
+
+
+def read_file(fctx: FunctionContext, path: str) -> str:
+    """Fetch one remote file's content (e.g. a test report JSON)."""
+    return fctx.handle.fs_read(path)
+
+
+REMOTE_FUNCTIONS = {
+    FN_CLONE: (clone_repository, True),  # (fn, needs_outbound)
+    FN_RUN_SHELL: (run_shell_command, False),
+    FN_CAPTURE_ENV: (capture_environment, False),
+    FN_READ_FILE: (read_file, False),
+}

@@ -1,0 +1,107 @@
+"""CORRECT's security helpers (paper §5.2).
+
+Three mechanisms combine:
+
+1. **Environment secrets with a sole reviewer** — the person who owns the
+   FaaS client identity approves every run that uses it, so the approver
+   maps to a real account at the execution site.
+2. **Function allow-lists** — endpoint templates restricted to CORRECT's
+   pre-registered helper functions reject anything else before execution.
+3. **Identity mapping + policies** — enforced by the MEP itself
+   (:mod:`repro.faas.endpoint`); audited here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.remote import REMOTE_FUNCTIONS
+from repro.faas.endpoint import EndpointTemplate
+from repro.hub.environments import ProtectionRules
+from repro.hub.models import HostedRepo
+from repro.util.ids import deterministic_uuid
+
+
+def sole_reviewer_rules(
+    reviewer: str,
+    allowed_branches: Optional[List[str]] = None,
+    wait_timer: float = 0.0,
+) -> ProtectionRules:
+    """Protection rules per the paper's recommendation: one reviewer.
+
+    "it is strongly suggested that there is only one reviewer per
+    environment, to block other reviewers from approving flows that
+    execute on sites not mapped to their identity" (§5.2).
+    """
+    return ProtectionRules(
+        required_reviewers=[reviewer],
+        wait_timer=wait_timer,
+        allowed_branches=list(allowed_branches or []),
+    )
+
+
+def correct_function_ids(owner_urn: str) -> Dict[str, str]:
+    """Deterministic ids of CORRECT's helper functions for one owner.
+
+    Matches :meth:`FunctionRegistry.register`'s id derivation, so
+    administrators can allow-list the functions before they are ever
+    registered.
+    """
+    return {
+        name: deterministic_uuid("function", owner_urn, name)
+        for name in REMOTE_FUNCTIONS
+    }
+
+
+def restrict_template_to_correct(
+    template: EndpointTemplate,
+    owner_urns: List[str],
+    extra_function_ids: Optional[Set[str]] = None,
+) -> EndpointTemplate:
+    """Apply a function allow-list admitting only CORRECT helpers.
+
+    ``extra_function_ids`` admits site-approved, pre-registered user
+    functions (the ``function_uuid`` path in the action).
+    """
+    allowed: Set[str] = set(extra_function_ids or set())
+    for urn in owner_urns:
+        allowed.update(correct_function_ids(urn).values())
+    template.allowed_functions = allowed
+    return template
+
+
+def audit_environment(hosted: HostedRepo, env_name: str) -> List[str]:
+    """Return warnings about an environment's protection configuration.
+
+    Empty list = configuration matches the paper's recommendations.
+    """
+    warnings: List[str] = []
+    env = hosted.environment(env_name)
+    reviewers = env.protection.required_reviewers
+    if not reviewers:
+        warnings.append(
+            f"environment {env_name!r} has no required reviewers: any push "
+            "can execute remotely with its secrets"
+        )
+    elif len(reviewers) > 1:
+        warnings.append(
+            f"environment {env_name!r} has {len(reviewers)} reviewers; the "
+            "paper recommends exactly one so approval implies site-account "
+            "ownership"
+        )
+    if not env.secrets.names():
+        warnings.append(f"environment {env_name!r} holds no secrets")
+    for name in env.secrets.names():
+        secret = env.secrets.get(name)
+        if reviewers and secret.set_by and secret.set_by not in reviewers:
+            warnings.append(
+                f"secret {name} was set by {secret.set_by!r}, who is not a "
+                "required reviewer — credentials and approval authority "
+                "should belong to the same person"
+            )
+    if not env.protection.allowed_branches:
+        warnings.append(
+            f"environment {env_name!r} is usable from any branch; consider "
+            "restricting to reviewed branches"
+        )
+    return warnings

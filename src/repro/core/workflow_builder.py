@@ -1,0 +1,198 @@
+"""Programmatic construction of CORRECT workflow documents.
+
+Experiments generate workflow YAML (Fig. 3's shape) instead of hand-writing
+strings; :func:`render_yaml` emits text that round-trips through
+:mod:`repro.util.yamlite`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.action import CORRECT_REFERENCE
+
+
+def _needs_quoting(text: str) -> bool:
+    if text == "":
+        return True
+    if text != text.strip():
+        return True
+    specials = set(":#{}[],&*!|>'\"%@`")
+    if text[0] in "-?" or any(ch in specials for ch in text):
+        return True
+    lowered = text.lower()
+    if lowered in ("true", "false", "null", "~", "yes", "no", "on", "off"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if "\n" in text:
+        raise ValueError("use render_yaml's literal-block path for multiline")
+    if _needs_quoting(text):
+        return "'" + text.replace("'", "''") + "'"
+    return text
+
+
+def _flow(value: Any) -> str:
+    """Flow-style rendering for containers nested inside sequence items."""
+    if isinstance(value, dict):
+        return "{" + ", ".join(f"{k}: {_flow(v)}" for k, v in value.items()) + "}"
+    if isinstance(value, list):
+        return "[" + ", ".join(_flow(v) for v in value) + "]"
+    return _scalar(value)
+
+
+def render_yaml(data: Any, indent: int = 0) -> str:
+    """Render nested dict/list/scalar data as yamlite-compatible YAML."""
+    pad = " " * indent
+    lines: List[str] = []
+    if isinstance(data, dict):
+        if not data:
+            return pad + "{}"
+        for key, value in data.items():
+            if isinstance(value, (dict, list)) and value:
+                lines.append(f"{pad}{key}:")
+                lines.append(render_yaml(value, indent + 2))
+            elif isinstance(value, str) and "\n" in value:
+                lines.append(f"{pad}{key}: |")
+                for body_line in value.splitlines():
+                    lines.append(f"{pad}  {body_line}")
+            else:
+                if isinstance(value, (dict, list)):
+                    value = "{}" if isinstance(value, dict) else "[]"
+                    lines.append(f"{pad}{key}: {value}")
+                else:
+                    lines.append(f"{pad}{key}: {_scalar(value)}")
+        return "\n".join(lines)
+    if isinstance(data, list):
+        if not data:
+            return pad + "[]"
+        for item in data:
+            if isinstance(item, dict) and item:
+                first = True
+                for key, value in item.items():
+                    prefix = f"{pad}- " if first else f"{pad}  "
+                    if isinstance(value, (dict, list)) and value:
+                        lines.append(f"{prefix}{key}:")
+                        lines.append(render_yaml(value, indent + 4))
+                    elif isinstance(value, str) and "\n" in value:
+                        lines.append(f"{prefix}{key}: |")
+                        for body_line in value.splitlines():
+                            lines.append(f"{pad}    {body_line}")
+                    else:
+                        if isinstance(value, (dict, list)):
+                            lines.append(f"{prefix}{key}: {_flow(value)}")
+                        else:
+                            lines.append(f"{prefix}{key}: {_scalar(value)}")
+                    first = False
+            elif isinstance(item, (dict, list)):
+                lines.append(f"{pad}- {_flow(item)}")
+            else:
+                lines.append(f"{pad}- {_scalar(item)}")
+        return "\n".join(lines)
+    return pad + _scalar(data)
+
+
+class WorkflowBuilder:
+    """Fluent builder for workflows whose jobs call CORRECT."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._on: Dict[str, Any] = {}
+        self._jobs: List[Dict[str, Any]] = []
+
+    # -- triggers ---------------------------------------------------------------
+    def on_push(self, branches: Optional[List[str]] = None) -> "WorkflowBuilder":
+        self._on["push"] = {"branches": branches} if branches else {}
+        return self
+
+    def on_dispatch(self) -> "WorkflowBuilder":
+        self._on["workflow_dispatch"] = {}
+        return self
+
+    def on_schedule(self, cron: str = "0 0 * * *") -> "WorkflowBuilder":
+        self._on["schedule"] = [{"cron": cron}]
+        return self
+
+    # -- jobs -------------------------------------------------------------------
+    def add_job(
+        self,
+        job_id: str,
+        steps: List[Dict[str, Any]],
+        environment: str = "",
+        runs_on: str = "ubuntu-latest",
+        env: Optional[Dict[str, str]] = None,
+        needs: Optional[List[str]] = None,
+    ) -> "WorkflowBuilder":
+        job: Dict[str, Any] = {"runs-on": runs_on}
+        if environment:
+            job["environment"] = environment
+        if env:
+            job["env"] = dict(env)
+        if needs:
+            job["needs"] = list(needs)
+        job["steps"] = steps
+        self._jobs.append({job_id: job})
+        return self
+
+    @staticmethod
+    def correct_step(
+        name: str,
+        shell_cmd: str = "",
+        function_uuid: str = "",
+        step_id: str = "",
+        endpoint_expr: str = "${{ env.ENDPOINT_UUID }}",
+        client_id_expr: str = "${{ secrets.GLOBUS_ID }}",
+        client_secret_expr: str = "${{ secrets.GLOBUS_SECRET }}",
+        **extra_inputs: Any,
+    ) -> Dict[str, Any]:
+        """One CORRECT invocation step (the Fig. 3 shape)."""
+        with_block: Dict[str, Any] = {
+            "client_id": client_id_expr,
+            "client_secret": client_secret_expr,
+            "endpoint_uuid": endpoint_expr,
+        }
+        if shell_cmd:
+            with_block["shell_cmd"] = shell_cmd
+        if function_uuid:
+            with_block["function_uuid"] = function_uuid
+        with_block.update(extra_inputs)
+        step: Dict[str, Any] = {"name": name}
+        if step_id:
+            step["id"] = step_id
+        step["uses"] = CORRECT_REFERENCE
+        step["with"] = with_block
+        return step
+
+    @staticmethod
+    def upload_artifact_step(
+        name: str, artifact_name: str, path: str, always: bool = True
+    ) -> Dict[str, Any]:
+        step: Dict[str, Any] = {"name": name}
+        if always:
+            step["if"] = "${{ always() }}"
+        step["uses"] = "actions/upload-artifact@v4"
+        step["with"] = {"name": artifact_name, "path": path}
+        return step
+
+    def render(self) -> str:
+        if not self._on:
+            raise ValueError("workflow has no triggers; call on_push/on_dispatch")
+        if not self._jobs:
+            raise ValueError("workflow has no jobs")
+        jobs: Dict[str, Any] = {}
+        for job in self._jobs:
+            jobs.update(job)
+        return render_yaml({"name": self.name, "on": self._on, "jobs": jobs}) + "\n"

@@ -1,0 +1,21 @@
+"""Conda-like package and environment management.
+
+The paper's experiments install application stacks via Conda (§6.1: the
+docking stack with AutoDock Vina, VMD, MGLTools; §6.2: PSI/J v0.9.9). We
+model a package index with versioned packages and dependency constraints,
+and per-user environments into which packages are resolved and installed.
+Provenance snapshots (:mod:`repro.provenance`) record the installed set.
+"""
+
+from repro.envs.packages import Package, VersionSpec, Version
+from repro.envs.index import PackageIndex
+from repro.envs.conda import CondaManager, Environment
+
+__all__ = [
+    "Package",
+    "VersionSpec",
+    "Version",
+    "PackageIndex",
+    "CondaManager",
+    "Environment",
+]

@@ -1,0 +1,88 @@
+"""Per-user conda-like environment manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.envs.index import PackageIndex
+from repro.envs.packages import Package
+from repro.errors import EnvironmentError_
+
+
+@dataclass
+class Environment:
+    """A named environment holding resolved packages."""
+
+    name: str
+    packages: Dict[str, Package] = field(default_factory=dict)
+
+    def has(self, name: str, version: Optional[str] = None) -> bool:
+        pkg = self.packages.get(name)
+        if pkg is None:
+            return False
+        return version is None or str(pkg.version) == version
+
+    def commands(self) -> Dict[str, Package]:
+        """Shell commands provided by installed packages."""
+        out: Dict[str, Package] = {}
+        for pkg in self.packages.values():
+            for cmd in pkg.provides_commands:
+                out[cmd] = pkg
+        return out
+
+    def freeze(self) -> List[str]:
+        """Sorted ``name==version`` lines, like ``pip freeze``."""
+        return sorted(p.spec for p in self.packages.values())
+
+    def total_size_mb(self) -> float:
+        return sum(p.size_mb for p in self.packages.values())
+
+
+class CondaManager:
+    """Manages a user's environments against a package index.
+
+    Install cost (in IO-megabytes, convertible to virtual seconds through
+    the site hardware model) is returned from :meth:`install` so callers
+    can charge the clock.
+    """
+
+    def __init__(self, owner: str, index: PackageIndex) -> None:
+        self.owner = owner
+        self.index = index
+        self._envs: Dict[str, Environment] = {"base": Environment("base")}
+
+    def create(self, name: str) -> Environment:
+        if name in self._envs:
+            raise EnvironmentError_(f"environment {name!r} already exists")
+        env = Environment(name)
+        self._envs[name] = env
+        return env
+
+    def env(self, name: str = "base") -> Environment:
+        try:
+            return self._envs[name]
+        except KeyError:
+            raise EnvironmentError_(
+                f"no environment {name!r} for user {self.owner}"
+            ) from None
+
+    def environments(self) -> List[str]:
+        return sorted(self._envs)
+
+    def install(self, env_name: str, requests: Dict[str, str]) -> float:
+        """Resolve and install; returns download size in MB (cost driver).
+
+        Already-satisfied packages are skipped, matching conda's
+        "requirement already satisfied" behaviour that Fig. 5's log shows.
+        """
+        env = self.env(env_name)
+        resolved = self.index.resolve(requests)
+        downloaded = 0.0
+        for package in resolved:
+            existing = env.packages.get(package.name)
+            if existing is not None and existing.version == package.version:
+                continue
+            env.packages[package.name] = package
+            downloaded += package.size_mb
+        return downloaded

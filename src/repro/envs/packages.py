@@ -1,0 +1,132 @@
+"""Packages, versions, and version constraints."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Dict, Tuple
+
+
+@total_ordering
+@dataclass(frozen=True, eq=False)
+class Version:
+    """A dotted numeric version, e.g. ``1.2.6``.
+
+    Comparison pads with zeros, so ``1.0 == 1.0.0`` while each keeps its
+    original rendering.
+    """
+
+    parts: Tuple[int, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "Version":
+        text = text.strip().lstrip("v")
+        if not re.fullmatch(r"\d+(\.\d+)*", text):
+            raise ValueError(f"bad version: {text!r}")
+        return cls(tuple(int(p) for p in text.split(".")))
+
+    def _padded(self, n: int) -> Tuple[int, ...]:
+        return self.parts + (0,) * (n - len(self.parts))
+
+    def _normalized(self) -> Tuple[int, ...]:
+        parts = list(self.parts)
+        while parts and parts[-1] == 0:
+            parts.pop()
+        return tuple(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._normalized() == other._normalized()
+
+    def __hash__(self) -> int:
+        return hash(self._normalized())
+
+    def __lt__(self, other: "Version") -> bool:
+        n = max(len(self.parts), len(other.parts))
+        return self._padded(n) < other._padded(n)
+
+    def __str__(self) -> str:
+        return ".".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class VersionSpec:
+    """A comma-separated constraint set: ``>=1.2,<2.0``, ``==1.5.7``, ``*``."""
+
+    text: str
+
+    _OPS = ("==", ">=", "<=", "!=", ">", "<")
+
+    def matches(self, version: Version) -> bool:
+        for clause in self.text.split(","):
+            clause = clause.strip()
+            if not clause or clause == "*":
+                continue
+            for op in self._OPS:
+                if clause.startswith(op):
+                    bound = Version.parse(clause[len(op):])
+                    if not self._apply(op, version, bound):
+                        return False
+                    break
+            else:
+                # bare version means exact match
+                if version != Version.parse(clause):
+                    return False
+        return True
+
+    @staticmethod
+    def _apply(op: str, v: Version, bound: Version) -> bool:
+        if op == "==":
+            return v == bound
+        if op == "!=":
+            return v != bound
+        if op == ">=":
+            return v >= bound
+        if op == "<=":
+            return v <= bound
+        if op == ">":
+            return v > bound
+        return v < bound
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class Package:
+    """One installable package version.
+
+    ``provides_commands`` lists shell commands the package adds to the
+    simulated PATH (e.g. ``pytest`` provides ``pytest``); ``size_mb``
+    drives install time through the site's IO model; ``requires`` maps
+    dependency names to constraint strings.
+    """
+
+    name: str
+    version: Version
+    requires: Tuple[Tuple[str, str], ...] = ()
+    provides_commands: Tuple[str, ...] = ()
+    size_mb: float = 10.0
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        version: str,
+        requires: Dict[str, str] | None = None,
+        provides_commands: Tuple[str, ...] = (),
+        size_mb: float = 10.0,
+    ) -> "Package":
+        return cls(
+            name=name,
+            version=Version.parse(version),
+            requires=tuple(sorted((requires or {}).items())),
+            provides_commands=provides_commands,
+            size_mb=size_mb,
+        )
+
+    @property
+    def spec(self) -> str:
+        return f"{self.name}=={self.version}"

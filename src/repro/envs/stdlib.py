@@ -1,0 +1,83 @@
+"""The standard package universe for experiments.
+
+Versions mirror the paper where it names them: AutoDock Vina v1.2.6, VMD
+v1.9.3, MGLTools v1.5.7 (§6.1); PSI/J v0.9.9 with the psutil / pystache /
+typeguard requirements visible in Fig. 5 (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.envs.index import PackageIndex
+from repro.envs.packages import Package
+
+
+def standard_index() -> PackageIndex:
+    """A fresh index holding every package the experiments install."""
+    index = PackageIndex()
+    index.add_many(
+        [
+            # core tooling
+            Package.make("python", "3.11.7", size_mb=60.0),
+            Package.make("python", "3.12.1", size_mb=62.0),
+            Package.make("pip", "24.0", size_mb=3.0),
+            Package.make("setuptools", "69.0.3", size_mb=2.0),
+            Package.make(
+                "pytest", "8.3.4",
+                provides_commands=("pytest",), size_mb=5.0,
+            ),
+            Package.make(
+                "pytest", "7.4.4",
+                provides_commands=("pytest",), size_mb=5.0,
+            ),
+            Package.make(
+                "tox", "4.23.2",
+                requires={"pytest": ">=7"},
+                provides_commands=("tox",), size_mb=4.0,
+            ),
+            # FaaS / workflow stack
+            Package.make("dill", "0.3.9", size_mb=1.0),
+            Package.make(
+                "globus-compute-sdk", "2.30.1",
+                requires={"dill": ">=0.3"}, size_mb=8.0,
+            ),
+            Package.make("parsl", "2024.11.4", requires={"dill": "*"}, size_mb=12.0),
+            # PSI/J stack (versions from Fig. 5's install log)
+            Package.make("psutil", "5.9.8", size_mb=2.0),
+            Package.make("pystache", "0.6.8", size_mb=1.0),
+            Package.make("typeguard", "3.0.2", size_mb=1.0),
+            Package.make(
+                "psij-python", "0.9.9",
+                requires={
+                    "psutil": ">=5.9",
+                    "pystache": ">=0.6.0",
+                    "typeguard": ">=3.0.1",
+                },
+                size_mb=3.0,
+            ),
+            # protein docking stack (§6.1)
+            Package.make(
+                "autodock-vina", "1.2.6",
+                provides_commands=("vina",), size_mb=30.0,
+            ),
+            Package.make("vmd", "1.9.3", provides_commands=("vmd",), size_mb=250.0),
+            Package.make(
+                "mgltools", "1.5.7",
+                provides_commands=("prepare_receptor",), size_mb=90.0,
+            ),
+            Package.make(
+                "parsldock", "0.1.0",
+                requires={
+                    "parsl": ">=2024",
+                    "autodock-vina": "==1.2.6",
+                    "vmd": "==1.9.3",
+                    "mgltools": "==1.5.7",
+                },
+                size_mb=2.0,
+            ),
+            # general scientific flavor
+            Package.make("numpy", "2.1.3", size_mb=18.0),
+            Package.make("scipy", "1.14.1", requires={"numpy": ">=2"}, size_mb=40.0),
+            Package.make("requests", "2.32.3", size_mb=1.0),
+        ]
+    )
+    return index

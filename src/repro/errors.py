@@ -1,0 +1,277 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch simulation-level failures without masking programming
+errors (``TypeError``, ``ValueError`` from bad arguments still propagate).
+
+The hierarchy mirrors the subsystem layout: VCS, hub, actions, auth, FaaS,
+scheduler, containers, environments, and the CORRECT action each have a
+dedicated branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulation-level errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Version control / hosting
+# ---------------------------------------------------------------------------
+
+
+class VCSError(ReproError):
+    """Base class for version-control errors."""
+
+
+class ObjectNotFound(VCSError):
+    """A content-addressed object (blob/tree/commit) is missing."""
+
+
+class RefNotFound(VCSError):
+    """A branch or tag name does not resolve to a commit."""
+
+
+class MergeConflict(VCSError):
+    """Two branches modified the same path divergently."""
+
+
+class HubError(ReproError):
+    """Base class for hosting-service errors."""
+
+
+class RepoNotFound(HubError):
+    """Repository slug does not exist on the hub."""
+
+
+class PermissionDenied(HubError):
+    """Caller lacks the permission required for the operation."""
+
+
+class SecretNotFound(HubError):
+    """No secret with the requested name is visible in the given scope."""
+
+
+class ArtifactExpired(HubError):
+    """The artifact exists but its retention window has elapsed."""
+
+
+class ArtifactNotFound(HubError):
+    """No artifact with the requested name exists for the run."""
+
+
+# ---------------------------------------------------------------------------
+# CI / workflow engine
+# ---------------------------------------------------------------------------
+
+
+class ActionsError(ReproError):
+    """Base class for workflow-engine errors."""
+
+
+class WorkflowParseError(ActionsError):
+    """The workflow document is malformed."""
+
+
+class ExpressionError(ActionsError):
+    """A ``${{ }}`` expression failed to evaluate."""
+
+
+class UnknownActionError(ActionsError):
+    """A ``uses:`` reference does not resolve in the marketplace."""
+
+
+class StepFailed(ActionsError):
+    """A workflow step exited non-zero; carries the step outcome."""
+
+    def __init__(self, message: str, outcome: object = None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+
+
+class ApprovalRequired(ActionsError):
+    """A protected environment needs reviewer approval before the job runs."""
+
+
+class ApprovalRejected(ActionsError):
+    """A required reviewer rejected the deployment to the environment."""
+
+
+class NoRunnerAvailable(ActionsError):
+    """No runner matches the job's ``runs-on`` labels."""
+
+
+# ---------------------------------------------------------------------------
+# Auth
+# ---------------------------------------------------------------------------
+
+
+class AuthError(ReproError):
+    """Base class for authentication/authorization errors."""
+
+
+class InvalidCredentials(AuthError):
+    """Client id/secret pair does not match a registered client."""
+
+
+class TokenExpired(AuthError):
+    """The bearer token's lifetime has elapsed."""
+
+
+class InsufficientScope(AuthError):
+    """The token lacks a scope required by the service."""
+
+
+class IdentityMappingError(AuthError):
+    """No local account maps to the authenticated identity at this site."""
+
+
+class PolicyViolation(AuthError):
+    """A high-assurance policy rejected the request."""
+
+
+# ---------------------------------------------------------------------------
+# FaaS
+# ---------------------------------------------------------------------------
+
+
+class FaaSError(ReproError):
+    """Base class for the federated FaaS platform."""
+
+
+class EndpointNotFound(FaaSError):
+    """Endpoint UUID is not registered with the cloud service."""
+
+
+class EndpointOffline(FaaSError):
+    """The endpoint is registered but not currently connected."""
+
+
+class FunctionNotRegistered(FaaSError):
+    """Function UUID does not resolve in the function registry."""
+
+
+class FunctionNotAllowed(FaaSError):
+    """The endpoint's allow-list rejects this function."""
+
+
+class TaskFailed(FaaSError):
+    """The remote function raised; carries the remote traceback text."""
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class PayloadTooLarge(FaaSError):
+    """Serialized arguments or result exceed the service limit."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduler / execution
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for batch-scheduler errors."""
+
+
+class JobNotFound(SchedulerError):
+    """Unknown job id."""
+
+
+class InvalidJobSpec(SchedulerError):
+    """The job request cannot be satisfied (e.g. more nodes than exist)."""
+
+
+class WalltimeExceeded(SchedulerError):
+    """The job ran past its requested walltime and was killed."""
+
+
+class ExecutorError(ReproError):
+    """Base class for pilot-job executor errors."""
+
+
+class ShellError(ReproError):
+    """Base class for the simulated shell."""
+
+
+class CommandNotFound(ShellError):
+    """The command name is not on the simulated PATH."""
+
+
+# ---------------------------------------------------------------------------
+# Containers / environments
+# ---------------------------------------------------------------------------
+
+
+class ContainerError(ReproError):
+    """Base class for container-runtime errors."""
+
+
+class PrivilegeError(ContainerError):
+    """The runtime needs privileges the site refuses (Docker on HPC)."""
+
+
+class ImageNotFound(ContainerError):
+    """Image reference does not resolve in any configured registry."""
+
+
+class EnvironmentError_(ReproError):
+    """Base class for package/environment-manager errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``EnvironmentError`` alias of ``OSError``.
+    """
+
+
+class PackageNotFound(EnvironmentError_):
+    """Package name missing from the index."""
+
+
+class ResolutionError(EnvironmentError_):
+    """Version constraints cannot be satisfied."""
+
+
+# ---------------------------------------------------------------------------
+# Sites / network
+# ---------------------------------------------------------------------------
+
+
+class SiteError(ReproError):
+    """Base class for site-model errors."""
+
+
+class NetworkBlocked(SiteError):
+    """Outbound network access is disallowed from this node class."""
+
+
+class FileSystemError(SiteError):
+    """Simulated filesystem operation failed (missing path, not a dir...)."""
+
+
+# ---------------------------------------------------------------------------
+# CORRECT
+# ---------------------------------------------------------------------------
+
+
+class CorrectError(ReproError):
+    """Base class for errors raised by the CORRECT action itself."""
+
+
+class InputValidationError(CorrectError):
+    """Action inputs are missing or inconsistent."""
+
+
+class CloneFailed(CorrectError):
+    """The remote repository clone step failed on the endpoint."""
+
+
+class RemoteExecutionFailed(CorrectError):
+    """The user-specified function/shell command failed remotely."""
+
+    def __init__(self, message: str, stdout: str = "", stderr: str = "") -> None:
+        super().__init__(message)
+        self.stdout = stdout
+        self.stderr = stderr

@@ -1,0 +1,138 @@
+"""Resource providers: how an executor obtains nodes."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ExecutorError
+from repro.scheduler.jobs import Job, JobState
+from repro.scheduler.nodes import Node
+from repro.sites.site import Site
+
+
+@dataclass
+class Block:
+    """One provisioned allocation: nodes plus lifecycle bookkeeping."""
+
+    nodes: List[Node]
+    node_class: str
+    job_id: Optional[str] = None  # batch job backing this block, if any
+    active: bool = True
+    started_at: float = 0.0
+    queue_wait: float = 0.0
+
+
+class Provider(abc.ABC):
+    """Provisions blocks of nodes on a site for one user."""
+
+    def __init__(self, site: Site, user: str) -> None:
+        self.site = site
+        self.user = user
+
+    @abc.abstractmethod
+    def start_block(self) -> Block:
+        """Provision one block, advancing virtual time until it is usable."""
+
+    @abc.abstractmethod
+    def release_block(self, block: Block) -> None:
+        """Return the block's resources."""
+
+    @property
+    @abc.abstractmethod
+    def node_class(self) -> str:
+        """Node class blocks run on ('login' or 'compute')."""
+
+
+class LocalProvider(Provider):
+    """Runs on the login node itself — no scheduler involved.
+
+    Used for operations that need outbound network on restricted sites
+    (cloning the repository, §6.1) and for login-node test suites like
+    PSI/J's (§6.2). ``startup_overhead`` models process spin-up.
+    """
+
+    def __init__(self, site: Site, user: str, startup_overhead: float = 2.0) -> None:
+        super().__init__(site, user)
+        self.startup_overhead = startup_overhead
+
+    @property
+    def node_class(self) -> str:
+        return "login"
+
+    def start_block(self) -> Block:
+        self.site.clock.advance(self.startup_overhead)
+        return Block(
+            nodes=[self.site.login_nodes[0]],
+            node_class="login",
+            started_at=self.site.clock.now,
+            queue_wait=0.0,
+        )
+
+    def release_block(self, block: Block) -> None:
+        block.active = False
+
+
+class SlurmProvider(Provider):
+    """Provisions blocks through the site's batch scheduler.
+
+    Submits an open-ended pilot job and advances virtual time until the
+    scheduler starts it; the queue wait is recorded on the block so
+    experiments can report it separately from execution time.
+    """
+
+    def __init__(
+        self,
+        site: Site,
+        user: str,
+        partition: str,
+        nodes_per_block: int = 1,
+        walltime: float = 3600.0,
+    ) -> None:
+        super().__init__(site, user)
+        if not site.has_scheduler:
+            raise ExecutorError(
+                f"site {site.name} has no batch scheduler; use LocalProvider"
+            )
+        self.partition = partition
+        self.nodes_per_block = nodes_per_block
+        self.walltime = walltime
+
+    @property
+    def node_class(self) -> str:
+        return "compute"
+
+    def start_block(self) -> Block:
+        scheduler = self.site.scheduler
+        assert scheduler is not None
+        job = Job(
+            user=self.user,
+            partition=self.partition,
+            num_nodes=self.nodes_per_block,
+            walltime=self.walltime,
+            duration=None,  # pilot: open-ended
+            name=f"pilot-{self.user}",
+        )
+        job_id = scheduler.submit(job)
+        scheduler.wait_for_start(job_id)
+        if job.state is not JobState.RUNNING:
+            raise ExecutorError(
+                f"pilot job {job_id} did not start (state {job.state.value})"
+            )
+        return Block(
+            nodes=list(job.allocated_nodes),
+            node_class="compute",
+            job_id=job_id,
+            started_at=self.site.clock.now,
+            queue_wait=job.queue_wait or 0.0,
+        )
+
+    def release_block(self, block: Block) -> None:
+        if block.job_id is not None:
+            scheduler = self.site.scheduler
+            assert scheduler is not None
+            job = scheduler.job(block.job_id)
+            if job.state is JobState.RUNNING:
+                scheduler.complete(block.job_id)
+        block.active = False

@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Benchmarks under ``benchmarks/`` and the runnable examples both call
+these, so the numbers printed by the benchmark suite and the numbers a
+user sees from ``examples/`` come from the same code.
+"""
+
+from repro.experiments.fig4_parsldock import run_fig4, Fig4Result
+from repro.experiments.fig5_psij import run_fig5, Fig5Result
+from repro.experiments.exp63_kamping import run_exp63, Exp63Result
+from repro.experiments.fig1_badges import run_fig1
+from repro.experiments.survey_tables import (
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows_and_probes,
+)
+
+__all__ = [
+    "run_fig4",
+    "Fig4Result",
+    "run_fig5",
+    "Fig5Result",
+    "run_exp63",
+    "Exp63Result",
+    "run_fig1",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows_and_probes",
+]

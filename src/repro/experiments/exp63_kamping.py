@@ -1,0 +1,115 @@
+"""§6.3: reproducing the KaMPIng artifact evaluation with CORRECT.
+
+The KaMPIng artifacts are scripts inside a published container image; the
+workflow has one step per artifact, each executed on a Chameleon instance
+through CORRECT (the paper started a MEP inside the container; we run
+each artifact with ``docker run <image> <script>``, which our shell
+executes in-container). Outputs are stored as workflow artifacts per
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps.kamping.artifacts import (
+    ARTIFACT_COMMANDS,
+    KAMPING_IMAGE_REFERENCE,
+    kamping_image,
+    register_artifact_commands,
+)
+from repro.core.workflow_builder import WorkflowBuilder
+from repro.experiments import common
+from repro.world import World
+
+REPO_SLUG = "kamping-site/kamping-reproducibility"
+WORKFLOW_PATH = ".github/workflows/ae.yml"
+SITE = "chameleon"
+
+
+@dataclass
+class Exp63Result:
+    run: object
+    artifact_outputs: Dict[str, str]  # artifact name -> stdout
+
+    @property
+    def all_passed(self) -> bool:
+        return self.run.status == "success" and all(
+            "verdict: PASS" in out or "passed" in out
+            for out in self.artifact_outputs.values()
+        )
+
+    def verdicts(self) -> Dict[str, bool]:
+        return {
+            name: ("verdict: PASS" in out or "passed" in out)
+            for name, out in self.artifact_outputs.items()
+        }
+
+
+def repo_files() -> Dict[str, str]:
+    return {
+        "README.md": (
+            "# KaMPIng reproducibility\n\nArtifact scripts are baked into "
+            f"the container `{KAMPING_IMAGE_REFERENCE}`; run each via the "
+            "workflow.\n"
+        ),
+        "scripts/run-all.sh": "\n".join(
+            f"docker run {KAMPING_IMAGE_REFERENCE} {name}"
+            for name in sorted(ARTIFACT_COMMANDS)
+        )
+        + "\n",
+    }
+
+
+def run_exp63() -> Exp63Result:
+    """Execute the §6.3 experiment; returns per-artifact outputs."""
+    world = World()
+    user = world.register_user("vhayot", {SITE: "cc"})
+    # publish the AE container and wire its commands into the shell layer
+    world.container_registry.push(kamping_image())
+    register_artifact_commands(world.services.image_commands)
+
+    mep = common.deploy_site_mep(world, SITE)
+
+    steps: List[dict] = []
+    for name in sorted(ARTIFACT_COMMANDS):
+        steps.append(
+            WorkflowBuilder.correct_step(
+                name=f"Artifact {name}",
+                step_id=name,
+                shell_cmd=f"docker run {KAMPING_IMAGE_REFERENCE} {name}",
+                artifact_prefix=f"ae-{name}",
+                clone="false",
+            )
+        )
+    builder = WorkflowBuilder("KaMPIng artifact evaluation").on_push()
+    builder.add_job(
+        "reproduce",
+        steps=steps,
+        environment="chameleon",
+        env={"ENDPOINT_UUID": mep.endpoint_id},
+    )
+    common.create_repo_with_workflow(
+        world,
+        REPO_SLUG,
+        owner=user,
+        files=repo_files(),
+        workflow_path=WORKFLOW_PATH,
+        workflow_text=builder.render(),
+        environments={
+            "chameleon": {
+                "GLOBUS_ID": user.client_id,
+                "GLOBUS_SECRET": user.client_secret,
+            }
+        },
+    )
+    run = world.engine.runs[-1]
+    common.approve_all(world, run, user.login)
+
+    outputs: Dict[str, str] = {}
+    for name in sorted(ARTIFACT_COMMANDS):
+        outputs[name] = world.hub.artifacts.download(
+            run.run_id, f"ae-{name}-stdout"
+        ).content
+    return Exp63Result(run=run, artifact_outputs=outputs)

@@ -1,0 +1,17 @@
+"""Fig. 1: SC reproducibility badges over time."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.badges.history import BadgeHistoryModel
+
+
+def run_fig1(seed: int = 2025) -> Dict[int, Dict[str, int]]:
+    """Run the cohort review simulation; returns {year: level counts}.
+
+    Counts are "holds at least this badge" per year: ``available``,
+    ``evaluated``, ``reproduced``.
+    """
+    model = BadgeHistoryModel(seed=seed)
+    return BadgeHistoryModel.cumulative_counts(model.run())

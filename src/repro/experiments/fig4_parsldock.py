@@ -1,0 +1,140 @@
+"""Fig. 4: ParslDock test-suite runtimes across three sites (§6.1).
+
+One workflow, three environment-gated jobs — Chameleon CHI@TACC, TAMU
+FASTER, SDSC Expanse — each invoking CORRECT with ``shell_cmd: pytest``
+in the site's ``docking`` conda environment. FASTER and Expanse block
+outbound internet on compute nodes, so their MEP templates clone on the
+login node and run tests on a SLURM pilot; Chameleon runs everything on
+the instance itself.
+
+The result object carries per-site, per-test durations parsed from the
+stdout artifacts — the series plotted in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.core.reporting import parse_pytest_stdout
+from repro.core.workflow_builder import WorkflowBuilder
+from repro.experiments import common
+from repro.world import World
+
+FIG4_SITES = ("chameleon", "faster", "expanse")
+REPO_SLUG = "parsl/parsl-docking-tutorial"
+WORKFLOW_PATH = ".github/workflows/correct.yml"
+
+
+@dataclass
+class Fig4Result:
+    """Per-site test durations plus run bookkeeping."""
+
+    run: object
+    durations: Dict[str, Dict[str, float]]  # site -> test -> seconds
+    outcomes: Dict[str, Dict[str, str]]  # site -> test -> PASSED/...
+    queue_waits: Dict[str, float] = field(default_factory=dict)
+
+    def tests(self) -> List[str]:
+        any_site = next(iter(self.durations.values()))
+        return list(any_site)
+
+    def fastest_site_per_test(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for test in self.tests():
+            out[test] = min(
+                self.durations, key=lambda site: self.durations[site][test]
+            )
+        return out
+
+    def all_passed(self) -> bool:
+        return all(
+            outcome == "PASSED"
+            for site_outcomes in self.outcomes.values()
+            for outcome in site_outcomes.values()
+        )
+
+
+def build_world(sites: Tuple[str, ...] = FIG4_SITES) -> Tuple[World, object, Dict[str, str]]:
+    """Set up the §6.1 testbed; returns (world, user, endpoint ids)."""
+    world = World()
+    accounts = {site: "x-vhayot" for site in sites}
+    user = world.register_user("vhayot", accounts)
+    endpoints: Dict[str, str] = {}
+    for site_name in sites:
+        common.provision_user_site(
+            world, user, site_name, accounts[site_name],
+            conda_env="docking", stack=common.DOCKING_STACK,
+        )
+        mep = common.deploy_site_mep(world, site_name)
+        endpoints[site_name] = mep.endpoint_id
+    return world, user, endpoints
+
+
+def build_workflow(endpoints: Dict[str, str]) -> str:
+    """One job per site, each environment-gated, each running pytest."""
+    builder = WorkflowBuilder("ParslDock multi-site CI").on_push()
+    for site_name, endpoint_id in endpoints.items():
+        step = WorkflowBuilder.correct_step(
+            name=f"Run pytest on {site_name}",
+            step_id=f"pytest-{site_name}",
+            shell_cmd="pytest",
+            conda_env="docking",
+            artifact_prefix=f"correct-{site_name}",
+        )
+        builder.add_job(
+            f"test-{site_name}",
+            steps=[step],
+            environment=f"hpc-{site_name}",
+            env={"ENDPOINT_UUID": endpoint_id},
+        )
+    return builder.render()
+
+
+def run_fig4(sites: Tuple[str, ...] = FIG4_SITES) -> Fig4Result:
+    """Execute the full §6.1 experiment; returns the Fig. 4 series."""
+    world, user, endpoints = build_world(sites)
+    workflow_text = build_workflow(endpoints)
+    environments = {
+        f"hpc-{site}": {
+            "GLOBUS_ID": user.client_id,
+            "GLOBUS_SECRET": user.client_secret,
+        }
+        for site in sites
+    }
+    common.create_repo_with_workflow(
+        world,
+        REPO_SLUG,
+        owner=user,
+        files=parsldock_suite.repo_files(),
+        workflow_path=WORKFLOW_PATH,
+        workflow_text=workflow_text,
+        environments=environments,
+    )
+    run = world.engine.runs[-1]
+    common.approve_all(world, run, user.login)
+    if run.status != "success":
+        raise RuntimeError(
+            f"Fig. 4 workflow ended {run.status}; log:\n" + "\n".join(run.log)
+        )
+
+    durations: Dict[str, Dict[str, float]] = {}
+    outcomes: Dict[str, Dict[str, str]] = {}
+    queue_waits: Dict[str, float] = {}
+    for site_name in sites:
+        artifact = world.hub.artifacts.download(
+            run.run_id, f"correct-{site_name}-stdout"
+        )
+        parsed = parse_pytest_stdout(artifact.content)
+        durations[site_name] = {name: d for name, (_, d) in parsed.items()}
+        outcomes[site_name] = {name: o for name, (o, _) in parsed.items()}
+        endpoint = world.faas.endpoint(endpoints[site_name])
+        stats: Dict[str, float] = {}
+        for uep in endpoint._ueps.values():
+            for key, value in uep.stats().items():
+                stats[key] = stats.get(key, 0.0) + value
+        queue_waits[site_name] = stats.get("compute_queue_wait", 0.0)
+    return Fig4Result(
+        run=run, durations=durations, outcomes=outcomes, queue_waits=queue_waits
+    )

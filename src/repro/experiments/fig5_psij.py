@@ -1,0 +1,99 @@
+"""Fig. 5 / §6.2: expressing PSI/J CI jobs with CORRECT on Purdue Anvil.
+
+PSI/J's tests must run on the login node (LocalProvider), the MEP is
+configured login-only, and the workflow extracts stdout/stderr as
+artifacts *regardless of pass or fail*. With PSI/J v0.9.9 the run fails —
+the batch-attribute renderer bug — and the experiment's point is that the
+failure text reaches the Action UI (the run log) and the full outputs are
+retrievable from artifacts (Fig. 5 top and bottom panes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.apps.psij import suite as psij_suite
+from repro.core.reporting import parse_pytest_stdout
+from repro.core.workflow_builder import WorkflowBuilder
+from repro.experiments import common
+from repro.world import World
+
+REPO_SLUG = "exaworks/psij-python"
+WORKFLOW_PATH = ".github/workflows/correct.yml"
+SITE = "anvil"
+
+
+@dataclass
+class Fig5Result:
+    run: object
+    stdout_artifact: str
+    stderr_artifact: str
+    tests: Dict[str, Tuple[str, float]]
+
+    @property
+    def run_failed(self) -> bool:
+        return self.run.status == "failure"
+
+    @property
+    def failing_tests(self) -> Dict[str, Tuple[str, float]]:
+        return {
+            name: result
+            for name, result in self.tests.items()
+            if result[0] in ("FAILED", "ERROR")
+        }
+
+    def failure_reported_in_ui(self) -> bool:
+        """Did the failure text reach the runner-side log (Fig. 5 top)?"""
+        return any("CORRECT: remote command exited" in line for line in self.run.log)
+
+
+def run_fig5() -> Fig5Result:
+    """Execute the §6.2 experiment; returns the run + recovered outputs."""
+    world = World()
+    user = world.register_user("vhayot", {SITE: "x-vhayot"})
+    common.provision_user_site(
+        world, user, SITE, "x-vhayot", conda_env="psij", stack=common.PSIJ_STACK
+    )
+    # the Anvil MEP runs everything on the login node (LocalProvider)
+    mep = common.deploy_site_mep(world, SITE, login_only=True)
+
+    step = WorkflowBuilder.correct_step(
+        name="Run PSI/J test suite",
+        step_id="psij-tests",
+        shell_cmd="pip install -r requirements.txt && pytest",
+        conda_env="psij",
+        artifact_prefix="psij-ci",
+    )
+    builder = WorkflowBuilder("PSI/J CI via CORRECT").on_push()
+    builder.add_job(
+        "psij-anvil",
+        steps=[step],
+        environment="hpc-anvil",
+        env={"ENDPOINT_UUID": mep.endpoint_id},
+    )
+    common.create_repo_with_workflow(
+        world,
+        REPO_SLUG,
+        owner=user,
+        files=psij_suite.repo_files(),
+        workflow_path=WORKFLOW_PATH,
+        workflow_text=builder.render(),
+        environments={
+            "hpc-anvil": {
+                "GLOBUS_ID": user.client_id,
+                "GLOBUS_SECRET": user.client_secret,
+            }
+        },
+    )
+    run = world.engine.runs[-1]
+    common.approve_all(world, run, user.login)
+
+    stdout = world.hub.artifacts.download(run.run_id, "psij-ci-stdout").content
+    stderr = world.hub.artifacts.download(run.run_id, "psij-ci-stderr").content
+    return Fig5Result(
+        run=run,
+        stdout_artifact=stdout,
+        stderr_artifact=stderr,
+        tests=parse_pytest_stdout(stdout),
+    )

@@ -1,0 +1,33 @@
+"""A federated Function-as-a-Service platform (Globus Compute stand-in).
+
+The cloud service (:class:`FaaSService`) is the single contact point:
+functions are registered with it, tasks are submitted to it, and results
+are retrieved from it. Endpoints connect outbound from sites and execute
+tasks on resources provisioned through providers. Multi-user endpoints
+fork per-user endpoints via site identity mapping and enforce
+high-assurance policies and function allow-lists — the security machinery
+CORRECT builds on (§5.1–§5.2).
+"""
+
+from repro.faas.task import Task, TaskState
+from repro.faas.functions import FunctionSpec, FunctionRegistry, FunctionContext
+from repro.faas.endpoint import (
+    UserEndpoint,
+    MultiUserEndpoint,
+    EndpointTemplate,
+)
+from repro.faas.service import FaaSService
+from repro.faas.client import ComputeClient
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "FunctionSpec",
+    "FunctionRegistry",
+    "FunctionContext",
+    "UserEndpoint",
+    "MultiUserEndpoint",
+    "EndpointTemplate",
+    "FaaSService",
+    "ComputeClient",
+]

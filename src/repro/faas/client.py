@@ -1,0 +1,73 @@
+"""Client SDK for the FaaS service (globus-compute-sdk stand-in).
+
+CORRECT instantiates this on the GitHub runner with the client id and
+secret pulled from environment secrets, then registers/submits functions
+and fetches results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
+from repro.faas.service import FaaSService
+from repro.faas.task import Task
+
+
+class ComputeClient:
+    """Authenticated handle on the FaaS cloud service."""
+
+    def __init__(
+        self,
+        service: FaaSService,
+        client_id: str,
+        client_secret: str,
+    ) -> None:
+        self.service = service
+        # Client-credentials grant happens at construction, like the SDK's
+        # login flow; InvalidCredentials propagates to the caller.
+        self._token: Token = service.auth.client_credentials_grant(
+            client_id, client_secret, scopes=(SCOPE_COMPUTE,)
+        )
+
+    @property
+    def identity_urn(self) -> str:
+        return self._token.identity.urn
+
+    @property
+    def token_value(self) -> str:
+        return self._token.value
+
+    def register_function(
+        self,
+        fn: Callable[..., Any],
+        name: str,
+        needs_outbound: bool = False,
+    ) -> str:
+        return self.service.register_function(
+            self._token.value, fn, name=name, needs_outbound=needs_outbound
+        )
+
+    def run(
+        self,
+        endpoint_id: str,
+        function_id: str,
+        *args: Any,
+        template: str = "default",
+        **kwargs: Any,
+    ) -> str:
+        """Submit a task; returns the task id."""
+        return self.service.submit(
+            self._token.value,
+            endpoint_id,
+            function_id,
+            args=args,
+            kwargs=kwargs,
+            template=template,
+        )
+
+    def get_task(self, task_id: str) -> Task:
+        return self.service.get_task(task_id)
+
+    def get_result(self, task_id: str) -> Any:
+        return self.service.get_result(task_id)

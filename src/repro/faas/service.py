@@ -1,0 +1,199 @@
+"""The FaaS cloud service: registry, submission, results."""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Optional, Union
+
+from repro.auth.oauth import AuthService, SCOPE_COMPUTE
+from repro.errors import (
+    EndpointNotFound,
+    EndpointOffline,
+    PayloadTooLarge,
+    PermissionDenied,
+    ReproError,
+    TaskFailed,
+)
+from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
+from repro.faas.functions import FunctionRegistry
+from repro.faas.task import Task, TaskState
+from repro.util.clock import SimClock
+from repro.util.events import EventLog
+from repro.util.ids import IdFactory
+from repro.util.serialization import DEFAULT_PAYLOAD_LIMIT, serialized_size
+
+# Fixed cloud-side processing overhead per task (queueing, dispatch).
+CLOUD_OVERHEAD_SECONDS = 0.8
+
+Endpoint = Union[UserEndpoint, MultiUserEndpoint]
+
+
+class FaaSService:
+    """The hybrid cloud service endpoints register with.
+
+    Execution is synchronous in virtual time: :meth:`submit` routes the
+    task to the endpoint, runs it (advancing the shared clock through
+    queue waits and compute), records the outcome, and returns the task
+    id. :meth:`get_result` then returns the value or raises
+    :class:`~repro.errors.TaskFailed` with the remote traceback.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        auth: AuthService,
+        events: Optional[EventLog] = None,
+        payload_limit: int = DEFAULT_PAYLOAD_LIMIT,
+    ) -> None:
+        self.clock = clock
+        self.auth = auth
+        self.events = events if events is not None else EventLog()
+        self.functions = FunctionRegistry()
+        self.payload_limit = payload_limit
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._tasks: Dict[str, Task] = {}
+        self._task_ids = IdFactory("task")
+
+    # -- registration ------------------------------------------------------------
+    def register_endpoint(self, endpoint: Endpoint) -> str:
+        self._endpoints[endpoint.endpoint_id] = endpoint
+        self.events.emit(
+            self.clock.now, "faas", "endpoint.registered",
+            endpoint_id=endpoint.endpoint_id,
+            site=endpoint.site.name,
+            endpoint_kind=type(endpoint).__name__,
+        )
+        return endpoint.endpoint_id
+
+    def register_function(
+        self,
+        token_value: str,
+        fn,
+        name: str,
+        needs_outbound: bool = False,
+    ) -> str:
+        token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
+        function_id = self.functions.register(
+            fn, name=name, owner_urn=token.identity.urn,
+            needs_outbound=needs_outbound,
+        )
+        self.events.emit(
+            self.clock.now, "faas", "function.registered",
+            function_id=function_id, name=name, owner=token.identity.urn,
+        )
+        return function_id
+
+    def endpoint(self, endpoint_id: str) -> Endpoint:
+        endpoint = self._endpoints.get(endpoint_id)
+        if endpoint is None:
+            raise EndpointNotFound(f"no endpoint {endpoint_id!r} registered")
+        return endpoint
+
+    def endpoints(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    # -- task lifecycle -------------------------------------------------------------
+    def submit(
+        self,
+        token_value: str,
+        endpoint_id: str,
+        function_id: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        template: str = "default",
+    ) -> str:
+        """Submit one task; executes synchronously in virtual time."""
+        kwargs = kwargs or {}
+        token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
+        spec = self.functions.get(function_id)
+        endpoint = self.endpoint(endpoint_id)
+        if not endpoint.online:
+            raise EndpointOffline(f"endpoint {endpoint_id!r} is offline")
+
+        payload_size = serialized_size({"args": list(args), "kwargs": kwargs})
+        if payload_size > self.payload_limit:
+            raise PayloadTooLarge(
+                f"arguments serialize to {payload_size} bytes "
+                f"(limit {self.payload_limit})"
+            )
+
+        task = Task(
+            task_id=self._task_ids.uuid(),
+            function_id=function_id,
+            endpoint_id=endpoint_id,
+            identity_urn=token.identity.urn,
+            args=args,
+            kwargs=kwargs,
+            submitted_at=self.clock.now,
+        )
+        self._tasks[task.task_id] = task
+        self.events.emit(
+            self.clock.now, "faas", "task.submitted",
+            task_id=task.task_id, function=spec.name,
+            endpoint=endpoint_id, identity=token.identity.urn,
+        )
+
+        # control-plane cost: runner -> cloud -> endpoint
+        self.clock.advance(
+            CLOUD_OVERHEAD_SECONDS + 2 * endpoint.site.network.latency_to_cloud
+        )
+        task.state = TaskState.RUNNING
+        task.started_at = self.clock.now
+        try:
+            if isinstance(endpoint, MultiUserEndpoint):
+                result = endpoint.execute(
+                    token, spec, args, kwargs, template_name=template
+                )
+            else:
+                if (
+                    endpoint.owner is not None
+                    and endpoint.owner != token.identity
+                ):
+                    raise PermissionDenied(
+                        f"endpoint {endpoint_id[:8]} belongs to "
+                        f"{endpoint.owner.urn}, not {token.identity.urn}"
+                    )
+                result = endpoint.execute(spec, args, kwargs)
+            result_size = serialized_size(result)
+            if result_size > self.payload_limit:
+                raise PayloadTooLarge(
+                    f"result serializes to {result_size} bytes "
+                    f"(limit {self.payload_limit})"
+                )
+            task.result = result
+            task.state = TaskState.SUCCESS
+        except ReproError as exc:
+            task.state = TaskState.FAILED
+            task.exception_text = f"{type(exc).__name__}: {exc}"
+        except Exception:  # noqa: BLE001 - remote user code may raise anything
+            task.state = TaskState.FAILED
+            task.exception_text = traceback.format_exc()
+        task.completed_at = self.clock.now
+        self.events.emit(
+            self.clock.now, "faas", "task.completed",
+            task_id=task.task_id, state=task.state.value,
+        )
+        return task.task_id
+
+    def get_task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TaskFailed(f"unknown task {task_id!r}") from None
+
+    def get_result(self, task_id: str):
+        """Result of a task; raises :class:`TaskFailed` with the remote error."""
+        task = self.get_task(task_id)
+        if task.state is TaskState.FAILED:
+            raise TaskFailed(
+                f"task {task_id} failed remotely",
+                remote_traceback=task.exception_text,
+            )
+        if task.state is not TaskState.SUCCESS:
+            raise TaskFailed(f"task {task_id} not complete ({task.state.value})")
+        return task.result
+
+    def tasks_for(self, identity_urn: str) -> List[Task]:
+        return [
+            t for t in self._tasks.values() if t.identity_urn == identity_urn
+        ]

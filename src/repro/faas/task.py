@@ -1,0 +1,53 @@
+"""Tasks: one function execution on one endpoint."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class TaskState(enum.Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    SUCCESS = "SUCCESS"
+    FAILED = "FAILED"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TaskState.SUCCESS, TaskState.FAILED)
+
+
+@dataclass
+class Task:
+    """Cloud-side record of one function invocation.
+
+    ``result`` holds the deserialized return value on success;
+    ``exception_text`` holds the remote traceback text on failure — the
+    text CORRECT surfaces in the Action log (Fig. 5).
+    """
+
+    task_id: str
+    function_id: str
+    endpoint_id: str
+    identity_urn: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    state: TaskState = TaskState.PENDING
+    result: Any = None
+    exception_text: str = ""
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def queue_latency(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at

@@ -1,0 +1,26 @@
+"""A GitLab CI/CD stand-in, and CORRECT adapted to it.
+
+The paper surveys GitLab's CI model (§4.2: YAML pipelines with stages,
+cloud/self-hosted runners, *components* instead of actions, scheduled and
+token-based pipeline triggers, CI/CD variables with masked/protected
+semantics) and notes CORRECT "can be adapted for use with frameworks like
+GitLab CI/CD" (§7.1). This package implements both: the platform
+(:mod:`repro.gitlab.service`) and the CORRECT component
+(:mod:`repro.gitlab.component`) built on the same framework-agnostic
+driver as the GitHub Action.
+"""
+
+from repro.gitlab.models import CIVariable, GitLabJobDef, PipelineDef, parse_pipeline
+from repro.gitlab.service import GitLabService, PipelineRun, TriggerToken
+from repro.gitlab.component import CorrectComponent
+
+__all__ = [
+    "CIVariable",
+    "GitLabJobDef",
+    "PipelineDef",
+    "parse_pipeline",
+    "GitLabService",
+    "PipelineRun",
+    "TriggerToken",
+    "CorrectComponent",
+]

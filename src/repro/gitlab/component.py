@@ -1,0 +1,68 @@
+"""CORRECT as a GitLab CI/CD component (the §7.1 adaptation).
+
+Same core flow as the GitHub Action — shared through
+:mod:`repro.core.driver` — wrapped in GitLab's component interface:
+inputs come from the job's ``component: {name, inputs}`` block with
+``$VARIABLE`` references resolved from CI/CD variables, and results come
+back as a job log with masked variables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.driver import execute_correct
+from repro.core.inputs import CorrectInputs
+from repro.errors import (
+    CloneFailed,
+    InputValidationError,
+    InvalidCredentials,
+    RemoteExecutionFailed,
+)
+from repro.faas.service import FaaSService
+from repro.gitlab.service import GitLabJobContext, JobResult
+
+COMPONENT_NAME = "globus-labs/correct@v1"
+
+
+class CorrectComponent:
+    """The CI/CD-catalog listing of CORRECT for GitLab."""
+
+    def __init__(self, faas: FaaSService) -> None:
+        self.faas = faas
+
+    def run(self, ctx: GitLabJobContext) -> JobResult:
+        resolved: Dict[str, Any] = {}
+        for key, value in ctx.job.inputs.items():
+            if isinstance(value, str):
+                value = ctx.service._expand(value, ctx.variables)
+            resolved[key] = value
+        try:
+            inputs = CorrectInputs.from_step_inputs(resolved)
+        except InputValidationError as exc:
+            return JobResult(
+                ctx.job.name, "failed", log=f"CORRECT: {exc}",
+                allow_failure=ctx.job.allow_failure,
+            )
+        try:
+            result = execute_correct(
+                self.faas, inputs,
+                default_repo=ctx.project.path,
+                default_branch=ctx.run.branch,
+            )
+        except (InvalidCredentials, CloneFailed, RemoteExecutionFailed) as exc:
+            return JobResult(
+                ctx.job.name, "failed",
+                log=ctx.service._mask(f"CORRECT: {exc}", ctx.project),
+                allow_failure=ctx.job.allow_failure,
+            )
+        log = ctx.service._mask(
+            "\n".join(p for p in (result.stdout, result.stderr) if p),
+            ctx.project,
+        )
+        return JobResult(
+            ctx.job.name,
+            "success" if result.ok else "failed",
+            log=log,
+            allow_failure=ctx.job.allow_failure,
+        )

@@ -1,0 +1,117 @@
+"""GitLab pipeline documents and CI/CD variables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import WorkflowParseError
+from repro.util import yamlite
+
+PIPELINE_FILENAME = ".gitlab-ci.yml"
+DEFAULT_STAGES = ["build", "test", "deploy"]
+
+
+@dataclass
+class CIVariable:
+    """A CI/CD variable (GitLab's analogue of a secret, §4.2).
+
+    ``masked`` hides the value in job logs; ``protected`` restricts the
+    variable to protected branches. Unlike GitHub secrets, users with
+    settings access can view unmasked values — the paper notes this as the
+    weaker of GitLab's two options (secret-manager integration being the
+    stronger one).
+    """
+
+    key: str
+    value: str
+    masked: bool = False
+    protected: bool = False
+
+    def log_value(self) -> str:
+        return "[MASKED]" if self.masked else self.value
+
+
+@dataclass
+class GitLabJobDef:
+    """One pipeline job: a stage plus script lines or a component call."""
+
+    name: str
+    stage: str = "test"
+    script: List[str] = field(default_factory=list)
+    component: str = ""  # component reference, e.g. "correct@v1"
+    inputs: Dict[str, Any] = field(default_factory=dict)
+    variables: Dict[str, str] = field(default_factory=dict)
+    only_protected: bool = False
+    allow_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if bool(self.script) == bool(self.component):
+            raise WorkflowParseError(
+                f"job {self.name!r} needs exactly one of script/component"
+            )
+
+
+@dataclass
+class PipelineDef:
+    """A parsed ``.gitlab-ci.yml``."""
+
+    stages: List[str]
+    jobs: List[GitLabJobDef]
+
+    def jobs_in_order(self) -> List[GitLabJobDef]:
+        """Jobs grouped by stage order (stages are sequential barriers)."""
+        order = {stage: i for i, stage in enumerate(self.stages)}
+        unknown = [j.name for j in self.jobs if j.stage not in order]
+        if unknown:
+            raise WorkflowParseError(f"jobs with undeclared stages: {unknown}")
+        return sorted(self.jobs, key=lambda j: order[j.stage])
+
+
+_RESERVED_KEYS = {"stages", "variables", "workflow", "default", "include"}
+
+
+def parse_pipeline(text: str) -> PipelineDef:
+    """Parse the YAML subset of ``.gitlab-ci.yml`` pipelines we model."""
+    data = yamlite.loads(text)
+    if not isinstance(data, dict):
+        raise WorkflowParseError("pipeline document must be a mapping")
+    stages = list(data.get("stages") or DEFAULT_STAGES)
+    jobs: List[GitLabJobDef] = []
+    for name, body in data.items():
+        if name in _RESERVED_KEYS:
+            continue
+        if not isinstance(body, dict):
+            raise WorkflowParseError(f"job {name!r} must be a mapping")
+        script = body.get("script") or []
+        if isinstance(script, str):
+            script = [script]
+        component = ""
+        inputs: Dict[str, Any] = {}
+        uses = body.get("component")
+        if isinstance(uses, dict):
+            component = str(uses.get("name", ""))
+            inputs = dict(uses.get("inputs") or {})
+        elif isinstance(uses, str):
+            component = uses
+        rules = body.get("rules") or {}
+        jobs.append(
+            GitLabJobDef(
+                name=name,
+                stage=str(body.get("stage", "test")),
+                script=[str(line) for line in script],
+                component=component,
+                inputs=inputs,
+                variables={
+                    str(k): str(v)
+                    for k, v in (body.get("variables") or {}).items()
+                },
+                only_protected=bool(
+                    rules.get("protected") if isinstance(rules, dict) else False
+                ),
+                allow_failure=bool(body.get("allow_failure", False)),
+            )
+        )
+    if not jobs:
+        raise WorkflowParseError("pipeline has no jobs")
+    return PipelineDef(stages=stages, jobs=jobs)

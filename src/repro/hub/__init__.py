@@ -1,0 +1,32 @@
+"""A GitHub-like hosting service.
+
+Provides the primitives CORRECT's workflow and security model rest on:
+repositories with forks and pull requests, secrets at organization /
+repository / environment scope, deployment environments with protection
+rules (required reviewers, wait timers, branch filters), a workflow
+artifact store with 90-day retention, webhooks, and an action marketplace.
+"""
+
+from repro.hub.models import HubUser, Organization, HostedRepo, PullRequest
+from repro.hub.secrets import SecretStore, Secret
+from repro.hub.environments import DeploymentEnvironment, ProtectionRules
+from repro.hub.artifacts import ArtifactStore, Artifact, ARTIFACT_RETENTION_DAYS
+from repro.hub.marketplace import Marketplace, ActionMetadata
+from repro.hub.service import HubService
+
+__all__ = [
+    "HubUser",
+    "Organization",
+    "HostedRepo",
+    "PullRequest",
+    "SecretStore",
+    "Secret",
+    "DeploymentEnvironment",
+    "ProtectionRules",
+    "ArtifactStore",
+    "Artifact",
+    "ARTIFACT_RETENTION_DAYS",
+    "Marketplace",
+    "ActionMetadata",
+    "HubService",
+]

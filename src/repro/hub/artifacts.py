@@ -1,0 +1,82 @@
+"""Workflow artifact store with retention.
+
+GitHub Action artifacts expire after 90 days (§7.4 flags this as a
+provenance-persistence limitation). We enforce the same window in virtual
+time: fetching an expired artifact raises
+:class:`repro.errors.ArtifactExpired`, which the persistence ablation
+exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ArtifactExpired, ArtifactNotFound
+from repro.util.clock import SimClock
+
+ARTIFACT_RETENTION_DAYS = 90
+ARTIFACT_RETENTION_SECONDS = ARTIFACT_RETENTION_DAYS * 24 * 3600.0
+
+
+@dataclass
+class Artifact:
+    """One uploaded artifact (name + text content) tied to a workflow run."""
+
+    run_id: str
+    name: str
+    content: str
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.content.encode("utf-8"))
+
+    def expires_at(self) -> float:
+        return self.created_at + ARTIFACT_RETENTION_SECONDS
+
+
+class ArtifactStore:
+    """Stores artifacts per workflow run, enforcing the retention window."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._artifacts: Dict[Tuple[str, str], Artifact] = {}
+
+    def upload(self, run_id: str, name: str, content: str) -> Artifact:
+        artifact = Artifact(
+            run_id=run_id,
+            name=name,
+            content=content,
+            created_at=self._clock.now,
+        )
+        self._artifacts[(run_id, name)] = artifact
+        return artifact
+
+    def download(self, run_id: str, name: str) -> Artifact:
+        artifact = self._artifacts.get((run_id, name))
+        if artifact is None:
+            raise ArtifactNotFound(f"run {run_id}: no artifact {name!r}")
+        if self._clock.now > artifact.expires_at():
+            raise ArtifactExpired(
+                f"artifact {name!r} of run {run_id} expired at "
+                f"t={artifact.expires_at():.0f} (now {self._clock.now:.0f})"
+            )
+        return artifact
+
+    def list_for_run(self, run_id: str, include_expired: bool = False) -> List[Artifact]:
+        out = [a for (rid, _), a in self._artifacts.items() if rid == run_id]
+        if not include_expired:
+            out = [a for a in out if self._clock.now <= a.expires_at()]
+        return sorted(out, key=lambda a: a.name)
+
+    def purge_expired(self) -> int:
+        """Drop expired artifacts; returns how many were removed."""
+        expired = [
+            key
+            for key, a in self._artifacts.items()
+            if self._clock.now > a.expires_at()
+        ]
+        for key in expired:
+            del self._artifacts[key]
+        return len(expired)

@@ -1,0 +1,61 @@
+"""Deployment environments with protection rules.
+
+A workflow job that declares ``environment: <name>`` only gets that
+environment's secrets after the protection rules pass: every required
+reviewer listed must approve the run, a wait timer may delay it, and a
+branch filter may reject it outright. This is the mechanism CORRECT uses
+to guarantee a human who maps to a site account vouches for every remote
+execution (§5.2) — and why the paper recommends exactly **one** reviewer
+per environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hub.secrets import SecretStore
+
+
+@dataclass
+class ProtectionRules:
+    """Protection configuration for one environment.
+
+    Attributes
+    ----------
+    required_reviewers:
+        Users who must approve a run before it may proceed. GitHub requires
+        *one* of the listed reviewers to approve; the paper recommends
+        listing exactly one so approval implies site-account ownership.
+    wait_timer:
+        Seconds the run must wait after approval before executing.
+    allowed_branches:
+        If non-empty, only runs for these branches may use the environment.
+    """
+
+    required_reviewers: List[str] = field(default_factory=list)
+    wait_timer: float = 0.0
+    allowed_branches: List[str] = field(default_factory=list)
+
+    @property
+    def needs_approval(self) -> bool:
+        return bool(self.required_reviewers)
+
+    def branch_allowed(self, branch: str) -> bool:
+        return not self.allowed_branches or branch in self.allowed_branches
+
+    def can_review(self, user: str) -> bool:
+        return user in self.required_reviewers
+
+
+@dataclass
+class DeploymentEnvironment:
+    """A named environment: secrets + protection rules."""
+
+    name: str
+    secrets: SecretStore = None  # type: ignore[assignment]
+    protection: ProtectionRules = field(default_factory=ProtectionRules)
+
+    def __post_init__(self) -> None:
+        if self.secrets is None:
+            self.secrets = SecretStore(scope=f"environment:{self.name}")

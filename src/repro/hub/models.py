@@ -1,0 +1,154 @@
+"""Hub entities: users, organizations, hosted repositories, pull requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import HubError, PermissionDenied
+from repro.hub.environments import DeploymentEnvironment, ProtectionRules
+from repro.hub.secrets import SecretStore
+from repro.vcs.repository import Repository
+
+
+@dataclass
+class HubUser:
+    """A hub account, optionally linked to a federated identity."""
+
+    login: str
+    identity_urn: str = ""
+
+
+@dataclass
+class Organization:
+    """An org: members plus org-scoped secrets."""
+
+    name: str
+    members: List[str] = field(default_factory=list)
+    secrets: SecretStore = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.secrets is None:
+            self.secrets = SecretStore(scope="organization")
+
+    def is_member(self, login: str) -> bool:
+        return login in self.members
+
+
+@dataclass
+class PullRequest:
+    """A proposed change from a (possibly forked) branch."""
+
+    number: int
+    title: str
+    author: str
+    source_repo_slug: str
+    source_branch: str
+    target_branch: str
+    state: str = "open"  # open | merged | closed
+    labels: List[str] = field(default_factory=list)
+
+    def add_label(self, label: str) -> None:
+        if label not in self.labels:
+            self.labels.append(label)
+
+
+class HostedRepo:
+    """A repository hosted on the hub.
+
+    Wraps a :class:`~repro.vcs.repository.Repository` with hub metadata:
+    owner, collaborators with write access, repo-level secrets,
+    deployment environments, pull requests, and fork lineage.
+    """
+
+    def __init__(
+        self,
+        slug: str,
+        repository: Repository,
+        owner: str,
+        organization: Optional[Organization] = None,
+        private: bool = False,
+    ) -> None:
+        if "/" not in slug:
+            raise HubError(f"repo slug must be 'owner/name', got {slug!r}")
+        self.slug = slug
+        self.repository = repository
+        self.owner = owner
+        self.organization = organization
+        self.private = private
+        self.collaborators: List[str] = [owner]
+        self.secrets = SecretStore(scope="repository")
+        self.environments: Dict[str, DeploymentEnvironment] = {}
+        self.pull_requests: Dict[int, PullRequest] = {}
+        self.forked_from: Optional[str] = None
+        self._pr_counter = 0
+
+    # -- permissions --------------------------------------------------------
+    def can_write(self, login: str) -> bool:
+        if login in self.collaborators:
+            return True
+        return self.organization is not None and self.organization.is_member(login)
+
+    def can_admin(self, login: str) -> bool:
+        return login == self.owner
+
+    def add_collaborator(self, admin: str, login: str) -> None:
+        if not self.can_admin(admin):
+            raise PermissionDenied(f"{admin} is not an admin of {self.slug}")
+        if login not in self.collaborators:
+            self.collaborators.append(login)
+
+    # -- environments --------------------------------------------------------
+    def create_environment(
+        self,
+        admin: str,
+        name: str,
+        protection: Optional[ProtectionRules] = None,
+    ) -> DeploymentEnvironment:
+        if not self.can_admin(admin):
+            raise PermissionDenied(
+                f"{admin} cannot create environments in {self.slug}"
+            )
+        env = DeploymentEnvironment(
+            name=name, protection=protection or ProtectionRules()
+        )
+        self.environments[name] = env
+        return env
+
+    def environment(self, name: str) -> DeploymentEnvironment:
+        try:
+            return self.environments[name]
+        except KeyError:
+            raise HubError(f"{self.slug}: no environment {name!r}") from None
+
+    # -- secrets scope resolution ------------------------------------------------
+    def secret_scopes(self, environment: Optional[str] = None) -> List[SecretStore]:
+        """Secret stores visible to a job, lowest precedence first."""
+        scopes: List[SecretStore] = []
+        if self.organization is not None:
+            scopes.append(self.organization.secrets)
+        scopes.append(self.secrets)
+        if environment is not None:
+            scopes.append(self.environment(environment).secrets)
+        return scopes
+
+    # -- pull requests --------------------------------------------------------
+    def open_pull_request(
+        self,
+        title: str,
+        author: str,
+        source_repo_slug: str,
+        source_branch: str,
+        target_branch: Optional[str] = None,
+    ) -> PullRequest:
+        self._pr_counter += 1
+        pr = PullRequest(
+            number=self._pr_counter,
+            title=title,
+            author=author,
+            source_repo_slug=source_repo_slug,
+            source_branch=source_branch,
+            target_branch=target_branch or self.repository.default_branch,
+        )
+        self.pull_requests[pr.number] = pr
+        return pr

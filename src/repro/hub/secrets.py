@@ -1,0 +1,76 @@
+"""Secrets at organization, repository, and environment scope.
+
+The paper's security design (§5.2) hinges on GitHub's actual semantics:
+
+* secrets cannot be scoped to individual *users* — only to org, repo, or
+  environment;
+* environment secrets can be gated behind required reviewers;
+* secret values are write-only through the API (masked in logs).
+
+:class:`SecretStore` implements the scope resolution: environment secrets
+shadow repository secrets, which shadow organization secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import SecretNotFound
+
+
+@dataclass
+class Secret:
+    """A named secret value with provenance of who set it."""
+
+    name: str
+    value: str
+    scope: str  # "organization" | "repository" | "environment:<name>"
+    set_by: str = ""
+
+    def masked(self) -> str:
+        return "***"
+
+
+class SecretStore:
+    """One scope's worth of secrets."""
+
+    def __init__(self, scope: str) -> None:
+        self.scope = scope
+        self._secrets: Dict[str, Secret] = {}
+        self.access_log: List[str] = []
+
+    def set(self, name: str, value: str, set_by: str = "") -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"bad secret name {name!r}")
+        self._secrets[name.upper()] = Secret(
+            name=name.upper(), value=value, scope=self.scope, set_by=set_by
+        )
+
+    def get(self, name: str) -> Secret:
+        try:
+            secret = self._secrets[name.upper()]
+        except KeyError:
+            raise SecretNotFound(
+                f"no secret {name!r} in scope {self.scope}"
+            ) from None
+        self.access_log.append(name.upper())
+        return secret
+
+    def has(self, name: str) -> bool:
+        return name.upper() in self._secrets
+
+    def names(self) -> List[str]:
+        return sorted(self._secrets)
+
+    def delete(self, name: str) -> None:
+        self._secrets.pop(name.upper(), None)
+
+
+def resolve_secrets(stores: List[SecretStore]) -> Dict[str, str]:
+    """Merge stores lowest-precedence-first into a flat name→value map."""
+    merged: Dict[str, str] = {}
+    for store in stores:
+        for name in store.names():
+            merged[name] = store.get(name).value
+    return merged

@@ -1,0 +1,201 @@
+"""The hub facade: one object owning users, orgs, repos, artifacts, webhooks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import HubError, RepoNotFound
+from repro.hub.artifacts import ArtifactStore
+from repro.hub.marketplace import Marketplace
+from repro.hub.models import HostedRepo, HubUser, Organization, PullRequest
+from repro.util.clock import SimClock
+from repro.util.events import EventLog
+from repro.vcs.remote import clone as vcs_clone
+from repro.vcs.repository import Repository
+
+
+class HubService:
+    """A GitHub-like service instance.
+
+    All state hangs off this object (no globals), so tests can spin up
+    isolated hubs. Webhook subscribers receive ``(event_name, payload)``
+    for pushes, PR updates, and scheduled ticks — the CI engine subscribes
+    to drive workflow triggering.
+    """
+
+    def __init__(self, clock: SimClock, events: Optional[EventLog] = None) -> None:
+        self.clock = clock
+        self.events = events if events is not None else EventLog()
+        self.users: Dict[str, HubUser] = {}
+        self.organizations: Dict[str, Organization] = {}
+        self._repos: Dict[str, HostedRepo] = {}
+        self.artifacts = ArtifactStore(clock)
+        self.marketplace = Marketplace()
+        self._webhooks: List[Callable[[str, dict], None]] = []
+
+    # -- accounts ----------------------------------------------------------------
+    def create_user(self, login: str, identity_urn: str = "") -> HubUser:
+        if login in self.users:
+            raise HubError(f"user {login!r} already exists")
+        user = HubUser(login=login, identity_urn=identity_urn)
+        self.users[login] = user
+        return user
+
+    def create_organization(self, name: str, members: List[str]) -> Organization:
+        for member in members:
+            if member not in self.users:
+                raise HubError(f"no such user {member!r}")
+        org = Organization(name=name, members=list(members))
+        self.organizations[name] = org
+        return org
+
+    # -- repositories ---------------------------------------------------------------
+    def create_repo(
+        self,
+        slug: str,
+        owner: str,
+        organization: Optional[str] = None,
+        private: bool = False,
+        default_branch: str = "main",
+    ) -> HostedRepo:
+        if owner not in self.users:
+            raise HubError(f"no such user {owner!r}")
+        if slug in self._repos:
+            raise HubError(f"repo {slug!r} already exists")
+        org = self.organizations.get(organization) if organization else None
+        hosted = HostedRepo(
+            slug=slug,
+            repository=Repository(slug, default_branch=default_branch),
+            owner=owner,
+            organization=org,
+            private=private,
+        )
+        self._repos[slug] = hosted
+        self.events.emit(self.clock.now, "hub", "repo.created", slug=slug)
+        return hosted
+
+    def repo(self, slug: str) -> HostedRepo:
+        try:
+            return self._repos[slug]
+        except KeyError:
+            raise RepoNotFound(f"no repository {slug!r} on hub") from None
+
+    def repos(self) -> List[str]:
+        return sorted(self._repos)
+
+    def fork(self, slug: str, user: str) -> HostedRepo:
+        """Fork a repo into the user's namespace (paper §5.3, step 1)."""
+        if user not in self.users:
+            raise HubError(f"no such user {user!r}")
+        source = self.repo(slug)
+        fork_slug = f"{user}/{slug.split('/', 1)[1]}"
+        if fork_slug in self._repos:
+            raise HubError(f"fork {fork_slug!r} already exists")
+        forked_repo = vcs_clone(source.repository, name=fork_slug)
+        hosted = HostedRepo(
+            slug=fork_slug,
+            repository=forked_repo,
+            owner=user,
+            private=source.private,
+        )
+        hosted.forked_from = slug
+        self._repos[fork_slug] = hosted
+        self.events.emit(
+            self.clock.now, "hub", "repo.forked", origin=slug, fork=fork_slug
+        )
+        return hosted
+
+    # -- pushes & webhooks ------------------------------------------------------------
+    def push_commit(
+        self,
+        slug: str,
+        author: str,
+        message: str,
+        files: Optional[Dict[str, str]] = None,
+        patch: Optional[Dict[str, Optional[str]]] = None,
+        branch: Optional[str] = None,
+    ) -> str:
+        """Commit to a hosted repo and fire the ``push`` webhook."""
+        hosted = self.repo(slug)
+        if not hosted.can_write(author):
+            raise HubError(f"{author} cannot push to {slug}")
+        branch = branch or hosted.repository.default_branch
+        oid = hosted.repository.commit(
+            files=files,
+            patch=patch,
+            message=message,
+            author=author,
+            branch=branch,
+            timestamp=self.clock.now,
+        )
+        self.events.emit(
+            self.clock.now, "hub", "push", slug=slug, branch=branch, sha=oid
+        )
+        self._fire("push", {"slug": slug, "branch": branch, "sha": oid, "pusher": author})
+        return oid
+
+    def open_pull_request(
+        self,
+        slug: str,
+        title: str,
+        author: str,
+        source_repo_slug: str,
+        source_branch: str,
+        target_branch: Optional[str] = None,
+    ) -> "PullRequest":
+        """Open a PR on a hosted repo and fire the ``pull_request`` webhook.
+
+        The CI event carries the *source* branch so PR workflows test the
+        proposed code, like GitHub's ``pull_request`` trigger.
+        """
+        hosted = self.repo(slug)
+        pr = hosted.open_pull_request(
+            title=title,
+            author=author,
+            source_repo_slug=source_repo_slug,
+            source_branch=source_branch,
+            target_branch=target_branch,
+        )
+        source_repo = self.repo(source_repo_slug)
+        sha = source_repo.repository.head(source_branch)
+        self.events.emit(
+            self.clock.now, "hub", "pull_request",
+            slug=slug, number=pr.number, author=author,
+        )
+        self._fire(
+            "pull_request",
+            {
+                "slug": source_repo_slug,  # workflows run on the PR head
+                "branch": source_branch,
+                "sha": sha,
+                "target_slug": slug,
+                "target_branch": pr.target_branch,
+                "number": pr.number,
+                "actor": author,
+            },
+        )
+        return pr
+
+    def dispatch_workflow(self, slug: str, actor: str, workflow: str, inputs: Optional[dict] = None) -> None:
+        """Manual ``workflow_dispatch`` trigger."""
+        self.repo(slug)  # existence check
+        self._fire(
+            "workflow_dispatch",
+            {
+                "slug": slug,
+                "actor": actor,
+                "workflow": workflow,
+                "inputs": dict(inputs or {}),
+            },
+        )
+
+    def scheduled_tick(self) -> None:
+        """Fire the ``schedule`` webhook for cron-triggered workflows."""
+        self._fire("schedule", {"time": self.clock.now})
+
+    def subscribe(self, callback: Callable[[str, dict], None]) -> None:
+        self._webhooks.append(callback)
+
+    def _fire(self, event: str, payload: dict) -> None:
+        for hook in list(self._webhooks):
+            hook(event, payload)

@@ -1,0 +1,20 @@
+"""Provenance capture and packaging.
+
+The paper's thesis: in the absence of resource access, *documented
+testing plus complete provenance* substitutes for hands-on reproduction
+(§1, §5). Here, every CORRECT invocation produces an
+:class:`ExecutionRecord` — what ran, where, as whom, with which software
+environment — stored in a :class:`ProvenanceStore` and exportable as an
+RO-Crate-like bundle for reviewers.
+"""
+
+from repro.provenance.record import ExecutionRecord, EnvironmentSnapshot
+from repro.provenance.store import ProvenanceStore
+from repro.provenance.crate import ResearchCrate
+
+__all__ = [
+    "ExecutionRecord",
+    "EnvironmentSnapshot",
+    "ProvenanceStore",
+    "ResearchCrate",
+]

@@ -1,0 +1,97 @@
+"""Execution records and environment snapshots."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EnvironmentSnapshot:
+    """The software/hardware context of one remote execution.
+
+    Captured endpoint-side at task time: the §7.4 limitation ("displaying
+    the resource configuration at each invocation") is what this object
+    addresses in our reproduction.
+    """
+
+    site: str
+    node_name: str
+    node_class: str
+    cores: int
+    memory_gb: float
+    cpu_speed: float
+    conda_env: str = "base"
+    packages: List[str] = field(default_factory=list)  # name==version lines
+    container_image: str = ""
+    env_vars: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, handle, conda_env: str = "base", container_image: str = "",
+                env_vars: Optional[Dict[str, str]] = None) -> "EnvironmentSnapshot":
+        """Snapshot a node handle's context. Secret-looking vars are masked."""
+        packages: List[str] = []
+        try:
+            packages = handle.conda().env(conda_env).freeze()
+        except Exception:  # noqa: BLE001 - env may not exist
+            pass
+        masked = {}
+        for key, value in (env_vars or {}).items():
+            if any(tok in key.upper() for tok in ("SECRET", "TOKEN", "PASSWORD", "KEY")):
+                masked[key] = "***"
+            else:
+                masked[key] = value
+        return cls(
+            site=handle.site.name,
+            node_name=handle.node.name,
+            node_class=handle.node_class,
+            cores=handle.node.cores,
+            memory_gb=handle.node.memory_gb,
+            cpu_speed=handle.node.speed,
+            conda_env=conda_env,
+            packages=packages,
+            container_image=container_image,
+            env_vars=masked,
+        )
+
+
+@dataclass
+class ExecutionRecord:
+    """One remote execution: who ran what, where, when, with what result."""
+
+    record_id: str
+    run_id: str  # workflow run (or "manual")
+    repo_slug: str
+    commit_sha: str
+    site: str
+    endpoint_id: str
+    identity_urn: str
+    function_name: str
+    command: str
+    started_at: float
+    completed_at: float
+    exit_code: int
+    stdout_artifact: str = ""
+    stderr_artifact: str = ""
+    environment: Optional[EnvironmentSnapshot] = None
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.started_at
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exit_code == 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionRecord":
+        data = json.loads(text)
+        env = data.pop("environment", None)
+        record = cls(**data, environment=None)
+        if env is not None:
+            record.environment = EnvironmentSnapshot(**env)
+        return record

@@ -1,0 +1,56 @@
+"""The provenance store: queryable history of executions."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.provenance.record import ExecutionRecord
+from repro.util.ids import IdFactory
+
+
+class ProvenanceStore:
+    """Append-only record store with the queries reviewers need."""
+
+    def __init__(self) -> None:
+        self._records: List[ExecutionRecord] = []
+        self._ids = IdFactory("prov")
+
+    def next_record_id(self) -> str:
+        return self._ids.next_id()
+
+    def add(self, record: ExecutionRecord) -> None:
+        self._records.append(record)
+
+    def all(self) -> List[ExecutionRecord]:
+        return list(self._records)
+
+    def for_repo(self, slug: str) -> List[ExecutionRecord]:
+        return [r for r in self._records if r.repo_slug == slug]
+
+    def for_commit(self, sha: str) -> List[ExecutionRecord]:
+        return [r for r in self._records if r.commit_sha == sha]
+
+    def for_site(self, site: str) -> List[ExecutionRecord]:
+        return [r for r in self._records if r.site == site]
+
+    def sites_covered(self, slug: str) -> List[str]:
+        """Distinct sites a repo's tests have run on — the multi-site
+        coverage a reviewer would check first."""
+        return sorted({r.site for r in self.for_repo(slug)})
+
+    def latest(self, slug: str, site: Optional[str] = None) -> Optional[ExecutionRecord]:
+        candidates = [
+            r for r in self.for_repo(slug) if site is None or r.site == site
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.completed_at)
+
+    def success_rate(self, slug: str) -> float:
+        records = self.for_repo(slug)
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.succeeded) / len(records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,14 @@
+"""Discrete-event batch scheduler (SLURM-like).
+
+HPC sites in this simulation run a :class:`SlurmScheduler` over partitions
+of nodes. The scheduler implements FCFS with conservative backfill and
+enforces walltime limits. Queue wait — the overhead that makes cloud CI
+runners unsuitable for HPC testing (paper §1, §4.4) — emerges from
+competing background load submitted by the site models.
+"""
+
+from repro.scheduler.nodes import Node, Partition
+from repro.scheduler.jobs import Job, JobState
+from repro.scheduler.slurm import SlurmScheduler
+
+__all__ = ["Node", "Partition", "Job", "JobState", "SlurmScheduler"]

@@ -1,0 +1,29 @@
+"""A miniature shell for simulated sites.
+
+CORRECT's ``shell_cmd`` input ultimately runs a command line on a remote
+node. :class:`ShellSession` interprets that command line against a
+:class:`~repro.sites.site.NodeHandle`: builtin commands (``git``, ``pip``,
+``conda``, ``pytest``, ``tox``, ``apptainer``...) operate on the simulated
+filesystem, package index, and hub, charge realistic virtual time, and
+produce stdout/stderr/exit codes that flow back to the GitHub runner.
+
+Test suites are real Python: a repository carries a ``.repro-suite``
+manifest naming a ``module:attribute`` that resolves to a
+:class:`~repro.shellsim.suites.TestSuite`; the ``pytest`` command imports
+and executes it, so pass/fail is decided by actual application code while
+per-test durations come from the site's hardware model.
+"""
+
+from repro.shellsim.result import CommandResult
+from repro.shellsim.session import ShellSession, ShellServices
+from repro.shellsim.suites import TestCase, TestSuite, TestReport, TestOutcome
+
+__all__ = [
+    "CommandResult",
+    "ShellSession",
+    "ShellServices",
+    "TestCase",
+    "TestSuite",
+    "TestReport",
+    "TestOutcome",
+]

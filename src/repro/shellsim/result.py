@@ -1,0 +1,34 @@
+"""Command results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one command line (or chained command list)."""
+
+    exit_code: int
+    stdout: str = ""
+    stderr: str = ""
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+    def combined_output(self) -> str:
+        """stdout followed by stderr, as CI logs typically interleave."""
+        parts = [p for p in (self.stdout, self.stderr) if p]
+        return "\n".join(parts)
+
+    @staticmethod
+    def success(stdout: str = "", duration: float = 0.0) -> "CommandResult":
+        return CommandResult(0, stdout=stdout, duration=duration)
+
+    @staticmethod
+    def failure(
+        stderr: str, exit_code: int = 1, stdout: str = "", duration: float = 0.0
+    ) -> "CommandResult":
+        return CommandResult(exit_code, stdout=stdout, stderr=stderr, duration=duration)

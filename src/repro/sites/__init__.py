@@ -1,0 +1,39 @@
+"""Simulated computing sites.
+
+A :class:`Site` bundles everything CORRECT touches at a remote system:
+login and compute nodes, a batch scheduler, filesystems (home + scratch),
+network policy (which node classes may reach the internet), a hardware
+performance model, container runtimes, and per-user conda installations.
+
+:mod:`repro.sites.catalog` instantiates the four systems from the paper's
+evaluation: Chameleon CHI@TACC (IceLake), TAMU FASTER, SDSC Expanse, and
+Purdue Anvil.
+"""
+
+from repro.sites.hardware import HardwareProfile
+from repro.sites.filesystem import SimFileSystem, Mount
+from repro.sites.network import NetworkPolicy
+from repro.sites.site import Site, NodeHandle
+from repro.sites.catalog import (
+    make_chameleon,
+    make_faster,
+    make_expanse,
+    make_anvil,
+    make_site,
+    SITE_BUILDERS,
+)
+
+__all__ = [
+    "HardwareProfile",
+    "SimFileSystem",
+    "Mount",
+    "NetworkPolicy",
+    "Site",
+    "NodeHandle",
+    "make_chameleon",
+    "make_faster",
+    "make_expanse",
+    "make_anvil",
+    "make_site",
+    "SITE_BUILDERS",
+]

@@ -1,0 +1,289 @@
+"""Catalog of the paper's evaluation systems.
+
+Four builders produce :class:`~repro.sites.site.Site` instances modeled on
+the systems used in §6:
+
+* **Chameleon CHI@TACC IceLake** — a dedicated bare-metal cloud instance
+  (Xeon Platinum 8380). No batch scheduler, full outbound internet, Docker
+  allowed. Fastest single-core in the fleet and zero queue wait, which is
+  why it wins most Fig. 4 test cases.
+* **TAMU FASTER** — Xeon 8352Y cluster. Batch-scheduled; compute nodes
+  have **no outbound internet**; ``/home`` is login-only, so clones must
+  land in ``/scratch``.
+* **SDSC Expanse** — EPYC 7742 cluster. Same network restrictions as
+  FASTER, lower single-core speed, busier queue.
+* **Purdue Anvil** — EPYC Milan cluster used for the PSI/J experiment
+  (§6.2), where tests run on the *login* node via a LocalProvider.
+
+Relative ``cpu_speed`` values encode the public single-core ordering of
+these processors; queue pressure is modeled with seeded background jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.containers.registry import ContainerRegistry
+from repro.envs.index import PackageIndex
+from repro.scheduler.jobs import Job
+from repro.scheduler.nodes import Partition, make_nodes
+from repro.sites.filesystem import Mount, SimFileSystem
+from repro.sites.hardware import HardwareProfile
+from repro.sites.network import NetworkPolicy
+from repro.sites.site import Site
+from repro.util.clock import SimClock
+from repro.util.events import EventLog
+
+
+def _add_background_load(
+    site: Site, partition: str, stagger: float, waves: int = 30
+) -> None:
+    """Keep the partition saturated with synthetic production jobs.
+
+    All nodes start busy with staggered end times, and every completed
+    background job immediately resubmits a long follow-up, so in steady
+    state one node frees every ``stagger`` seconds indefinitely. A
+    one-node pilot submitted at time *t* therefore waits up to ``stagger``
+    seconds (FCFS puts it ahead of the replacement job) — a deterministic
+    stand-in for production queue pressure. ``waves`` bounds the total
+    number of background jobs so simulations terminate.
+    """
+    assert site.scheduler is not None
+    scheduler = site.scheduler
+    nodes = scheduler._partitions[partition].node_count
+    cycle = stagger * nodes
+    budget = {"remaining": nodes * waves}
+
+    def resubmit(_job: Job) -> None:
+        if budget["remaining"] <= 0:
+            return
+        budget["remaining"] -= 1
+        scheduler.submit(
+            Job(
+                user="background",
+                partition=partition,
+                num_nodes=1,
+                walltime=cycle,
+                duration=cycle,
+                name="bg-follow",
+                on_end=resubmit,
+            )
+        )
+
+    for i in range(nodes):
+        duration = stagger * (i + 1)
+        scheduler.submit(
+            Job(
+                user="background",
+                partition=partition,
+                num_nodes=1,
+                walltime=duration,
+                duration=duration,
+                name=f"bg-{i:03d}",
+                on_end=resubmit,
+            )
+        )
+
+
+def _hpc_mounts(name: str) -> List[Mount]:
+    """FASTER/Expanse-style mounts: /home is login-only."""
+    return [
+        Mount("/home", SimFileSystem(f"{name}-home"), frozenset({"login"})),
+        Mount(
+            "/scratch",
+            SimFileSystem(f"{name}-scratch"),
+            frozenset({"login", "compute"}),
+        ),
+        Mount(
+            "/tmp", SimFileSystem(f"{name}-tmp"), frozenset({"login", "compute"})
+        ),
+    ]
+
+
+def make_chameleon(
+    clock: SimClock,
+    package_index: Optional[PackageIndex] = None,
+    container_registries: Optional[List[ContainerRegistry]] = None,
+    events: Optional[EventLog] = None,
+    background_load: bool = True,  # unused: no scheduler
+) -> Site:
+    """Chameleon Cloud CHI@TACC IceLake bare-metal instance."""
+    profile = HardwareProfile(
+        cpu_speed=1.35,
+        cores_per_node=64,
+        memory_gb=256,
+        io_bandwidth=2.0,
+        launch_overhead=0.3,
+    )
+    return Site(
+        name="chameleon",
+        clock=clock,
+        profiles={"login": profile},
+        login_count=1,
+        partitions=None,
+        network=NetworkPolicy(
+            outbound_internet=frozenset({"login"}),
+            latency_to_cloud=0.02,
+            clone_bandwidth_mbps=100.0,
+        ),
+        package_index=package_index,
+        container_registries=container_registries,
+        allow_privileged_daemon=True,  # it is the user's own instance
+        events=events,
+    )
+
+
+def make_faster(
+    clock: SimClock,
+    package_index: Optional[PackageIndex] = None,
+    container_registries: Optional[List[ContainerRegistry]] = None,
+    events: Optional[EventLog] = None,
+    background_load: bool = True,
+) -> Site:
+    """TAMU FASTER: Xeon 8352Y; compute nodes lack outbound internet."""
+    login = HardwareProfile(
+        cpu_speed=1.0, cores_per_node=32, memory_gb=128, launch_overhead=0.6
+    )
+    compute = HardwareProfile(
+        cpu_speed=1.0,
+        cores_per_node=64,
+        memory_gb=256,
+        io_bandwidth=1.5,
+        launch_overhead=0.6,
+    )
+    partition = Partition(
+        name="normal",
+        nodes=make_nodes("faster-c", 16, 64, 256, speed=1.0),
+        max_walltime=48 * 3600,
+        default_walltime=3600,
+    )
+    site = Site(
+        name="faster",
+        clock=clock,
+        profiles={"login": login, "compute": compute},
+        login_count=2,
+        partitions=[partition],
+        network=NetworkPolicy(
+            outbound_internet=frozenset({"login"}),  # compute blocked
+            latency_to_cloud=0.06,
+            clone_bandwidth_mbps=40.0,
+        ),
+        mounts=_hpc_mounts("faster"),
+        package_index=package_index,
+        container_registries=container_registries,
+        allow_privileged_daemon=False,
+        events=events,
+    )
+    if background_load:
+        _add_background_load(site, "normal", stagger=150.0)
+    return site
+
+
+def make_expanse(
+    clock: SimClock,
+    package_index: Optional[PackageIndex] = None,
+    container_registries: Optional[List[ContainerRegistry]] = None,
+    events: Optional[EventLog] = None,
+    background_load: bool = True,
+) -> Site:
+    """SDSC Expanse: EPYC 7742; busier queue, slower single-core."""
+    login = HardwareProfile(
+        cpu_speed=0.85, cores_per_node=32, memory_gb=128, launch_overhead=0.8
+    )
+    compute = HardwareProfile(
+        cpu_speed=0.85,
+        cores_per_node=128,
+        memory_gb=256,
+        io_bandwidth=1.2,
+        launch_overhead=0.8,
+    )
+    partition = Partition(
+        name="compute",
+        nodes=make_nodes("exp-c", 16, 128, 256, speed=0.85),
+        max_walltime=48 * 3600,
+        default_walltime=3600,
+    )
+    site = Site(
+        name="expanse",
+        clock=clock,
+        profiles={"login": login, "compute": compute},
+        login_count=2,
+        partitions=[partition],
+        network=NetworkPolicy(
+            outbound_internet=frozenset({"login"}),  # compute blocked
+            latency_to_cloud=0.05,
+            clone_bandwidth_mbps=40.0,
+        ),
+        mounts=_hpc_mounts("expanse"),
+        package_index=package_index,
+        container_registries=container_registries,
+        allow_privileged_daemon=False,
+        events=events,
+    )
+    if background_load:
+        _add_background_load(site, "compute", stagger=240.0)
+    return site
+
+
+def make_anvil(
+    clock: SimClock,
+    package_index: Optional[PackageIndex] = None,
+    container_registries: Optional[List[ContainerRegistry]] = None,
+    events: Optional[EventLog] = None,
+    background_load: bool = True,
+) -> Site:
+    """Purdue Anvil: EPYC Milan. PSI/J CI runs on its login nodes (§6.2)."""
+    login = HardwareProfile(
+        cpu_speed=0.95, cores_per_node=64, memory_gb=256, launch_overhead=0.7
+    )
+    compute = HardwareProfile(
+        cpu_speed=0.95,
+        cores_per_node=128,
+        memory_gb=256,
+        io_bandwidth=1.2,
+        launch_overhead=0.7,
+    )
+    partition = Partition(
+        name="shared",
+        nodes=make_nodes("anvil-c", 16, 128, 256, speed=0.95),
+        max_walltime=96 * 3600,
+        default_walltime=3600,
+    )
+    site = Site(
+        name="anvil",
+        clock=clock,
+        profiles={"login": login, "compute": compute},
+        login_count=2,
+        partitions=[partition],
+        network=NetworkPolicy(
+            outbound_internet=frozenset({"login", "compute"}),
+            latency_to_cloud=0.05,
+            clone_bandwidth_mbps=60.0,
+        ),
+        package_index=package_index,
+        container_registries=container_registries,
+        allow_privileged_daemon=False,
+        events=events,
+    )
+    if background_load:
+        _add_background_load(site, "shared", stagger=180.0)
+    return site
+
+
+SITE_BUILDERS: Dict[str, Callable[..., Site]] = {
+    "chameleon": make_chameleon,
+    "faster": make_faster,
+    "expanse": make_expanse,
+    "anvil": make_anvil,
+}
+
+
+def make_site(name: str, clock: SimClock, **kwargs) -> Site:
+    """Build a catalog site by name."""
+    try:
+        builder = SITE_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown site {name!r}; choices: {sorted(SITE_BUILDERS)}"
+        ) from None
+    return builder(clock, **kwargs)

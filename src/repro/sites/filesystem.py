@@ -1,0 +1,163 @@
+"""Simulated site filesystems.
+
+Each site exposes mounts (``/home``, ``/scratch``, ...) with node-class
+visibility: on FASTER and Expanse, ``/home`` is login-only while
+``/scratch`` is visible from compute nodes — which is why CORRECT's MEP
+template clones the repository into scratch (paper §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import FileSystemError
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        raise FileSystemError(f"path must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    return "/" + "/".join(parts)
+
+
+class SimFileSystem:
+    """A flat path→content store with directory semantics.
+
+    Directories exist implicitly (any proper prefix of a file path) and
+    explicitly (via :meth:`mkdir`), so empty directories — like the
+    temporary clone target CORRECT creates — behave correctly.
+    """
+
+    def __init__(self, name: str = "fs") -> None:
+        self.name = name
+        self._files: Dict[str, str] = {}
+        self._dirs: set = {"/"}
+
+    # -- writes ----------------------------------------------------------------
+    def mkdir(self, path: str, parents: bool = True) -> None:
+        path = _normalize(path)
+        if path in self._files:
+            raise FileSystemError(f"{path} exists and is a file")
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent not in self._dirs:
+            if not parents:
+                raise FileSystemError(f"parent {parent} does not exist")
+            self.mkdir(parent, parents=True)
+        self._dirs.add(path)
+
+    def write(self, path: str, content: str) -> None:
+        path = _normalize(path)
+        if path in self._dirs:
+            raise FileSystemError(f"{path} is a directory")
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent not in self._dirs:
+            self.mkdir(parent, parents=True)
+        self._files[path] = content
+
+    def write_tree(self, root: str, files: Dict[str, str]) -> None:
+        """Write a {relpath: content} mapping under ``root``."""
+        root = _normalize(root)
+        self.mkdir(root, parents=True)
+        for rel, content in files.items():
+            self.write(f"{root}/{rel}", content)
+
+    def remove(self, path: str, recursive: bool = False) -> None:
+        path = _normalize(path)
+        if path in self._files:
+            del self._files[path]
+            return
+        if path in self._dirs:
+            children = self.listdir(path)
+            if children and not recursive:
+                raise FileSystemError(f"{path} is not empty")
+            prefix = path.rstrip("/") + "/"
+            for f in [p for p in self._files if p.startswith(prefix)]:
+                del self._files[f]
+            for d in [p for p in self._dirs if p.startswith(prefix)]:
+                self._dirs.discard(d)
+            self._dirs.discard(path)
+            return
+        raise FileSystemError(f"{path} does not exist")
+
+    # -- reads ------------------------------------------------------------------
+    def read(self, path: str) -> str:
+        path = _normalize(path)
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileSystemError(f"{self.name}: no such file {path}") from None
+
+    def exists(self, path: str) -> bool:
+        path = _normalize(path)
+        return path in self._files or self.isdir(path)
+
+    def isdir(self, path: str) -> bool:
+        path = _normalize(path)
+        if path in self._dirs:
+            return True
+        prefix = path.rstrip("/") + "/"
+        return any(p.startswith(prefix) for p in self._files)
+
+    def listdir(self, path: str) -> List[str]:
+        path = _normalize(path)
+        if not self.isdir(path):
+            raise FileSystemError(f"{self.name}: not a directory: {path}")
+        prefix = "/" if path == "/" else path + "/"
+        names = set()
+        for p in list(self._files) + list(self._dirs):
+            if p != path and p.startswith(prefix):
+                names.add(p[len(prefix):].split("/", 1)[0])
+        return sorted(names)
+
+    def read_tree(self, root: str) -> Dict[str, str]:
+        """Inverse of :meth:`write_tree`: {relpath: content} under root."""
+        root = _normalize(root)
+        if not self.isdir(root):
+            raise FileSystemError(f"{self.name}: not a directory: {root}")
+        prefix = "/" if root == "/" else root + "/"
+        return {
+            p[len(prefix):]: c
+            for p, c in self._files.items()
+            if p.startswith(prefix)
+        }
+
+    def file_count(self) -> int:
+        return len(self._files)
+
+
+@dataclass
+class Mount:
+    """A filesystem visible from certain node classes at a path prefix."""
+
+    prefix: str
+    fs: SimFileSystem
+    node_classes: FrozenSet[str] = frozenset({"login", "compute"})
+
+    def accessible_from(self, node_class: str) -> bool:
+        return node_class in self.node_classes
+
+
+class MountTable:
+    """Resolves absolute paths to mounts, enforcing node-class visibility."""
+
+    def __init__(self, mounts: List[Mount]) -> None:
+        # longest-prefix-first so /scratch/user wins over /
+        self._mounts = sorted(mounts, key=lambda m: -len(m.prefix))
+
+    def resolve(self, path: str, node_class: str) -> Tuple[SimFileSystem, str]:
+        """Return (filesystem, path) for ``path`` as seen from a node class."""
+        path = _normalize(path)
+        for mount in self._mounts:
+            if path == mount.prefix or path.startswith(
+                mount.prefix.rstrip("/") + "/"
+            ):
+                if not mount.accessible_from(node_class):
+                    raise FileSystemError(
+                        f"{mount.prefix} is not mounted on {node_class} nodes"
+                    )
+                return mount.fs, path
+        raise FileSystemError(f"no mount for {path}")
+
+    def mounts(self) -> List[Mount]:
+        return list(self._mounts)

@@ -1,0 +1,65 @@
+"""Hardware performance model.
+
+Workloads in this simulation declare abstract cost in *work units* (one
+unit ≈ one second on the reference core). A site's
+:class:`HardwareProfile` converts work units to virtual seconds:
+
+``duration = fixed_overhead + work / (cpu_speed * min(threads, cores))``
+
+The per-site ``cpu_speed`` values are derived from the public descriptions
+of the evaluation systems: Chameleon CHI@TACC IceLake nodes (Xeon Platinum
+8380, high single-core boost, unshared VM), FASTER (Xeon 8352Y), Expanse
+(EPYC 7742, lower clock), Anvil (EPYC Milan 7763). Absolute accuracy is not
+the point — Fig. 4's *shape* (Chameleon fastest on most tests) follows from
+the ordering, which is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Performance characteristics of one node type.
+
+    Attributes
+    ----------
+    cpu_speed:
+        Relative single-core throughput (1.0 = reference core).
+    cores_per_node:
+        Usable cores per node.
+    memory_gb:
+        Memory per node.
+    io_bandwidth:
+        Relative filesystem bandwidth; scales data-staging costs.
+    launch_overhead:
+        Fixed per-process startup cost in seconds (interpreter start,
+        module load) — dominates very short tests, which is what makes the
+        FaaS/pilot model attractive (paper §6.1).
+    """
+
+    cpu_speed: float
+    cores_per_node: int
+    memory_gb: float
+    io_bandwidth: float = 1.0
+    launch_overhead: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cpu_speed <= 0:
+            raise ValueError("cpu_speed must be positive")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+
+    def compute_seconds(self, work: float, threads: int = 1) -> float:
+        """Virtual seconds to execute ``work`` units with ``threads``."""
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        effective = self.cpu_speed * max(1, min(threads, self.cores_per_node))
+        return work / effective
+
+    def io_seconds(self, data_mb: float) -> float:
+        """Virtual seconds to stage ``data_mb`` megabytes (100 MB/s ref)."""
+        if data_mb < 0:
+            raise ValueError("data_mb must be non-negative")
+        return data_mb / (100.0 * self.io_bandwidth)

@@ -1,0 +1,50 @@
+"""Network policy: outbound internet access and latency to the cloud.
+
+FASTER and Expanse block outbound internet from compute nodes (paper
+§6.1); that single fact forces CORRECT's MEP template design (clone on the
+login node via LocalProvider, execute on compute via SlurmProvider).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.errors import NetworkBlocked
+
+
+@dataclass(frozen=True)
+class NetworkPolicy:
+    """Per-node-class outbound access plus modeled latencies.
+
+    Attributes
+    ----------
+    outbound_internet:
+        Node classes allowed to open outbound connections to the internet
+        (cloning from the hub, calling the FaaS cloud service).
+    latency_to_cloud:
+        One-way latency in seconds for control messages to the FaaS cloud.
+    clone_bandwidth_mbps:
+        Effective bandwidth for repository clones, in MB/s.
+    """
+
+    outbound_internet: FrozenSet[str] = frozenset({"login", "compute"})
+    latency_to_cloud: float = 0.05
+    clone_bandwidth_mbps: float = 50.0
+
+    def check_outbound(self, node_class: str, purpose: str = "network") -> None:
+        """Raise :class:`NetworkBlocked` if the node class lacks outbound."""
+        if node_class not in self.outbound_internet:
+            raise NetworkBlocked(
+                f"outbound internet ({purpose}) blocked from "
+                f"{node_class!r} nodes"
+            )
+
+    def allows_outbound(self, node_class: str) -> bool:
+        return node_class in self.outbound_internet
+
+    def clone_seconds(self, repo_mb: float) -> float:
+        """Virtual seconds to clone a repository of ``repo_mb`` megabytes."""
+        if repo_mb < 0:
+            raise ValueError("repo_mb must be non-negative")
+        return 2 * self.latency_to_cloud + repo_mb / self.clone_bandwidth_mbps

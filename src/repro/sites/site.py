@@ -1,0 +1,249 @@
+"""The Site: everything CORRECT touches at one computing system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.auth.identity import IdentityMap
+from repro.containers.registry import ContainerRegistry
+from repro.containers.runtime import ApptainerRuntime, ContainerRuntime, DockerRuntime
+from repro.envs.conda import CondaManager
+from repro.envs.index import PackageIndex
+from repro.errors import SiteError
+from repro.scheduler.nodes import Node, Partition
+from repro.scheduler.slurm import SlurmScheduler
+from repro.sites.filesystem import Mount, MountTable, SimFileSystem
+from repro.sites.hardware import HardwareProfile
+from repro.sites.network import NetworkPolicy
+from repro.util.clock import SimClock
+from repro.util.events import EventLog
+
+
+@dataclass
+class NodeHandle:
+    """An execution context: a user on a specific node of a site.
+
+    All cost accounting flows through this object: :meth:`compute` and
+    :meth:`io` convert abstract work into virtual seconds using the node
+    class's hardware profile and advance the shared clock.
+    """
+
+    site: "Site"
+    node: Node
+    user: str
+
+    @property
+    def node_class(self) -> str:
+        return self.node.node_class
+
+    @property
+    def profile(self) -> HardwareProfile:
+        return self.site.profile_for(self.node_class)
+
+    # -- cost accounting ------------------------------------------------------
+    def compute(self, work: float, threads: int = 1) -> float:
+        """Execute ``work`` units; advances the clock; returns the duration."""
+        duration = self.profile.compute_seconds(work, threads=threads)
+        self.site.clock.advance(duration)
+        return duration
+
+    def io(self, data_mb: float) -> float:
+        """Stage ``data_mb`` megabytes; advances the clock."""
+        duration = self.profile.io_seconds(data_mb)
+        self.site.clock.advance(duration)
+        return duration
+
+    def process_launch(self) -> float:
+        """Charge one process-startup overhead."""
+        duration = self.profile.launch_overhead
+        self.site.clock.advance(duration)
+        return duration
+
+    # -- filesystem (node-class aware) ------------------------------------------
+    def fs_read(self, path: str) -> str:
+        fs, p = self.site.mounts.resolve(path, self.node_class)
+        return fs.read(p)
+
+    def fs_write(self, path: str, content: str) -> None:
+        fs, p = self.site.mounts.resolve(path, self.node_class)
+        fs.write(p, content)
+
+    def fs_exists(self, path: str) -> bool:
+        try:
+            fs, p = self.site.mounts.resolve(path, self.node_class)
+        except SiteError:
+            return False
+        return fs.exists(p)
+
+    def fs_isdir(self, path: str) -> bool:
+        try:
+            fs, p = self.site.mounts.resolve(path, self.node_class)
+        except SiteError:
+            return False
+        return fs.isdir(p)
+
+    def fs_listdir(self, path: str) -> List[str]:
+        fs, p = self.site.mounts.resolve(path, self.node_class)
+        return fs.listdir(p)
+
+    def fs_mkdir(self, path: str) -> None:
+        fs, p = self.site.mounts.resolve(path, self.node_class)
+        fs.mkdir(p)
+
+    def fs_remove(self, path: str, recursive: bool = False) -> None:
+        fs, p = self.site.mounts.resolve(path, self.node_class)
+        fs.remove(p, recursive=recursive)
+
+    def fs_write_tree(self, root: str, files: Dict[str, str]) -> None:
+        fs, p = self.site.mounts.resolve(root, self.node_class)
+        fs.write_tree(p, files)
+
+    def fs_read_tree(self, root: str) -> Dict[str, str]:
+        fs, p = self.site.mounts.resolve(root, self.node_class)
+        return fs.read_tree(p)
+
+    # -- conveniences ------------------------------------------------------------
+    def home(self) -> str:
+        return f"/home/{self.user}"
+
+    def scratch(self) -> str:
+        return f"/scratch/{self.user}"
+
+    def check_outbound(self, purpose: str = "network") -> None:
+        self.site.network.check_outbound(self.node_class, purpose)
+
+    def conda(self) -> CondaManager:
+        return self.site.conda_for(self.user)
+
+
+class Site:
+    """A computing site: nodes, scheduler, filesystems, network, users.
+
+    Parameters mirror what the paper's evaluation cares about. A site
+    without a scheduler (``partitions=None``) models a cloud VM like the
+    Chameleon instance: everything runs on the "login" node directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        profiles: Dict[str, HardwareProfile],
+        login_count: int = 2,
+        partitions: Optional[List[Partition]] = None,
+        network: Optional[NetworkPolicy] = None,
+        mounts: Optional[List[Mount]] = None,
+        package_index: Optional[PackageIndex] = None,
+        container_registries: Optional[List[ContainerRegistry]] = None,
+        allow_privileged_daemon: bool = False,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        if "login" not in profiles:
+            raise ValueError("profiles must include a 'login' entry")
+        self.name = name
+        self.clock = clock
+        self.profiles = profiles
+        self.network = network or NetworkPolicy()
+        self.events = events if events is not None else EventLog()
+        self.package_index = package_index or PackageIndex()
+        self.allow_privileged_daemon = allow_privileged_daemon
+        self.identity_map = IdentityMap(name)
+
+        self.login_nodes: List[Node] = [
+            Node(
+                name=f"{name}-login{i:02d}",
+                cores=profiles["login"].cores_per_node,
+                memory_gb=profiles["login"].memory_gb,
+                speed=profiles["login"].cpu_speed,
+                node_class="login",
+            )
+            for i in range(1, login_count + 1)
+        ]
+
+        self.scheduler: Optional[SlurmScheduler] = None
+        if partitions:
+            self.scheduler = SlurmScheduler(
+                clock, partitions, event_log=self.events, name=f"{name}-slurm"
+            )
+
+        if mounts is None:
+            home = SimFileSystem(f"{name}-home")
+            scratch = SimFileSystem(f"{name}-scratch")
+            tmp = SimFileSystem(f"{name}-tmp")
+            mounts = [
+                Mount("/home", home, frozenset({"login", "compute"})),
+                Mount("/scratch", scratch, frozenset({"login", "compute"})),
+                Mount("/tmp", tmp, frozenset({"login", "compute"})),
+            ]
+        self.mounts = MountTable(mounts)
+
+        registries = list(container_registries or [])
+        self.container_runtimes: Dict[str, ContainerRuntime] = {
+            "apptainer": ApptainerRuntime(registries),
+        }
+        if allow_privileged_daemon:
+            self.container_runtimes["docker"] = DockerRuntime(registries)
+
+        self._accounts: Dict[str, CondaManager] = {}
+
+    # -- accounts ---------------------------------------------------------------
+    def add_account(self, user: str) -> None:
+        """Create a local account with home and scratch directories."""
+        if user in self._accounts:
+            return
+        self._accounts[user] = CondaManager(user, self.package_index)
+        for root in (f"/home/{user}", f"/scratch/{user}"):
+            fs, p = self.mounts.resolve(root, "login")
+            fs.mkdir(p)
+        self.events.emit(self.clock.now, self.name, "account.created", user=user)
+
+    def has_account(self, user: str) -> bool:
+        return user in self._accounts
+
+    def accounts(self) -> List[str]:
+        return sorted(self._accounts)
+
+    def conda_for(self, user: str) -> CondaManager:
+        try:
+            return self._accounts[user]
+        except KeyError:
+            raise SiteError(f"{self.name}: no account {user!r}") from None
+
+    # -- handles ------------------------------------------------------------------
+    def login_handle(self, user: str) -> NodeHandle:
+        if user not in self._accounts:
+            raise SiteError(f"{self.name}: no account {user!r}")
+        return NodeHandle(site=self, node=self.login_nodes[0], user=user)
+
+    def compute_handle(self, user: str, node: Node) -> NodeHandle:
+        if user not in self._accounts:
+            raise SiteError(f"{self.name}: no account {user!r}")
+        if node.node_class != "compute":
+            raise SiteError(f"{node.name} is not a compute node")
+        return NodeHandle(site=self, node=node, user=user)
+
+    def profile_for(self, node_class: str) -> HardwareProfile:
+        try:
+            return self.profiles[node_class]
+        except KeyError:
+            raise SiteError(
+                f"{self.name}: no hardware profile for {node_class!r}"
+            ) from None
+
+    @property
+    def has_scheduler(self) -> bool:
+        return self.scheduler is not None
+
+    def runtime(self, name: str) -> ContainerRuntime:
+        try:
+            return self.container_runtimes[name]
+        except KeyError:
+            raise SiteError(
+                f"{self.name}: container runtime {name!r} unavailable "
+                f"(have {sorted(self.container_runtimes)})"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sched = "batch" if self.has_scheduler else "no-batch"
+        return f"Site({self.name}, {sched}, users={len(self._accounts)})"

@@ -1,0 +1,89 @@
+"""Structured event log shared by all subsystems.
+
+Every significant state change (workflow triggered, task submitted, job
+started, secret accessed...) is appended to an :class:`EventLog`. The log is
+the backbone of provenance capture: a CORRECT run's provenance record is a
+filtered view of these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable log entry.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event occurred.
+    source:
+        Subsystem that emitted it (``"actions"``, ``"faas"``, ``"slurm"``...).
+    kind:
+        Machine-readable event name (``"task.submitted"``...).
+    data:
+        Arbitrary JSON-like payload.
+    """
+
+    time: float
+    source: str
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event log with subscription and filtered queries."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    def emit(self, time: float, source: str, kind: str, **data: Any) -> Event:
+        """Record an event and notify subscribers."""
+        event = Event(time=time, source=source, kind=kind, data=dict(data))
+        self._events.append(event)
+        for sub in list(self._subscribers):
+            sub(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
+        """Register ``callback`` for future events; returns an unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def query(
+        self,
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[Event]:
+        """Return events matching all provided filters, in order."""
+        return [
+            e
+            for e in self._events
+            if (source is None or e.source == source)
+            and (kind is None or e.kind == kind)
+            and since <= e.time <= until
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        """Most recent event, optionally restricted to one kind."""
+        for event in reversed(self._events):
+            if kind is None or event.kind == kind:
+                return event
+        return None

@@ -1,0 +1,18 @@
+"""Content hashing for the content-addressed VCS object store."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+
+def content_hash(kind: str, payload: Union[str, bytes]) -> str:
+    """Hash ``payload`` with a ``kind`` prefix, git-style.
+
+    Git hashes ``b"blob <len>\\0" + data``; we follow the same scheme so two
+    objects of different kinds with identical bytes never collide.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    header = f"{kind} {len(payload)}".encode("ascii") + b"\x00"
+    return hashlib.sha256(header + payload).hexdigest()

@@ -1,0 +1,54 @@
+"""Deterministic identifier generation.
+
+Real Globus Compute and GitHub use random UUIDs. For reproducible
+experiments we derive UUID-shaped identifiers from a seeded counter (via
+:class:`IdFactory`) or from stable names (via :func:`deterministic_uuid`),
+so two runs of the same experiment produce identical ids, logs, and
+provenance records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+
+
+def deterministic_uuid(*parts: str) -> str:
+    """Return a UUIDv5-style identifier derived from ``parts``.
+
+    The same parts always yield the same UUID, which makes provenance
+    records stable across runs.
+    """
+    if not parts:
+        raise ValueError("deterministic_uuid requires at least one part")
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return str(uuid.UUID(bytes=digest[:16], version=5))
+
+
+class IdFactory:
+    """Generates sequential, namespaced identifiers.
+
+    ``IdFactory("task")`` produces ``task-000001``, ``task-000002``, ... and
+    :meth:`uuid` produces UUIDs derived from the namespace and counter.
+    """
+
+    def __init__(self, namespace: str, seed: int = 0) -> None:
+        if not namespace:
+            raise ValueError("namespace must be non-empty")
+        self.namespace = namespace
+        self._counter = seed
+
+    def next_id(self) -> str:
+        """Return the next human-readable sequential id."""
+        self._counter += 1
+        return f"{self.namespace}-{self._counter:06d}"
+
+    def uuid(self) -> str:
+        """Return the next deterministic UUID in this namespace."""
+        self._counter += 1
+        return deterministic_uuid(self.namespace, str(self._counter))
+
+    @property
+    def count(self) -> int:
+        """How many ids have been issued."""
+        return self._counter

@@ -1,0 +1,65 @@
+"""Payload serialization with size accounting.
+
+Globus Compute limits the size of serialized task arguments and results
+(about 10 MB at the time of the paper). We model that limit: payloads are
+serialized to a JSON-like canonical text, their size measured, and the FaaS
+layer rejects oversized payloads with :class:`repro.errors.PayloadTooLarge`.
+
+Only JSON-compatible data plus tuples/bytes are supported; remote functions
+in this simulation exchange plain data, mirroring how CORRECT passes shell
+commands in and stdout/stderr text out.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+# Matches Globus Compute's documented task/result payload ceiling.
+DEFAULT_PAYLOAD_LIMIT = 10 * 1024 * 1024
+
+
+def _encode(value: Any) -> Any:
+    """Pre-transform values json would mis-serialize (tuples become lists
+    natively, so an encoder ``default`` hook never sees them)."""
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, set):
+        return {"__set__": [_encode(v) for v in sorted(value, key=repr)]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode(v) for k, v in value.items()}
+    return value
+
+
+def _decode_hook(obj: dict) -> Any:
+    if "__bytes__" in obj and len(obj) == 1:
+        return base64.b64decode(obj["__bytes__"])
+    if "__tuple__" in obj and len(obj) == 1:
+        return tuple(obj["__tuple__"])
+    if "__set__" in obj and len(obj) == 1:
+        return set(obj["__set__"])
+    return obj
+
+
+def serialize(value: Any) -> str:
+    """Serialize ``value`` to canonical text.
+
+    Raises ``TypeError`` for objects that are not data (open handles, live
+    simulation objects...) — remote task payloads must be plain data.
+    """
+    return json.dumps(_encode(value), sort_keys=True)
+
+
+def deserialize(text: str) -> Any:
+    """Inverse of :func:`serialize`."""
+    return json.loads(text, object_hook=_decode_hook)
+
+
+def serialized_size(value: Any) -> int:
+    """Size in bytes of the serialized representation of ``value``."""
+    return len(serialize(value).encode("utf-8"))

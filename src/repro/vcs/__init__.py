@@ -1,0 +1,24 @@
+"""A small git-like version control system.
+
+This substrate backs the hosting service (:mod:`repro.hub`): repositories
+are content-addressed snapshots with commits, branches, and tags, and the
+``git`` command in :mod:`repro.shellsim` clones them onto simulated site
+filesystems — exactly the operation CORRECT performs remotely before
+running tests (§5.3 of the paper).
+"""
+
+from repro.vcs.objects import Blob, Tree, Commit, ObjectStore
+from repro.vcs.repository import Repository, Ref
+from repro.vcs.remote import clone, fork, push
+
+__all__ = [
+    "Blob",
+    "Tree",
+    "Commit",
+    "ObjectStore",
+    "Repository",
+    "Ref",
+    "clone",
+    "fork",
+    "push",
+]

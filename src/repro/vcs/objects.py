@@ -1,0 +1,205 @@
+"""Content-addressed objects: blobs, trees, commits.
+
+The design follows git: a :class:`Blob` stores file content, a
+:class:`Tree` maps names to child object ids, and a :class:`Commit` points
+to a root tree plus parent commits. All objects live in an
+:class:`ObjectStore` keyed by content hash, so identical content is stored
+once and object ids are stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ObjectNotFound
+from repro.util.hashing import content_hash
+
+
+@dataclass(frozen=True)
+class Blob:
+    """File content. ``data`` is text; binary payloads are base64 text."""
+
+    data: str
+
+    @property
+    def oid(self) -> str:
+        return content_hash("blob", self.data)
+
+
+@dataclass(frozen=True)
+class Tree:
+    """Directory listing: sorted name → (kind, oid) entries."""
+
+    entries: Tuple[Tuple[str, str, str], ...]  # (name, kind, oid), sorted
+
+    @property
+    def oid(self) -> str:
+        body = "\n".join(f"{k} {o} {n}" for n, k, o in self.entries)
+        return content_hash("tree", body)
+
+    def lookup(self, name: str) -> Optional[Tuple[str, str]]:
+        """Return (kind, oid) for ``name`` or None."""
+        for n, k, o in self.entries:
+            if n == name:
+                return (k, o)
+        return None
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A snapshot: root tree, parents, author, message, timestamp."""
+
+    tree: str
+    parents: Tuple[str, ...]
+    author: str
+    message: str
+    timestamp: float
+
+    @property
+    def oid(self) -> str:
+        body = "\n".join(
+            [
+                f"tree {self.tree}",
+                *[f"parent {p}" for p in self.parents],
+                f"author {self.author} {self.timestamp!r}",
+                "",
+                self.message,
+            ]
+        )
+        return content_hash("commit", body)
+
+    def short(self) -> str:
+        return self.oid[:10]
+
+
+class ObjectStore:
+    """Content-addressed store for blobs, trees, and commits."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, Blob] = {}
+        self._trees: Dict[str, Tree] = {}
+        self._commits: Dict[str, Commit] = {}
+
+    # -- writes -------------------------------------------------------------
+    def put_blob(self, data: str) -> str:
+        blob = Blob(data)
+        self._blobs[blob.oid] = blob
+        return blob.oid
+
+    def put_tree(self, entries: Dict[str, Tuple[str, str]]) -> str:
+        """``entries`` maps name → (kind, oid); kind is 'blob' or 'tree'."""
+        tup = tuple(sorted((n, k, o) for n, (k, o) in entries.items()))
+        tree = Tree(tup)
+        self._trees[tree.oid] = tree
+        return tree.oid
+
+    def put_commit(self, commit: Commit) -> str:
+        self._commits[commit.oid] = commit
+        return commit.oid
+
+    # -- reads --------------------------------------------------------------
+    def blob(self, oid: str) -> Blob:
+        try:
+            return self._blobs[oid]
+        except KeyError:
+            raise ObjectNotFound(f"blob {oid}") from None
+
+    def tree(self, oid: str) -> Tree:
+        try:
+            return self._trees[oid]
+        except KeyError:
+            raise ObjectNotFound(f"tree {oid}") from None
+
+    def commit(self, oid: str) -> Commit:
+        try:
+            return self._commits[oid]
+        except KeyError:
+            raise ObjectNotFound(f"commit {oid}") from None
+
+    def has_commit(self, oid: str) -> bool:
+        return oid in self._commits
+
+    # -- tree helpers ---------------------------------------------------------
+    def tree_from_files(self, files: Dict[str, str]) -> str:
+        """Build a nested tree from a flat {path: content} mapping."""
+        root: Dict[str, object] = {}
+        for path, data in files.items():
+            parts = [p for p in path.split("/") if p]
+            if not parts:
+                raise ValueError(f"empty path in file mapping: {path!r}")
+            node = root
+            for part in parts[:-1]:
+                child = node.setdefault(part, {})
+                if not isinstance(child, dict):
+                    raise ValueError(f"path conflict at {part!r} in {path!r}")
+                node = child
+            if isinstance(node.get(parts[-1]), dict):
+                raise ValueError(f"path conflict: {path!r} is also a directory")
+            node[parts[-1]] = data
+        return self._store_dir(root)
+
+    def _store_dir(self, node: Dict[str, object]) -> str:
+        entries: Dict[str, Tuple[str, str]] = {}
+        for name, child in node.items():
+            if isinstance(child, dict):
+                entries[name] = ("tree", self._store_dir(child))
+            else:
+                entries[name] = ("blob", self.put_blob(str(child)))
+        return self.put_tree(entries)
+
+    def files_from_tree(self, tree_oid: str, prefix: str = "") -> Dict[str, str]:
+        """Flatten a tree back into {path: content}."""
+        out: Dict[str, str] = {}
+        tree = self.tree(tree_oid)
+        for name, kind, oid in tree.entries:
+            path = f"{prefix}{name}"
+            if kind == "tree":
+                out.update(self.files_from_tree(oid, prefix=f"{path}/"))
+            else:
+                out[path] = self.blob(oid).data
+        return out
+
+    def copy_reachable(self, commit_oid: str, dest: "ObjectStore") -> int:
+        """Copy a commit and everything reachable from it into ``dest``.
+
+        Returns the number of objects copied. Used by clone/fork/push.
+        """
+        copied = 0
+        stack = [commit_oid]
+        seen_commits = set()
+        while stack:
+            oid = stack.pop()
+            if oid in seen_commits:
+                continue
+            seen_commits.add(oid)
+            commit = self.commit(oid)
+            if not dest.has_commit(oid):
+                dest.put_commit(commit)
+                copied += 1
+            copied += self._copy_tree(commit.tree, dest)
+            stack.extend(commit.parents)
+        return copied
+
+    def _copy_tree(self, tree_oid: str, dest: "ObjectStore") -> int:
+        copied = 0
+        if tree_oid in dest._trees:
+            return 0
+        tree = self.tree(tree_oid)
+        dest._trees[tree_oid] = tree
+        copied += 1
+        for _name, kind, oid in tree.entries:
+            if kind == "tree":
+                copied += self._copy_tree(oid, dest)
+            else:
+                if oid not in dest._blobs:
+                    dest._blobs[oid] = self.blob(oid)
+                    copied += 1
+        return copied
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "blobs": len(self._blobs),
+            "trees": len(self._trees),
+            "commits": len(self._commits),
+        }

@@ -1,0 +1,63 @@
+"""Remote operations: clone, fork, push.
+
+These are whole-repo object transfers between :class:`ObjectStore`
+instances. :func:`clone` is the operation CORRECT performs on the remote
+endpoint before running tests; :func:`fork` is step 1 of the paper's
+repeatability recipe (§5.3: fork, swap endpoint, trigger).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RefNotFound
+from repro.vcs.repository import Ref, Repository
+
+
+def clone(source: Repository, name: Optional[str] = None) -> Repository:
+    """Full clone: copies all refs and reachable objects."""
+    dest = Repository(
+        name or source.name, default_branch=source.default_branch
+    )
+    for ref in source._refs.values():
+        source.store.copy_reachable(ref.target, dest.store)
+        dest._refs[ref.name] = Ref(ref.name, ref.target, ref.kind)
+    return dest
+
+
+def fork(source: Repository, owner: str) -> Repository:
+    """Clone under a forked name, as a hub fork would."""
+    return clone(source, name=f"{owner}/{source.name.split('/')[-1]}")
+
+
+def push(
+    source: Repository,
+    dest: Repository,
+    branch: Optional[str] = None,
+    force: bool = False,
+) -> str:
+    """Push ``branch`` from ``source`` to ``dest``.
+
+    Non-fast-forward pushes are rejected unless ``force`` is set, matching
+    git semantics.
+    """
+    branch = branch or source.default_branch
+    new_tip = source.head(branch)
+    source.store.copy_reachable(new_tip, dest.store)
+    existing = dest._refs.get(branch)
+    if existing is not None and not force:
+        # allowed only if the old tip is an ancestor of the new tip
+        ancestors = set()
+        stack = [new_tip]
+        while stack:
+            cur = stack.pop()
+            if cur in ancestors:
+                continue
+            ancestors.add(cur)
+            stack.extend(dest.store.commit(cur).parents)
+        if existing.target not in ancestors:
+            raise RefNotFound(
+                f"non-fast-forward push to {dest.name}:{branch} rejected"
+            )
+    dest._refs[branch] = Ref(branch, new_tip, "branch")
+    return new_tip

@@ -1,0 +1,261 @@
+"""Repository: refs (branches/tags) over an object store, commits, diffs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import MergeConflict, RefNotFound
+from repro.vcs.objects import Commit, ObjectStore
+
+
+@dataclass
+class Ref:
+    """A named pointer to a commit."""
+
+    name: str
+    target: str  # commit oid
+    kind: str = "branch"  # "branch" | "tag"
+
+
+class Repository:
+    """A git-like repository.
+
+    The working model is snapshot-based: :meth:`commit` takes a full
+    ``{path: content}`` mapping (or applies a patch to the parent snapshot)
+    and records a new commit on a branch. There is no index/staging area —
+    CI systems only care about committed trees.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: Optional[ObjectStore] = None,
+        default_branch: str = "main",
+    ) -> None:
+        self.name = name
+        self.store = store if store is not None else ObjectStore()
+        self.default_branch = default_branch
+        self._refs: Dict[str, Ref] = {}
+
+    # -- refs ----------------------------------------------------------------
+    def branches(self) -> List[str]:
+        return sorted(r.name for r in self._refs.values() if r.kind == "branch")
+
+    def tags(self) -> List[str]:
+        return sorted(r.name for r in self._refs.values() if r.kind == "tag")
+
+    def resolve(self, ref_or_oid: str) -> str:
+        """Resolve a branch/tag name or commit oid prefix to a commit oid."""
+        if ref_or_oid in self._refs:
+            return self._refs[ref_or_oid].target
+        if self.store.has_commit(ref_or_oid):
+            return ref_or_oid
+        matches = [
+            oid for oid in self.store._commits if oid.startswith(ref_or_oid)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        raise RefNotFound(f"{self.name}: cannot resolve {ref_or_oid!r}")
+
+    def set_branch(self, name: str, commit_oid: str) -> None:
+        if not self.store.has_commit(commit_oid):
+            raise RefNotFound(f"commit {commit_oid} not in {self.name}")
+        self._refs[name] = Ref(name, commit_oid, "branch")
+
+    def set_tag(self, name: str, commit_oid: str) -> None:
+        if name in self._refs:
+            raise RefNotFound(f"tag {name!r} already exists in {self.name}")
+        if not self.store.has_commit(commit_oid):
+            raise RefNotFound(f"commit {commit_oid} not in {self.name}")
+        self._refs[name] = Ref(name, commit_oid, "tag")
+
+    def delete_branch(self, name: str) -> None:
+        ref = self._refs.get(name)
+        if ref is None or ref.kind != "branch":
+            raise RefNotFound(f"no branch {name!r} in {self.name}")
+        if name == self.default_branch:
+            raise RefNotFound(f"refusing to delete default branch {name!r}")
+        del self._refs[name]
+
+    def head(self, branch: Optional[str] = None) -> str:
+        """Commit oid at the tip of ``branch`` (default branch if omitted)."""
+        branch = branch or self.default_branch
+        ref = self._refs.get(branch)
+        if ref is None:
+            raise RefNotFound(f"no branch {branch!r} in {self.name}")
+        return ref.target
+
+    def is_empty(self) -> bool:
+        return not self._refs
+
+    # -- commits ---------------------------------------------------------------
+    def commit(
+        self,
+        files: Optional[Dict[str, str]] = None,
+        message: str = "",
+        author: str = "nobody",
+        branch: Optional[str] = None,
+        timestamp: float = 0.0,
+        patch: Optional[Dict[str, Optional[str]]] = None,
+    ) -> str:
+        """Record a commit on ``branch`` and return its oid.
+
+        Either ``files`` (full snapshot) or ``patch`` (changes relative to
+        the branch tip: content to add/update, ``None`` to delete) must be
+        given. A branch that does not exist yet is created.
+        """
+        branch = branch or self.default_branch
+        parent: Tuple[str, ...] = ()
+        base: Dict[str, str] = {}
+        if branch in self._refs:
+            parent = (self._refs[branch].target,)
+            base = self.files_at(parent[0])
+        elif self.default_branch in self._refs:
+            # a new branch forks from the default branch tip, like
+            # `git switch -c <branch>` from an up-to-date checkout
+            parent = (self._refs[self.default_branch].target,)
+            base = self.files_at(parent[0])
+        if files is not None and patch is not None:
+            raise ValueError("pass either files= or patch=, not both")
+        if files is not None:
+            snapshot = dict(files)
+        elif patch is not None:
+            snapshot = dict(base)
+            for path, content in patch.items():
+                if content is None:
+                    snapshot.pop(path, None)
+                else:
+                    snapshot[path] = content
+        else:
+            raise ValueError("commit needs files= or patch=")
+        tree_oid = self.store.tree_from_files(snapshot)
+        commit = Commit(
+            tree=tree_oid,
+            parents=parent,
+            author=author,
+            message=message,
+            timestamp=timestamp,
+        )
+        oid = self.store.put_commit(commit)
+        self._refs[branch] = Ref(branch, oid, "branch")
+        return oid
+
+    def files_at(self, ref_or_oid: str) -> Dict[str, str]:
+        """Full ``{path: content}`` snapshot at a ref or commit."""
+        oid = self.resolve(ref_or_oid)
+        return self.store.files_from_tree(self.store.commit(oid).tree)
+
+    def read_file(self, ref_or_oid: str, path: str) -> str:
+        files = self.files_at(ref_or_oid)
+        if path not in files:
+            raise RefNotFound(f"{self.name}:{ref_or_oid} has no file {path!r}")
+        return files[path]
+
+    def log(self, ref_or_oid: Optional[str] = None) -> List[Commit]:
+        """First-parent history, newest first."""
+        oid = self.resolve(ref_or_oid or self.default_branch)
+        out: List[Commit] = []
+        seen: Set[str] = set()
+        cursor: Optional[str] = oid
+        while cursor and cursor not in seen:
+            seen.add(cursor)
+            commit = self.store.commit(cursor)
+            out.append(commit)
+            cursor = commit.parents[0] if commit.parents else None
+        return out
+
+    def ancestors(self, oid: str) -> Set[str]:
+        """All commits reachable from ``oid`` (inclusive)."""
+        out: Set[str] = set()
+        stack = [self.resolve(oid)]
+        while stack:
+            cur = stack.pop()
+            if cur in out:
+                continue
+            out.add(cur)
+            stack.extend(self.store.commit(cur).parents)
+        return out
+
+    def merge_base(self, a: str, b: str) -> Optional[str]:
+        """Best common ancestor (highest timestamp among common ancestors)."""
+        common = self.ancestors(a) & self.ancestors(b)
+        if not common:
+            return None
+        return max(common, key=lambda o: (self.store.commit(o).timestamp, o))
+
+    # -- diff / merge ------------------------------------------------------------
+    def diff(self, base: str, head: str) -> Dict[str, str]:
+        """Per-path change summary between two refs.
+
+        Returns {path: "added"|"removed"|"modified"}.
+        """
+        base_files = self.files_at(base)
+        head_files = self.files_at(head)
+        out: Dict[str, str] = {}
+        for path in sorted(set(base_files) | set(head_files)):
+            if path not in base_files:
+                out[path] = "added"
+            elif path not in head_files:
+                out[path] = "removed"
+            elif base_files[path] != head_files[path]:
+                out[path] = "modified"
+        return out
+
+    def merge(
+        self,
+        target_branch: str,
+        source: str,
+        author: str = "nobody",
+        message: str = "",
+        timestamp: float = 0.0,
+    ) -> str:
+        """Three-way merge of ``source`` into ``target_branch``.
+
+        Fast-forwards when possible; raises :class:`MergeConflict` when both
+        sides changed the same path to different content.
+        """
+        target_oid = self.head(target_branch)
+        source_oid = self.resolve(source)
+        if source_oid in self.ancestors(target_oid):
+            return target_oid  # nothing to do
+        if target_oid in self.ancestors(source_oid):
+            self._refs[target_branch] = Ref(target_branch, source_oid, "branch")
+            return source_oid  # fast-forward
+        base_oid = self.merge_base(target_oid, source_oid)
+        base_files = self.files_at(base_oid) if base_oid else {}
+        ours = self.files_at(target_oid)
+        theirs = self.files_at(source_oid)
+        merged: Dict[str, str] = {}
+        conflicts: List[str] = []
+        for path in sorted(set(base_files) | set(ours) | set(theirs)):
+            b = base_files.get(path)
+            o = ours.get(path)
+            t = theirs.get(path)
+            if o == t:
+                result = o
+            elif o == b:
+                result = t
+            elif t == b:
+                result = o
+            else:
+                conflicts.append(path)
+                continue
+            if result is not None:
+                merged[path] = result
+        if conflicts:
+            raise MergeConflict(
+                f"merging {source!r} into {target_branch!r}: "
+                + ", ".join(conflicts)
+            )
+        tree_oid = self.store.tree_from_files(merged)
+        commit = Commit(
+            tree=tree_oid,
+            parents=(target_oid, source_oid),
+            author=author,
+            message=message or f"Merge {source} into {target_branch}",
+            timestamp=timestamp,
+        )
+        oid = self.store.put_commit(commit)
+        self._refs[target_branch] = Ref(target_branch, oid, "branch")
+        return oid

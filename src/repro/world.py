@@ -1,0 +1,177 @@
+"""The composition root: wire every subsystem into one simulated world.
+
+A :class:`World` owns the shared clock, the auth service, the hub, the
+FaaS cloud, the runner pool, the CI engine, the provenance store, the
+container registry, and lazily-built sites from the catalog. Experiments,
+examples, and integration tests construct a ``World`` and script against
+it — the equivalent of "the internet plus four allocations" in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.actions.engine import Engine, EngineServices
+from repro.actions.runner import RunnerPool
+from repro.auth.identity import Identity, IdentityProvider
+from repro.auth.oauth import AuthService
+from repro.auth.policies import HighAssurancePolicy
+from repro.containers.registry import ContainerRegistry
+from repro.core.action import publish_correct
+from repro.envs.stdlib import standard_index
+from repro.faas.endpoint import EndpointTemplate, MultiUserEndpoint, UserEndpoint
+from repro.faas.service import FaaSService
+from repro.hub.archive import PermanentArchive
+from repro.hub.service import HubService
+from repro.provenance.store import ProvenanceStore
+from repro.shellsim.session import ShellServices
+from repro.sites.catalog import SITE_BUILDERS
+from repro.sites.site import Site
+from repro.util.clock import SimClock
+from repro.util.events import EventLog
+
+
+@dataclass
+class WorldUser:
+    """One human in the world: federated identity + hub login + credentials."""
+
+    login: str
+    identity: Identity
+    client_id: str
+    client_secret: str
+    site_accounts: Dict[str, str] = field(default_factory=dict)
+
+
+class World:
+    """Everything the paper's evaluation environment contains."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimClock(start_time)
+        self.events = EventLog()
+        self.package_index = standard_index()
+        self.container_registry = ContainerRegistry("ghcr.io")
+        self.auth = AuthService(self.clock)
+        self.idp = IdentityProvider("uni.example.edu")
+        self.hub = HubService(self.clock, events=self.events)
+        self.faas = FaaSService(self.clock, self.auth, events=self.events)
+        self.provenance = ProvenanceStore()
+        self.archive = PermanentArchive(self.clock)
+        self.runner_pool = RunnerPool(self.clock, package_index=self.package_index)
+        self.services = EngineServices(
+            faas=self.faas,
+            auth=self.auth,
+            image_commands={},
+            provenance=self.provenance,
+            archive=self.archive,
+        )
+        self.engine = Engine(
+            self.hub, self.runner_pool, services=self.services, events=self.events
+        )
+        publish_correct(self.hub.marketplace)
+        self.sites: Dict[str, Site] = {}
+        self.users: Dict[str, WorldUser] = {}
+
+    # -- sites -------------------------------------------------------------------
+    def site(self, name: str, background_load: bool = True) -> Site:
+        """Build (or return) a catalog site sharing this world's services."""
+        if name not in self.sites:
+            builder = SITE_BUILDERS.get(name)
+            if builder is None:
+                raise ValueError(
+                    f"unknown site {name!r}; choices: {sorted(SITE_BUILDERS)}"
+                )
+            self.sites[name] = builder(
+                self.clock,
+                package_index=self.package_index,
+                container_registries=[self.container_registry],
+                events=self.events,
+                background_load=background_load,
+            )
+        return self.sites[name]
+
+    def add_site(self, site: Site) -> Site:
+        self.sites[site.name] = site
+        return site
+
+    # -- people -------------------------------------------------------------------
+    def register_user(
+        self,
+        login: str,
+        site_accounts: Optional[Dict[str, str]] = None,
+    ) -> WorldUser:
+        """Create identity + hub account + client credentials + site accounts.
+
+        ``site_accounts`` maps site name → local account name; accounts and
+        identity mappings are created on each site.
+        """
+        identity = self.idp.register(login)
+        self.hub.create_user(login, identity_urn=identity.urn)
+        client_id, client_secret = self.auth.create_client(
+            identity, name=f"{login}-correct"
+        )
+        user = WorldUser(
+            login=login,
+            identity=identity,
+            client_id=client_id,
+            client_secret=client_secret,
+        )
+        for site_name, account in (site_accounts or {}).items():
+            self.map_user_to_site(user, site_name, account)
+        self.users[login] = user
+        return user
+
+    def map_user_to_site(self, user: WorldUser, site_name: str, account: str) -> None:
+        site = self.site(site_name)
+        site.add_account(account)
+        site.identity_map.add(user.identity, account)
+        user.site_accounts[site_name] = account
+
+    # -- endpoints ------------------------------------------------------------------
+    def shell_services(self) -> ShellServices:
+        # the live dict is shared, so image commands registered later
+        # (e.g. by an application module) reach already-deployed endpoints
+        return ShellServices(
+            hub=self.hub, image_commands=self.services.image_commands
+        )
+
+    def deploy_mep(
+        self,
+        site_name: str,
+        templates: Optional[Dict[str, EndpointTemplate]] = None,
+        policy: Optional[HighAssurancePolicy] = None,
+    ) -> MultiUserEndpoint:
+        """Deploy and register a multi-user endpoint at a site."""
+        mep = MultiUserEndpoint(
+            site=self.site(site_name),
+            shell_services=self.shell_services(),
+            templates=templates,
+            policy=policy,
+        )
+        self.faas.register_endpoint(mep)
+        return mep
+
+    def deploy_user_endpoint(
+        self,
+        user: WorldUser,
+        site_name: str,
+        template: Optional[EndpointTemplate] = None,
+    ) -> UserEndpoint:
+        """Deploy a single-user endpoint for a user's site account."""
+        site = self.site(site_name)
+        account = user.site_accounts.get(site_name)
+        if account is None:
+            raise ValueError(f"{user.login} has no account at {site_name}")
+        uep = UserEndpoint(
+            site=site,
+            local_user=account,
+            shell_services=self.shell_services(),
+            template=template,
+            owner=user.identity,
+        )
+        self.faas.register_endpoint(uep)
+        return uep
+
+    def register_image_command(self, name: str, impl) -> None:
+        """Register a container-provided command implementation globally."""
+        self.services.image_commands[name] = impl

@@ -1,0 +1,31 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.clock import SimClock
+from repro.world import World
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def world() -> World:
+    return World()
+
+
+@pytest.fixture
+def quiet_world() -> World:
+    """A world whose sites are built without background queue load."""
+    w = World()
+    original = w.site
+
+    def site_no_load(name, background_load=False):
+        return original(name, background_load=background_load)
+
+    w.site = site_no_load  # type: ignore[method-assign]
+    return w

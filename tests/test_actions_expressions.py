@@ -1,0 +1,108 @@
+"""Unit tests for the ${{ }} expression evaluator."""
+
+import pytest
+
+from repro.actions.expressions import evaluate, interpolate
+from repro.errors import ExpressionError
+
+
+def _context(**overrides):
+    context = {
+        "secrets": {"GLOBUS_ID": "client-123", "EMPTY": ""},
+        "env": {"ENDPOINT_UUID": "ep-1", "COUNT": "3"},
+        "github": {"repository": "org/app", "sha": "abc123"},
+        "steps": {"tox": {"outputs": {"stdout": "ok"}, "outcome": "success"}},
+        "__functions__": {
+            "always": lambda: True,
+            "success": lambda: True,
+            "failure": lambda: False,
+        },
+    }
+    context.update(overrides)
+    return context
+
+
+class TestEvaluate:
+    def test_dotted_lookup(self):
+        assert evaluate("secrets.GLOBUS_ID", _context()) == "client-123"
+        assert evaluate("steps.tox.outputs.stdout", _context()) == "ok"
+
+    def test_unknown_top_level_context_is_error(self):
+        with pytest.raises(ExpressionError):
+            evaluate("secerts.TYPO", _context())
+
+    def test_missing_leaf_is_empty_string(self):
+        assert evaluate("secrets.MISSING", _context()) == ""
+
+    def test_literals(self):
+        ctx = _context()
+        assert evaluate("'text'", ctx) == "text"
+        assert evaluate("42", ctx) == 42
+        assert evaluate("-2.5", ctx) == -2.5
+        assert evaluate("true", ctx) is True
+        assert evaluate("null", ctx) is None
+
+    def test_escaped_quote(self):
+        assert evaluate("'it''s'", _context()) == "it's"
+
+    def test_equality_and_coercion(self):
+        ctx = _context()
+        assert evaluate("env.COUNT == 3", ctx) is True  # loose compare
+        assert evaluate("github.sha == 'abc123'", ctx) is True
+        assert evaluate("github.sha != 'zzz'", ctx) is True
+
+    def test_boolean_operators(self):
+        ctx = _context()
+        assert evaluate("true && 'yes'", ctx) == "yes"
+        assert evaluate("false || 'fallback'", ctx) == "fallback"
+        assert evaluate("!secrets.EMPTY", ctx) is True
+
+    def test_parentheses(self):
+        assert evaluate("(false || true) && 'x'", _context()) == "x"
+
+    def test_status_functions(self):
+        ctx = _context()
+        assert evaluate("always()", ctx) is True
+        assert evaluate("failure()", ctx) is False
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            evaluate("nope()", _context())
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ExpressionError):
+            evaluate("1 2", _context())
+
+    def test_step_outcome_comparison(self):
+        assert evaluate("steps.tox.outcome == 'success'", _context()) is True
+
+
+class TestInterpolate:
+    def test_whole_expression_preserves_type(self):
+        assert interpolate("${{ 42 }}", _context()) == 42
+        assert interpolate("${{ always() }}", _context()) is True
+
+    def test_mixed_text_coerces(self):
+        result = interpolate("sha=${{ github.sha }}!", _context())
+        assert result == "sha=abc123!"
+
+    def test_plain_text_unchanged(self):
+        assert interpolate("no expressions", _context()) == "no expressions"
+
+    def test_recursive_containers(self):
+        data = {
+            "client_id": "${{ secrets.GLOBUS_ID }}",
+            "list": ["${{ env.ENDPOINT_UUID }}", "literal"],
+        }
+        result = interpolate(data, _context())
+        assert result == {
+            "client_id": "client-123",
+            "list": ["ep-1", "literal"],
+        }
+
+    def test_non_string_passthrough(self):
+        assert interpolate(7, _context()) == 7
+        assert interpolate(None, _context()) is None
+
+    def test_bool_renders_lowercase_in_text(self):
+        assert interpolate("v=${{ always() }}", _context()) == "v=true"

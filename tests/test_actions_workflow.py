@@ -1,0 +1,162 @@
+"""Unit tests for workflow parsing and trigger matching."""
+
+import pytest
+
+from repro.actions.workflow import JobDef, StepDef, Workflow, parse_workflow
+from repro.errors import WorkflowParseError
+
+BASIC = """name: CI
+on:
+  push:
+    branches: [main]
+jobs:
+  test:
+    runs-on: ubuntu-latest
+    steps:
+      - name: hello
+        run: echo hi
+"""
+
+
+class TestParsing:
+    def test_basic_document(self):
+        workflow = parse_workflow(BASIC, path=".github/workflows/ci.yml")
+        assert workflow.name == "CI"
+        assert list(workflow.jobs) == ["test"]
+        step = workflow.jobs["test"].steps[0]
+        assert step.run == "echo hi"
+
+    def test_step_needs_exactly_one_of_uses_run(self):
+        with pytest.raises(WorkflowParseError):
+            StepDef(name="bad")
+        with pytest.raises(WorkflowParseError):
+            StepDef(name="bad", uses="a/b@v1", run="echo hi")
+
+    def test_job_needs_steps(self):
+        with pytest.raises(WorkflowParseError):
+            JobDef(id="empty")
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(WorkflowParseError):
+            parse_workflow("name: X\njobs:\n  j:\n    steps:\n      - run: x\n")
+
+    def test_missing_jobs_rejected(self):
+        with pytest.raises(WorkflowParseError):
+            parse_workflow("on: push\n")
+
+    def test_on_string_and_list_forms(self):
+        workflow = parse_workflow(
+            "on: push\njobs:\n  j:\n    steps:\n      - run: x\n"
+        )
+        assert "push" in workflow.on
+        workflow = parse_workflow(
+            "on: [push, workflow_dispatch]\njobs:\n  j:\n    steps:\n      - run: x\n"
+        )
+        assert set(workflow.on) == {"push", "workflow_dispatch"}
+
+    def test_environment_and_env_parsed(self):
+        doc = """on: push
+jobs:
+  deploy:
+    runs-on: ubuntu-latest
+    environment: hpc-faster
+    env:
+      ENDPOINT_UUID: ep-123
+    steps:
+      - run: echo x
+"""
+        job = parse_workflow(doc).jobs["deploy"]
+        assert job.environment == "hpc-faster"
+        assert job.env == {"ENDPOINT_UUID": "ep-123"}
+
+    def test_needs_string_normalized(self):
+        doc = """on: push
+jobs:
+  a:
+    steps:
+      - run: x
+  b:
+    needs: a
+    steps:
+      - run: y
+"""
+        assert parse_workflow(doc).jobs["b"].needs == ["a"]
+
+    def test_fig3_step_shape(self):
+        doc = """on: push
+jobs:
+  ci:
+    steps:
+      - name: Run tox
+        id: tox
+        uses: globus-labs/correct@v1
+        with:
+          client_id: '${{ secrets.GLOBUS_ID }}'
+          client_secret: '${{ secrets.GLOBUS_SECRET }}'
+          endpoint_uuid: '${{ env.ENDPOINT_UUID }}'
+          shell_cmd: tox
+"""
+        step = parse_workflow(doc).jobs["ci"].steps[0]
+        assert step.uses == "globus-labs/correct@v1"
+        assert step.with_["shell_cmd"] == "tox"
+        assert step.id == "tox"
+
+
+class TestJobOrder:
+    def _workflow(self, needs_map):
+        jobs = {}
+        for job_id, needs in needs_map.items():
+            jobs[job_id] = JobDef(
+                id=job_id,
+                needs=needs,
+                steps=[StepDef(name="s", run="echo")],
+            )
+        return Workflow(name="w", on={"push": {}}, jobs=jobs)
+
+    def test_topological_order(self):
+        workflow = self._workflow({"c": ["b"], "b": ["a"], "a": []})
+        order = workflow.job_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        workflow = self._workflow({"a": ["b"], "b": ["a"]})
+        with pytest.raises(WorkflowParseError):
+            workflow.job_order()
+
+    def test_unknown_dependency(self):
+        workflow = self._workflow({"a": ["ghost"]})
+        with pytest.raises(WorkflowParseError):
+            workflow.job_order()
+
+
+class TestTriggerMatching:
+    def _workflow(self, on):
+        return Workflow(
+            name="w",
+            on=on,
+            jobs={"j": JobDef(id="j", steps=[StepDef(name="s", run="x")])},
+            path=".github/workflows/ci.yml",
+        )
+
+    def test_push_branch_filter(self):
+        workflow = self._workflow({"push": {"branches": ["main"]}})
+        assert workflow.matches("push", {"branch": "main"})
+        assert not workflow.matches("push", {"branch": "dev"})
+
+    def test_push_no_filter(self):
+        workflow = self._workflow({"push": {}})
+        assert workflow.matches("push", {"branch": "anything"})
+
+    def test_unsubscribed_event(self):
+        workflow = self._workflow({"push": {}})
+        assert not workflow.matches("schedule", {})
+
+    def test_dispatch_by_filename_or_name(self):
+        workflow = self._workflow({"workflow_dispatch": {}})
+        assert workflow.matches("workflow_dispatch", {"workflow": "ci.yml"})
+        assert workflow.matches("workflow_dispatch", {"workflow": ""})
+        assert not workflow.matches("workflow_dispatch", {"workflow": "other.yml"})
+
+    def test_schedule_matches(self):
+        workflow = self._workflow({"schedule": [{"cron": "0 0 * * *"}]})
+        assert workflow.matches("schedule", {"time": 0.0})

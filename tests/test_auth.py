@@ -1,0 +1,149 @@
+"""Unit tests for identities, OAuth, identity mapping, and policies."""
+
+import pytest
+
+from repro.auth.identity import Identity, IdentityMap, IdentityProvider
+from repro.auth.oauth import AuthService, SCOPE_COMPUTE, SCOPE_TRANSFER
+from repro.auth.policies import HighAssurancePolicy
+from repro.errors import (
+    IdentityMappingError,
+    InsufficientScope,
+    InvalidCredentials,
+    PolicyViolation,
+    TokenExpired,
+)
+from repro.util.clock import SimClock
+
+
+class TestIdentity:
+    def test_urn_and_stable_uuid(self):
+        a = Identity("alice", "uni.edu")
+        assert a.urn == "alice@uni.edu"
+        assert a.uuid == Identity("alice", "uni.edu").uuid
+
+    def test_provider_registration(self):
+        idp = IdentityProvider("uni.edu")
+        alice = idp.register("alice")
+        assert idp.lookup("alice") == alice
+        assert idp.lookup("bob") is None
+        assert alice in idp.identities()
+
+
+class TestIdentityMap:
+    def test_resolve_mapped(self):
+        mapping = IdentityMap("faster")
+        alice = Identity("alice", "uni.edu")
+        mapping.add(alice, "x-alice")
+        assert mapping.resolve(alice) == "x-alice"
+        assert mapping.is_mapped(alice)
+
+    def test_unmapped_raises(self):
+        mapping = IdentityMap("faster")
+        with pytest.raises(IdentityMappingError):
+            mapping.resolve(Identity("bob", "uni.edu"))
+
+    def test_remove(self):
+        mapping = IdentityMap("s")
+        alice = Identity("alice", "uni.edu")
+        mapping.add(alice, "acct")
+        mapping.remove(alice)
+        assert not mapping.is_mapped(alice)
+
+    def test_accounts_deduplicated(self):
+        mapping = IdentityMap("s")
+        mapping.add(Identity("a", "x"), "shared")
+        mapping.add(Identity("b", "x"), "shared")
+        assert mapping.accounts() == ["shared"]
+
+
+class TestAuthService:
+    def _service(self):
+        clock = SimClock()
+        service = AuthService(clock)
+        owner = Identity("alice", "uni.edu")
+        client_id, secret = service.create_client(owner, name="ci")
+        return clock, service, owner, client_id, secret
+
+    def test_grant_and_introspect(self):
+        _, service, owner, client_id, secret = self._service()
+        token = service.client_credentials_grant(client_id, secret)
+        checked = service.introspect(token.value, required_scope=SCOPE_COMPUTE)
+        assert checked.identity == owner
+
+    def test_secret_returned_once_and_hashed(self):
+        _, service, _, client_id, secret = self._service()
+        client = service._clients[client_id]
+        assert secret not in vars(client).values()  # only the hash is stored
+        assert client.check_secret(secret)
+
+    def test_bad_secret_rejected(self):
+        _, service, _, client_id, _ = self._service()
+        with pytest.raises(InvalidCredentials):
+            service.client_credentials_grant(client_id, "wrong")
+
+    def test_unknown_client_rejected(self):
+        _, service, _, _, secret = self._service()
+        with pytest.raises(InvalidCredentials):
+            service.client_credentials_grant("ghost", secret)
+
+    def test_token_expiry(self):
+        clock, service, _, client_id, secret = self._service()
+        token = service.client_credentials_grant(client_id, secret, lifetime=100.0)
+        clock.advance(101.0)
+        with pytest.raises(TokenExpired):
+            service.introspect(token.value)
+
+    def test_scope_enforcement(self):
+        _, service, _, client_id, secret = self._service()
+        token = service.client_credentials_grant(
+            client_id, secret, scopes=(SCOPE_TRANSFER,)
+        )
+        with pytest.raises(InsufficientScope):
+            service.introspect(token.value, required_scope=SCOPE_COMPUTE)
+
+    def test_revocation(self):
+        _, service, _, client_id, secret = self._service()
+        token = service.client_credentials_grant(client_id, secret)
+        service.revoke(token.value)
+        with pytest.raises(InvalidCredentials):
+            service.introspect(token.value)
+
+    def test_client_owner_lookup(self):
+        _, service, owner, client_id, _ = self._service()
+        assert service.client_owner(client_id) == owner
+        with pytest.raises(InvalidCredentials):
+            service.client_owner("nope")
+
+    def test_tokens_for_identity(self):
+        _, service, owner, client_id, secret = self._service()
+        service.client_credentials_grant(client_id, secret)
+        service.client_credentials_grant(client_id, secret)
+        assert len(service.tokens_for(owner)) == 2
+
+
+class TestHighAssurancePolicy:
+    def _token(self, provider="uni.edu", issued_at=0.0):
+        from repro.auth.oauth import Token
+
+        return Token(
+            value="t",
+            identity=Identity("alice", provider),
+            scopes=frozenset({SCOPE_COMPUTE}),
+            issued_at=issued_at,
+            expires_at=issued_at + 1000,
+        )
+
+    def test_permissive_accepts_all(self):
+        HighAssurancePolicy.permissive().check(self._token(), now=100.0)
+
+    def test_provider_restriction(self):
+        policy = HighAssurancePolicy(required_providers=frozenset({"lab.gov"}))
+        with pytest.raises(PolicyViolation):
+            policy.check(self._token(provider="uni.edu"), now=0.0)
+        policy.check(self._token(provider="lab.gov"), now=0.0)
+
+    def test_session_age(self):
+        policy = HighAssurancePolicy(max_session_age=60.0)
+        policy.check(self._token(issued_at=0.0), now=30.0)
+        with pytest.raises(PolicyViolation):
+            policy.check(self._token(issued_at=0.0), now=61.0)

@@ -1,0 +1,138 @@
+"""Unit tests for badge levels, the review process, and the Fig. 1 model."""
+
+import pytest
+
+from repro.badges.history import BadgeHistoryModel, YearCohort, default_cohorts
+from repro.badges.levels import BadgeLevel, badge_requirements
+from repro.badges.review import (
+    ArtifactDescription,
+    ArtifactEvaluation,
+    ArtifactSubmission,
+    EvaluationStep,
+    Reviewer,
+    review_submission,
+)
+
+
+def _submission(install_defects=(), functionality_defects=(),
+                experiment_defects=(), available=True, hours=(1.0, 1.0, 2.0)):
+    steps = [
+        EvaluationStep("install", "install", hours[0], list(install_defects)),
+        EvaluationStep(
+            "smoke-test", "functionality", hours[1], list(functionality_defects)
+        ),
+        EvaluationStep(
+            "experiment-1", "experiment", hours[2], list(experiment_defects)
+        ),
+    ]
+    return ArtifactSubmission(
+        repo_public=available,
+        has_open_license=available,
+        has_documentation=available,
+        description=ArtifactDescription(
+            contributions=["the system"],
+            experiments_to_reproduce=["experiment-1"],
+        ),
+        evaluation=ArtifactEvaluation(machine="cluster", steps=steps),
+    )
+
+
+class TestLevels:
+    def test_ordering_cumulative(self):
+        assert BadgeLevel.RESULTS_REPRODUCED > BadgeLevel.ARTIFACTS_EVALUATED
+        assert BadgeLevel.ARTIFACTS_EVALUATED > BadgeLevel.ARTIFACTS_AVAILABLE
+
+    def test_requirements_nest(self):
+        available = set(badge_requirements(BadgeLevel.ARTIFACTS_AVAILABLE))
+        evaluated = set(badge_requirements(BadgeLevel.ARTIFACTS_EVALUATED))
+        reproduced = set(badge_requirements(BadgeLevel.RESULTS_REPRODUCED))
+        assert available < evaluated < reproduced
+
+    def test_display_names(self):
+        assert "Available" in BadgeLevel.ARTIFACTS_AVAILABLE.display_name
+
+
+class TestReview:
+    def test_perfect_submission_reproduced(self):
+        outcome = review_submission(_submission())
+        assert outcome.badge is BadgeLevel.RESULTS_REPRODUCED
+        assert outcome.problems == []
+
+    def test_unavailable_gets_nothing(self):
+        outcome = review_submission(_submission(available=False))
+        assert outcome.badge is BadgeLevel.NONE
+        assert outcome.hours_spent == 0.0
+
+    def test_broken_install_stops_at_available(self):
+        outcome = review_submission(
+            _submission(install_defects=["versioning issue"])
+        )
+        assert outcome.badge is BadgeLevel.ARTIFACTS_AVAILABLE
+        assert any("versioning issue" in p for p in outcome.problems)
+
+    def test_fixable_defect_resolved_with_authors(self):
+        outcome = review_submission(
+            _submission(install_defects=["missing env var"])
+        )
+        assert outcome.badge is BadgeLevel.RESULTS_REPRODUCED
+        assert any("resolved with authors" in p for p in outcome.problems)
+        # the round-trip cost shows up in hours
+        assert outcome.hours_spent == pytest.approx(1.0 + 1.0 + 1.0 + 2.0)
+
+    def test_failed_experiment_caps_at_evaluated(self):
+        outcome = review_submission(
+            _submission(experiment_defects=["hardware-specific issue"])
+        )
+        assert outcome.badge is BadgeLevel.ARTIFACTS_EVALUATED
+
+    def test_time_budget_exhaustion(self):
+        submission = _submission(hours=(1.0, 1.0, 20.0))
+        outcome = review_submission(submission, Reviewer(budget_hours=8.0))
+        assert outcome.badge is BadgeLevel.ARTIFACTS_EVALUATED
+        assert any("time budget" in p for p in outcome.problems)
+
+    def test_budget_too_small_for_fix(self):
+        submission = _submission(install_defects=["missing env var"])
+        outcome = review_submission(submission, Reviewer(budget_hours=1.5))
+        assert outcome.badge is BadgeLevel.ARTIFACTS_AVAILABLE
+
+
+class TestHistoryModel:
+    def test_deterministic_under_seed(self):
+        a = BadgeHistoryModel(seed=7).run()
+        b = BadgeHistoryModel(seed=7).run()
+        assert a == b
+
+    def test_seed_changes_results(self):
+        a = BadgeHistoryModel(seed=7).run()
+        b = BadgeHistoryModel(seed=8).run()
+        assert a != b
+
+    def test_fig1_shape(self):
+        counts = BadgeHistoryModel.cumulative_counts(
+            BadgeHistoryModel(seed=2025).run()
+        )
+        years = sorted(counts)
+        assert years[0] == 2016 and years[-1] == 2024
+        for year in years:
+            c = counts[year]
+            # ordering: available >= evaluated >= reproduced
+            assert c["available"] >= c["evaluated"] >= c["reproduced"]
+        # growth: the last years dwarf the first
+        assert counts[2024]["available"] > 3 * counts[2016]["available"]
+        assert counts[2024]["evaluated"] > counts[2016]["evaluated"]
+        # most papers still fall short of full reproduction (the paper's
+        # motivating observation)
+        assert counts[2024]["reproduced"] < counts[2024]["available"] / 2
+
+    def test_custom_cohorts(self):
+        cohorts = [YearCohort(2030, 10, 1.0, 0.0, 4.0)]
+        results = BadgeHistoryModel(cohorts, seed=1).run()
+        # perfect quality: everything available, almost all reproduced
+        year = results[2030]
+        assert sum(year.values()) == 10
+        assert year[BadgeLevel.RESULTS_REPRODUCED] >= 8
+
+    def test_default_cohorts_cover_2016_2024(self):
+        years = [c.year for c in default_cohorts()]
+        assert years == list(range(2016, 2025))

@@ -1,0 +1,102 @@
+"""Tests for baseline adapters, survey tables, and rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import format_grouped_bars, format_series, format_table
+from repro.baselines.base import SCIENCE_APP_DESCRIPTORS
+from repro.baselines.hpc_ci import (
+    HPC_CI_ADAPTERS,
+    CorrectAdapter,
+    JacamarAdapter,
+    TapisAdapter,
+)
+from repro.world import World
+
+
+class TestDescriptors:
+    def test_table2_rows_match_paper(self):
+        rows = {d.name: d.table2_row() for d in SCIENCE_APP_DESCRIPTORS}
+        assert rows["GNSS-SDR"][1] == "GitLab"
+        assert rows["ATLAS"][1] == "Jenkins"
+        assert rows["AMBER"][1] == "CruiseControl"
+        assert rows["NeuroCI"][1] == "CircleCI"
+        assert rows["NeuroCI"][2] == "Distributed HPC clusters"
+
+    def test_table4_rows_match_paper(self):
+        rows = {a.descriptor.name: a.descriptor.table4_row() for a in HPC_CI_ADAPTERS}
+        assert rows["Jacamar CI"][3] == "Yes"
+        assert rows["TACC"][3] == "No"
+        assert rows["TACC"][2] == "Tapis Security Kernel"
+        assert rows["OSC"][4] == "None"
+        assert "CharlieCloud" in rows["Jacamar CI"][4]
+
+    def test_five_hpc_frameworks(self):
+        assert len(HPC_CI_ADAPTERS) == 5
+
+
+class TestProbes:
+    def test_jacamar_probe(self):
+        probes = JacamarAdapter().probe(World())
+        assert probes["runs_as_invoking_user"]
+        assert probes["rejects_unmapped_identity"]
+        assert probes["site_specific_execution"]
+        assert probes["needs_runner_on_hpc"]
+
+    def test_tapis_probe(self):
+        probes = TapisAdapter().probe(World())
+        assert probes["docker_to_singularity_conversion"]
+        assert probes["runner_offsite"]
+        assert probes["docker_refused_on_hpc"]
+        assert not probes["needs_runner_on_hpc"]
+
+    def test_all_adapters_probe_clean(self):
+        world = World()
+        for adapter in HPC_CI_ADAPTERS + [CorrectAdapter()]:
+            results = adapter.probe(world)
+            checks = {
+                k: v for k, v in results.items() if k != "needs_runner_on_hpc"
+            }
+            assert all(checks.values()), (adapter.descriptor.name, checks)
+
+    def test_only_tapis_and_correct_avoid_hpc_runners(self):
+        world = World()
+        needs = {
+            a.descriptor.name: a.probe(world)["needs_runner_on_hpc"]
+            for a in HPC_CI_ADAPTERS + [CorrectAdapter()]
+        }
+        assert not needs["TACC"] and not needs["CORRECT"]
+        assert needs["Jacamar CI"] and needs["OSC"]
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_format_table_validates_row_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        text = format_series({"chameleon": 10.0, "faster": 20.0})
+        assert "chameleon" in text
+        # longer bar for larger value
+        chameleon_line, faster_line = text.splitlines()
+        assert faster_line.count("#") > chameleon_line.count("#")
+
+    def test_format_series_empty(self):
+        assert format_series({}) == "(empty series)"
+
+    def test_format_grouped_bars(self):
+        text = format_grouped_bars(
+            {"test_x": {"chameleon": 1.0, "faster": 2.0}}
+        )
+        assert "test_x:" in text
+        assert "chameleon" in text and "faster" in text
+
+    def test_zero_values_render(self):
+        text = format_series({"a": 0.0, "b": 1.0})
+        assert "0.00" in text

@@ -1,0 +1,52 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig1", "fig4", "fig5", "exp63", "tables", "ablations"):
+            args = parser.parse_args([command] if command != "fig1" else ["fig1"])
+            assert args.command == command or command == "fig1"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "2016" in out and "2024" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "chameleon" in out and "queue waits" in out
+
+    def test_fig5_exits_zero_on_expected_failure(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "test_batch_attributes" in out
+
+    def test_exp63(self, capsys):
+        assert main(["exp63"]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Jacamar CI" in out and "all probes demonstrated: True" in out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "amortization" in out

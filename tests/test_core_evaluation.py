@@ -1,0 +1,107 @@
+"""Tests for the multi-site evaluation report generator."""
+
+import pytest
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.badges.levels import BadgeLevel
+from repro.core.evaluation import evaluate_across_sites
+from repro.errors import CorrectError
+from repro.experiments import common
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    world = World()
+    user = world.register_user("vhayot", {})
+    endpoints = {}
+    for site in ("chameleon", "faster"):
+        common.provision_user_site(
+            world, user, site, f"acct-{site}", "docking", common.DOCKING_STACK
+        )
+        endpoints[site] = common.deploy_site_mep(world, site).endpoint_id
+    return evaluate_across_sites(
+        world, user, "lab/eval-demo",
+        endpoints=endpoints,
+        files=parsldock_suite.repo_files(),
+        conda_env="docking",
+    )
+
+
+class TestEvaluateAcrossSites:
+    def test_all_sites_evaluated(self, evaluation):
+        assert set(evaluation.sites) == {"chameleon", "faster"}
+        for site_eval in evaluation.sites.values():
+            assert site_eval.passed == 10
+            assert site_eval.failed == 0
+            assert site_eval.ok
+
+    def test_consistent_and_badge_recommendation(self, evaluation):
+        assert evaluation.consistent
+        assert evaluation.recommended_badge() is BadgeLevel.RESULTS_REPRODUCED
+
+    def test_crate_complete(self, evaluation):
+        report = evaluation.crate.completeness_report()
+        assert all(report.values()), report
+        assert evaluation.crate.is_reviewable()
+
+    def test_provenance_records_attached(self, evaluation):
+        for site_eval in evaluation.sites.values():
+            assert site_eval.record is not None
+            assert site_eval.record.environment is not None
+            assert site_eval.record.site == site_eval.site
+
+    def test_markdown_report(self, evaluation):
+        report = evaluation.render_markdown()
+        assert "# Reproducibility evaluation: lab/eval-demo" in report
+        assert "Results Reproduced" in report
+        assert "| chameleon |" in report and "| faster |" in report
+        assert "test_dock_single" in report
+        assert "- [x] multi site" in report
+
+    def test_no_endpoints_rejected(self):
+        world = World()
+        user = world.register_user("u", {})
+        with pytest.raises(CorrectError):
+            evaluate_across_sites(world, user, "x/y", {}, files={})
+
+
+class TestBadgeDowngrades:
+    def test_single_site_caps_at_evaluated(self):
+        world = World()
+        user = world.register_user("solo", {})
+        common.provision_user_site(
+            world, user, "chameleon", "cc", "docking", common.DOCKING_STACK
+        )
+        endpoint = common.deploy_site_mep(world, "chameleon").endpoint_id
+        evaluation = evaluate_across_sites(
+            world, user, "solo/one-site",
+            endpoints={"chameleon": endpoint},
+            files=parsldock_suite.repo_files(),
+            conda_env="docking",
+        )
+        assert evaluation.recommended_badge() is BadgeLevel.ARTIFACTS_EVALUATED
+
+    def test_failing_suite_caps_at_evaluated(self):
+        from repro.apps.psij import suite as psij_suite
+
+        world = World()
+        user = world.register_user("vhayot", {})
+        endpoints = {}
+        for site in ("anvil", "faster"):
+            common.provision_user_site(
+                world, user, site, f"a-{site}", "psij", common.PSIJ_STACK
+            )
+            endpoints[site] = common.deploy_site_mep(
+                world, site, login_only=True
+            ).endpoint_id
+        evaluation = evaluate_across_sites(
+            world, user, "lab/psij-eval",
+            endpoints=endpoints,
+            files=psij_suite.repo_files(),
+            conda_env="psij",
+        )
+        # the v0.9.9 bug fails at both sites — consistently!
+        assert evaluation.consistent
+        assert not all(s.ok for s in evaluation.sites.values())
+        assert evaluation.recommended_badge() is BadgeLevel.ARTIFACTS_EVALUATED

@@ -1,0 +1,155 @@
+"""Unit tests for packages, version resolution, and conda environments."""
+
+import pytest
+
+from repro.envs.conda import CondaManager
+from repro.envs.index import PackageIndex
+from repro.envs.packages import Package, Version, VersionSpec
+from repro.envs.stdlib import standard_index
+from repro.errors import EnvironmentError_, PackageNotFound, ResolutionError
+
+
+class TestVersion:
+    def test_parse_and_str(self):
+        assert str(Version.parse("1.2.6")) == "1.2.6"
+        assert str(Version.parse("v2.0")) == "2.0"
+
+    def test_ordering(self):
+        assert Version.parse("1.9") < Version.parse("1.10")
+        assert Version.parse("2.0") > Version.parse("1.99.99")
+
+    def test_padding(self):
+        assert Version.parse("1.0") == Version.parse("1.0.0")
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            Version.parse("not-a-version")
+
+
+class TestVersionSpec:
+    @pytest.mark.parametrize(
+        "spec,version,expected",
+        [
+            ("*", "1.0", True),
+            ("==1.2.6", "1.2.6", True),
+            ("==1.2.6", "1.2.7", False),
+            (">=1.2,<2.0", "1.5", True),
+            (">=1.2,<2.0", "2.0", False),
+            ("!=1.3", "1.3", False),
+            (">1.0", "1.0", False),
+            ("<=1.0", "1.0", True),
+            ("1.2.3", "1.2.3", True),  # bare version = exact
+        ],
+    )
+    def test_matches(self, spec, version, expected):
+        assert VersionSpec(spec).matches(Version.parse(version)) is expected
+
+
+class TestPackageIndex:
+    def _index(self):
+        index = PackageIndex()
+        index.add_many(
+            [
+                Package.make("app", "1.0", requires={"lib": ">=2"}),
+                Package.make("app", "2.0", requires={"lib": ">=3"}),
+                Package.make("lib", "2.5"),
+                Package.make("lib", "3.1"),
+            ]
+        )
+        return index
+
+    def test_best_prefers_newest(self):
+        index = self._index()
+        assert str(index.best("app", VersionSpec("*")).version) == "2.0"
+        assert str(index.best("app", VersionSpec("<2")).version) == "1.0"
+
+    def test_missing_package(self):
+        with pytest.raises(PackageNotFound):
+            self._index().versions("ghost")
+
+    def test_duplicate_version_rejected(self):
+        index = self._index()
+        with pytest.raises(ValueError):
+            index.add(Package.make("lib", "3.1"))
+
+    def test_resolution_includes_dependencies(self):
+        resolved = self._index().resolve({"app": "*"})
+        names = [p.name for p in resolved]
+        assert names.index("lib") < names.index("app")  # dependency first
+        versions = {p.name: str(p.version) for p in resolved}
+        assert versions == {"app": "2.0", "lib": "3.1"}
+
+    def test_constraint_intersection(self):
+        resolved = self._index().resolve({"app": "<2", "lib": "*"})
+        versions = {p.name: str(p.version) for p in resolved}
+        # app 1.0 needs lib>=2; top-level lib * — newest satisfying both
+        assert versions["lib"] == "3.1"
+
+    def test_unsatisfiable_reports_chain(self):
+        index = self._index()
+        with pytest.raises(ResolutionError) as exc:
+            index.resolve({"app": ">=2", "lib": "<3"})
+        assert "lib" in str(exc.value)
+
+    def test_cycle_detection(self):
+        index = PackageIndex()
+        index.add(Package.make("a", "1.0", requires={"b": "*"}))
+        index.add(Package.make("b", "1.0", requires={"a": "*"}))
+        with pytest.raises(ResolutionError):
+            index.resolve({"a": "*"})
+
+
+class TestCondaManager:
+    def test_create_and_install(self):
+        manager = CondaManager("alice", standard_index())
+        manager.create("docking")
+        downloaded = manager.install("docking", {"parsldock": "*"})
+        env = manager.env("docking")
+        assert env.has("parsldock")
+        assert env.has("autodock-vina", "1.2.6")  # pinned dependency
+        assert downloaded > 0
+
+    def test_reinstall_already_satisfied(self):
+        manager = CondaManager("alice", standard_index())
+        manager.install("base", {"pytest": ">=8"})
+        downloaded = manager.install("base", {"pytest": ">=8"})
+        assert downloaded == 0.0
+
+    def test_duplicate_env_rejected(self):
+        manager = CondaManager("a", standard_index())
+        manager.create("env1")
+        with pytest.raises(EnvironmentError_):
+            manager.create("env1")
+
+    def test_missing_env_rejected(self):
+        manager = CondaManager("a", standard_index())
+        with pytest.raises(EnvironmentError_):
+            manager.env("ghost")
+
+    def test_freeze_sorted(self):
+        manager = CondaManager("a", standard_index())
+        manager.install("base", {"pytest": "*", "dill": "*"})
+        frozen = manager.env("base").freeze()
+        assert frozen == sorted(frozen)
+        assert any(line.startswith("pytest==") for line in frozen)
+
+    def test_commands_provided(self):
+        manager = CondaManager("a", standard_index())
+        manager.install("base", {"tox": "*"})
+        commands = manager.env("base").commands()
+        assert "tox" in commands and "pytest" in commands
+
+
+class TestStandardIndex:
+    def test_paper_versions_present(self):
+        index = standard_index()
+        assert str(index.best("autodock-vina", VersionSpec("*")).version) == "1.2.6"
+        assert str(index.best("vmd", VersionSpec("*")).version) == "1.9.3"
+        assert str(index.best("mgltools", VersionSpec("*")).version) == "1.5.7"
+        assert str(index.best("psij-python", VersionSpec("*")).version) == "0.9.9"
+
+    def test_psij_requirements_match_fig5(self):
+        index = standard_index()
+        psij = index.best("psij-python", VersionSpec("==0.9.9"))
+        requirement_names = {name for name, _ in psij.requires}
+        assert requirement_names == {"psutil", "pystache", "typeguard"}

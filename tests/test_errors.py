@@ -1,0 +1,43 @@
+"""Sanity tests for the exception hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ReproError,
+    RemoteExecutionFailed,
+    StepFailed,
+    TaskFailed,
+)
+
+
+def test_every_error_derives_from_repro_error():
+    for name, obj in vars(errors_module).items():
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            assert issubclass(obj, ReproError), f"{name} escapes the hierarchy"
+
+
+def test_task_failed_carries_remote_traceback():
+    exc = TaskFailed("boom", remote_traceback="Traceback: ...")
+    assert exc.remote_traceback == "Traceback: ..."
+    assert "boom" in str(exc)
+
+
+def test_remote_execution_failed_carries_streams():
+    exc = RemoteExecutionFailed("failed", stdout="out", stderr="err")
+    assert exc.stdout == "out" and exc.stderr == "err"
+
+
+def test_step_failed_carries_outcome():
+    outcome = object()
+    assert StepFailed("x", outcome=outcome).outcome is outcome
+
+
+def test_catching_base_catches_subsystem_errors():
+    from repro.errors import EndpointOffline, MergeConflict, PackageNotFound
+
+    for exc_type in (EndpointOffline, MergeConflict, PackageNotFound):
+        with pytest.raises(ReproError):
+            raise exc_type("x")

@@ -1,0 +1,230 @@
+"""Tests for the §7.4 future-work extensions: permanent archive with DOIs,
+commit-results action, containerized CORRECT execution, and environment
+snapshot capture."""
+
+import json
+
+import pytest
+
+from repro.core.workflow_builder import WorkflowBuilder
+from repro.errors import HubError
+from repro.experiments import common
+from repro.hub.archive import PermanentArchive
+from repro.util.clock import SimClock
+from repro.world import World
+
+
+class TestPermanentArchive:
+    def test_deposit_and_resolve(self):
+        archive = PermanentArchive(SimClock())
+        deposit = archive.deposit(
+            "Run artifacts", ["alice"], {"stdout": "output"}
+        )
+        assert archive.resolve(deposit.doi).file_map() == {"stdout": "output"}
+        assert deposit.doi.startswith("10.5281/")
+        assert deposit.version == 1
+
+    def test_versioning_under_concept_doi(self):
+        archive = PermanentArchive(SimClock())
+        v1 = archive.deposit("Artifacts", ["a"], {"f": "1"})
+        v2 = archive.deposit(
+            "Artifacts", ["a"], {"f": "2"}, concept_doi=v1.concept_doi
+        )
+        assert v2.version == 2
+        assert v2.concept_doi == v1.concept_doi
+        assert v2.doi != v1.doi
+        # concept DOI resolves to the latest version
+        assert archive.resolve(v1.concept_doi).files == v2.files
+        assert len(archive.versions(v1.concept_doi)) == 2
+
+    def test_deposits_never_expire(self):
+        clock = SimClock()
+        archive = PermanentArchive(clock)
+        deposit = archive.deposit("Artifacts", ["a"], {"f": "1"})
+        clock.advance(20 * 365 * 24 * 3600.0)  # twenty years
+        assert archive.resolve(deposit.doi).file_map() == {"f": "1"}
+
+    def test_empty_deposit_rejected(self):
+        with pytest.raises(HubError):
+            PermanentArchive(SimClock()).deposit("x", ["a"], {})
+
+    def test_unknown_dois_rejected(self):
+        archive = PermanentArchive(SimClock())
+        with pytest.raises(HubError):
+            archive.resolve("10.5281/sim.nope")
+        with pytest.raises(HubError):
+            archive.deposit("x", ["a"], {"f": "1"}, concept_doi="10.5281/ghost")
+
+
+@pytest.fixture
+def rig():
+    world = World()
+    user = world.register_user("vhayot", {"faster": "x-vhayot"})
+    common.provision_user_site(
+        world, user, "faster", "x-vhayot", "ci", {"pytest": ">=8"}
+    )
+    mep = common.deploy_site_mep(world, "faster")
+    return world, user, mep
+
+
+def _launch_workflow(world, user, steps, slug, files=None):
+    builder = WorkflowBuilder("ext").on_push()
+    builder.add_job("job", steps=steps, environment="hpc")
+    common.create_repo_with_workflow(
+        world, slug, owner=user,
+        files=files or {"README.md": "x\n"},
+        workflow_path=".github/workflows/ci.yml",
+        workflow_text=builder.render(),
+        environments={
+            "hpc": {
+                "GLOBUS_ID": user.client_id,
+                "GLOBUS_SECRET": user.client_secret,
+            }
+        },
+    )
+    run = world.engine.runs[-1]
+    common.approve_all(world, run, user.login)
+    return run
+
+
+class TestArchiveResultsAction:
+    def test_run_artifacts_deposited_with_doi(self, rig):
+        world, user, mep = rig
+        correct = WorkflowBuilder.correct_step(
+            name="remote", shell_cmd="echo results", clone="false",
+            endpoint_expr=mep.endpoint_id,
+        )
+        archive_step = {
+            "name": "archive",
+            "id": "archive",
+            "if": "${{ always() }}",
+            "uses": "repro/archive-results@v1",
+            "with": {"title": "CI evidence"},
+        }
+        run = _launch_workflow(
+            world, user, [correct, archive_step], "vhayot/archive-demo"
+        )
+        assert run.status == "success"
+        outcome = run.job("job").step_outcomes[1]
+        doi = outcome.outputs["doi"]
+        deposit = world.archive.resolve(doi)
+        assert "correct-stdout" in deposit.file_map()
+        # survives long past the hub's 90-day artifact window
+        world.clock.advance(365 * 24 * 3600.0)
+        assert world.archive.resolve(doi).title == "CI evidence"
+
+    def test_archive_without_artifacts_fails(self, rig):
+        world, user, mep = rig
+        step = {
+            "name": "archive",
+            "uses": "repro/archive-results@v1",
+            "with": {"title": "empty"},
+        }
+        run = _launch_workflow(world, user, [step], "vhayot/archive-empty")
+        assert run.status == "failure"
+
+
+class TestCommitResultsAction:
+    def test_outputs_committed_back(self, rig):
+        world, user, mep = rig
+        steps = [
+            {"name": "co", "uses": "actions/checkout@v4",
+             "with": {"path": "repo"}},
+            {"name": "produce", "run": "export X=1"},
+            {"name": "commit", "uses": "repro/commit-results@v1",
+             "with": {"path": "repo/README.md", "target": "results",
+                      "message": "persist"}},
+        ]
+        run = _launch_workflow(world, user, steps, "vhayot/commit-demo")
+        assert run.status == "success", "\n".join(run.log)
+        repo = world.hub.repo("vhayot/commit-demo").repository
+        assert repo.read_file("main", "results/README.md") == "x\n"
+        assert repo.log()[0].message == "persist"
+
+    def test_missing_path_fails(self, rig):
+        world, user, mep = rig
+        steps = [
+            {"name": "commit", "uses": "repro/commit-results@v1",
+             "with": {"path": "nothing-here"}},
+        ]
+        run = _launch_workflow(world, user, steps, "vhayot/commit-missing")
+        assert run.status == "failure"
+
+
+class TestContainerizedCorrect:
+    def test_shell_cmd_runs_inside_image(self, rig):
+        world, user, mep = rig
+        from repro.containers.image import ContainerImage
+
+        image = ContainerImage(
+            reference="ghcr.io/lab/toolbox:v1",
+            commands=("toolbox-check",),
+            size_mb=50.0,
+        )
+        world.container_registry.push(image)
+        world.register_image_command(
+            "toolbox-check",
+            lambda session, args: __import__(
+                "repro.shellsim.result", fromlist=["CommandResult"]
+            ).CommandResult.success("inside the container"),
+        )
+        # FASTER compute nodes cannot reach the registry: pre-pull on the
+        # login node, as site users do — the runtime cache is site-wide.
+        from repro.shellsim.session import ShellSession
+
+        login = ShellSession(world.site("faster").login_handle("x-vhayot"))
+        assert login.run("apptainer pull ghcr.io/lab/toolbox:v1").ok
+        step = WorkflowBuilder.correct_step(
+            name="containerized", step_id="c",
+            shell_cmd="toolbox-check", clone="false",
+            endpoint_expr=mep.endpoint_id,
+            container_image="ghcr.io/lab/toolbox:v1",
+        )
+        run = _launch_workflow(world, user, [step], "vhayot/container-demo")
+        assert run.status == "success", "\n".join(run.log)
+        outcome = run.job("job").step_outcomes[0]
+        assert "inside the container" in outcome.outputs["stdout"]
+
+    def test_container_with_function_uuid_rejected(self):
+        from repro.core.inputs import CorrectInputs
+        from repro.errors import InputValidationError
+
+        with pytest.raises(InputValidationError):
+            CorrectInputs.from_step_inputs(
+                {
+                    "client_id": "c", "client_secret": "s",
+                    "endpoint_uuid": "e", "function_uuid": "f",
+                    "container_image": "img:v1",
+                }
+            )
+
+    def test_unknown_runtime_rejected(self):
+        from repro.core.inputs import CorrectInputs
+        from repro.errors import InputValidationError
+
+        with pytest.raises(InputValidationError):
+            CorrectInputs.from_step_inputs(
+                {
+                    "client_id": "c", "client_secret": "s",
+                    "endpoint_uuid": "e", "shell_cmd": "x",
+                    "container_runtime": "podmanish",
+                }
+            )
+
+
+class TestEnvironmentCapture:
+    def test_snapshot_artifact_stored(self, rig):
+        world, user, mep = rig
+        step = WorkflowBuilder.correct_step(
+            name="with-env", shell_cmd="echo hi", clone="false",
+            conda_env="ci",
+            endpoint_expr=mep.endpoint_id,
+            capture_environment="true",
+            artifact_prefix="snap",
+        )
+        run = _launch_workflow(world, user, [step], "vhayot/env-demo")
+        assert run.status == "success"
+        artifact = world.hub.artifacts.download(run.run_id, "snap-environment")
+        snapshot = json.loads(artifact.content)
+        assert snapshot["site"] == "faster"
+        assert any(p.startswith("pytest==") for p in snapshot["packages"])

@@ -1,0 +1,247 @@
+"""Unit tests for the hosting service: secrets, environments, artifacts,
+repos, forks, webhooks, marketplace."""
+
+import pytest
+
+from repro.errors import (
+    ArtifactExpired,
+    ArtifactNotFound,
+    HubError,
+    PermissionDenied,
+    RepoNotFound,
+    SecretNotFound,
+    UnknownActionError,
+)
+from repro.hub.artifacts import ARTIFACT_RETENTION_SECONDS, ArtifactStore
+from repro.hub.environments import DeploymentEnvironment, ProtectionRules
+from repro.hub.marketplace import ActionMetadata, Marketplace
+from repro.hub.secrets import SecretStore, resolve_secrets
+from repro.hub.service import HubService
+from repro.util.clock import SimClock
+
+
+class TestSecretStore:
+    def test_set_get_masked(self):
+        store = SecretStore("repository")
+        store.set("GLOBUS_ID", "abc", set_by="alice")
+        secret = store.get("globus_id")  # case-insensitive
+        assert secret.value == "abc"
+        assert secret.masked() == "***"
+        assert secret.set_by == "alice"
+
+    def test_missing_secret(self):
+        with pytest.raises(SecretNotFound):
+            SecretStore("repository").get("NOPE")
+
+    def test_bad_name_rejected(self):
+        store = SecretStore("repository")
+        with pytest.raises(ValueError):
+            store.set("bad name!", "v")
+
+    def test_access_log(self):
+        store = SecretStore("repository")
+        store.set("A", "1")
+        store.get("A")
+        store.get("A")
+        assert store.access_log == ["A", "A"]
+
+    def test_scope_precedence(self):
+        org = SecretStore("organization")
+        repo = SecretStore("repository")
+        env = SecretStore("environment:hpc")
+        org.set("TOKEN", "org")
+        repo.set("TOKEN", "repo")
+        env.set("TOKEN", "env")
+        assert resolve_secrets([org, repo, env])["TOKEN"] == "env"
+        assert resolve_secrets([org, repo])["TOKEN"] == "repo"
+
+    def test_delete(self):
+        store = SecretStore("repository")
+        store.set("A", "1")
+        store.delete("A")
+        assert not store.has("A")
+
+
+class TestProtectionRules:
+    def test_needs_approval(self):
+        assert ProtectionRules(required_reviewers=["alice"]).needs_approval
+        assert not ProtectionRules().needs_approval
+
+    def test_branch_filter(self):
+        rules = ProtectionRules(allowed_branches=["main"])
+        assert rules.branch_allowed("main")
+        assert not rules.branch_allowed("dev")
+        assert ProtectionRules().branch_allowed("anything")
+
+    def test_can_review(self):
+        rules = ProtectionRules(required_reviewers=["alice"])
+        assert rules.can_review("alice")
+        assert not rules.can_review("bob")
+
+
+class TestArtifactStore:
+    def test_upload_download(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        store.upload("run-1", "stdout", "output text")
+        artifact = store.download("run-1", "stdout")
+        assert artifact.content == "output text"
+        assert artifact.size_bytes == len("output text")
+
+    def test_retention_window(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        store.upload("run-1", "stdout", "x")
+        clock.advance(ARTIFACT_RETENTION_SECONDS + 1)
+        with pytest.raises(ArtifactExpired):
+            store.download("run-1", "stdout")
+
+    def test_missing_artifact(self):
+        with pytest.raises(ArtifactNotFound):
+            ArtifactStore(SimClock()).download("run-1", "nope")
+
+    def test_list_for_run_hides_expired(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        store.upload("run-1", "old", "x")
+        clock.advance(ARTIFACT_RETENTION_SECONDS + 1)
+        store.upload("run-1", "new", "y")
+        assert [a.name for a in store.list_for_run("run-1")] == ["new"]
+        assert len(store.list_for_run("run-1", include_expired=True)) == 2
+
+    def test_purge_expired(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        store.upload("run-1", "a", "x")
+        clock.advance(ARTIFACT_RETENTION_SECONDS + 1)
+        assert store.purge_expired() == 1
+
+
+class TestMarketplace:
+    class _Impl:
+        def run(self, ctx):
+            return None
+
+    def test_publish_resolve(self):
+        market = Marketplace()
+        impl = self._Impl()
+        market.publish("org/action@v1", impl, ActionMetadata("org/action@v1"))
+        assert market.resolve("org/action@v1") is impl
+        assert "org/action@v1" in market.listings()
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValueError):
+            Marketplace().publish("no-at-sign", self._Impl())
+
+    def test_implementation_must_have_run(self):
+        with pytest.raises(TypeError):
+            Marketplace().publish("a/b@v1", object())
+
+    def test_unknown_action(self):
+        with pytest.raises(UnknownActionError):
+            Marketplace().resolve("ghost/action@v9")
+
+
+class TestHubService:
+    def _hub(self):
+        hub = HubService(SimClock())
+        hub.create_user("alice")
+        hub.create_user("bob")
+        return hub
+
+    def test_create_repo_and_push(self):
+        hub = self._hub()
+        hub.create_repo("alice/app", owner="alice")
+        sha = hub.push_commit(
+            "alice/app", author="alice", message="init", files={"f": "1"}
+        )
+        assert hub.repo("alice/app").repository.head() == sha
+
+    def test_duplicate_user_and_repo_rejected(self):
+        hub = self._hub()
+        with pytest.raises(HubError):
+            hub.create_user("alice")
+        hub.create_repo("alice/app", owner="alice")
+        with pytest.raises(HubError):
+            hub.create_repo("alice/app", owner="alice")
+
+    def test_push_requires_write_access(self):
+        hub = self._hub()
+        hub.create_repo("alice/app", owner="alice")
+        with pytest.raises(HubError):
+            hub.push_commit("alice/app", author="bob", message="x", files={"f": "1"})
+
+    def test_collaborator_can_push(self):
+        hub = self._hub()
+        hosted = hub.create_repo("alice/app", owner="alice")
+        hosted.add_collaborator("alice", "bob")
+        hub.push_commit("alice/app", author="bob", message="x", files={"f": "1"})
+
+    def test_org_member_can_push(self):
+        hub = self._hub()
+        hub.create_organization("lab", members=["bob"])
+        hub.create_repo("lab/app", owner="alice", organization="lab")
+        hub.push_commit("lab/app", author="bob", message="x", files={"f": "1"})
+
+    def test_fork_copies_content_and_lineage(self):
+        hub = self._hub()
+        hub.create_repo("alice/app", owner="alice")
+        hub.push_commit("alice/app", author="alice", message="init", files={"f": "1"})
+        forked = hub.fork("alice/app", "bob")
+        assert forked.slug == "bob/app"
+        assert forked.forked_from == "alice/app"
+        assert forked.repository.files_at("main") == {"f": "1"}
+        # fork owner can push to their fork
+        hub.push_commit("bob/app", author="bob", message="mine", patch={"g": "2"})
+        assert "g" not in hub.repo("alice/app").repository.files_at("main")
+
+    def test_missing_repo(self):
+        with pytest.raises(RepoNotFound):
+            self._hub().repo("ghost/app")
+
+    def test_webhooks_fire_on_push(self):
+        hub = self._hub()
+        hub.create_repo("alice/app", owner="alice")
+        events = []
+        hub.subscribe(lambda name, payload: events.append((name, payload["slug"])))
+        hub.push_commit("alice/app", author="alice", message="x", files={"f": "1"})
+        assert events == [("push", "alice/app")]
+
+    def test_workflow_dispatch_webhook(self):
+        hub = self._hub()
+        hub.create_repo("alice/app", owner="alice")
+        events = []
+        hub.subscribe(lambda name, payload: events.append(name))
+        hub.dispatch_workflow("alice/app", actor="alice", workflow="ci.yml")
+        assert events == ["workflow_dispatch"]
+
+    def test_environment_creation_requires_admin(self):
+        hub = self._hub()
+        hosted = hub.create_repo("alice/app", owner="alice")
+        with pytest.raises(PermissionDenied):
+            hosted.create_environment("bob", "hpc")
+        env = hosted.create_environment(
+            "alice", "hpc", ProtectionRules(required_reviewers=["alice"])
+        )
+        assert isinstance(env, DeploymentEnvironment)
+        assert hosted.environment("hpc").protection.needs_approval
+
+    def test_secret_scopes_include_environment(self):
+        hub = self._hub()
+        hub.create_organization("lab", members=["alice"])
+        hosted = hub.create_repo("lab/app", owner="alice", organization="lab")
+        hosted.create_environment("alice", "hpc")
+        scopes = hosted.secret_scopes("hpc")
+        assert [s.scope for s in scopes] == [
+            "organization", "repository", "environment:hpc",
+        ]
+
+    def test_pull_request_numbering_and_labels(self):
+        hub = self._hub()
+        hosted = hub.create_repo("alice/app", owner="alice")
+        pr1 = hosted.open_pull_request("First", "bob", "bob/app", "fix")
+        pr2 = hosted.open_pull_request("Second", "bob", "bob/app", "fix2")
+        assert (pr1.number, pr2.number) == (1, 2)
+        pr1.add_label("ok-to-test-hpc")
+        pr1.add_label("ok-to-test-hpc")
+        assert pr1.labels == ["ok-to-test-hpc"]

@@ -1,0 +1,129 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.util.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start_time():
+    assert SimClock(100.0).now == 100.0
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    clock.advance(5.5)
+    assert clock.now == pytest.approx(5.5)
+
+
+def test_advance_negative_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1.0)
+
+
+def test_run_until_backwards_rejected():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.run_until(5.0)
+
+
+def test_call_at_fires_in_order():
+    clock = SimClock()
+    fired = []
+    clock.call_at(3.0, lambda: fired.append("b"))
+    clock.call_at(1.0, lambda: fired.append("a"))
+    clock.call_at(5.0, lambda: fired.append("c"))
+    clock.advance(4.0)
+    assert fired == ["a", "b"]
+    clock.advance(2.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_callback_sees_event_time():
+    clock = SimClock()
+    seen = []
+    clock.call_at(2.5, lambda: seen.append(clock.now))
+    clock.advance(10.0)
+    assert seen == [pytest.approx(2.5)]
+    assert clock.now == pytest.approx(10.0)
+
+
+def test_call_after_relative():
+    clock = SimClock(7.0)
+    fired = []
+    clock.call_after(3.0, lambda: fired.append(clock.now))
+    clock.advance(3.0)
+    assert fired == [pytest.approx(10.0)]
+
+
+def test_call_after_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        SimClock().call_after(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    clock = SimClock(5.0)
+    with pytest.raises(ValueError):
+        clock.call_at(4.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    clock = SimClock()
+    fired = []
+    handle = clock.call_at(1.0, lambda: fired.append(1))
+    handle.cancel()
+    clock.advance(2.0)
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_events_can_schedule_events():
+    clock = SimClock()
+    fired = []
+
+    def first():
+        fired.append("first")
+        clock.call_at(clock.now + 1.0, lambda: fired.append("second"))
+
+    clock.call_at(1.0, first)
+    clock.advance(3.0)
+    assert fired == ["first", "second"]
+
+
+def test_run_until_idle_drains_queue():
+    clock = SimClock()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        clock.call_at(t, lambda t=t: fired.append(t))
+    clock.run_until_idle()
+    assert fired == [1.0, 2.0, 3.0]
+    assert clock.pending_events() == 0
+
+
+def test_run_until_idle_respects_limit():
+    clock = SimClock()
+    fired = []
+    clock.call_at(1.0, lambda: fired.append(1))
+    clock.call_at(100.0, lambda: fired.append(100))
+    clock.run_until_idle(limit=50.0)
+    assert fired == [1]
+    assert clock.pending_events() == 1
+
+
+def test_next_event_time_skips_cancelled():
+    clock = SimClock()
+    handle = clock.call_at(1.0, lambda: None)
+    clock.call_at(2.0, lambda: None)
+    handle.cancel()
+    assert clock.next_event_time() == pytest.approx(2.0)
+
+
+def test_pending_events_counts_live_only():
+    clock = SimClock()
+    h1 = clock.call_at(1.0, lambda: None)
+    clock.call_at(2.0, lambda: None)
+    h1.cancel()
+    assert clock.pending_events() == 1

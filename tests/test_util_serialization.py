@@ -1,0 +1,56 @@
+"""Unit tests for payload serialization."""
+
+import pytest
+
+from repro.util.serialization import (
+    DEFAULT_PAYLOAD_LIMIT,
+    deserialize,
+    serialize,
+    serialized_size,
+)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        42,
+        3.14,
+        "text",
+        [1, 2, 3],
+        {"a": 1, "b": [2, 3]},
+        {"nested": {"deep": {"deeper": "value"}}},
+    ],
+)
+def test_roundtrip_json_values(value):
+    assert deserialize(serialize(value)) == value
+
+
+def test_roundtrip_bytes():
+    assert deserialize(serialize(b"\x00\x01binary")) == b"\x00\x01binary"
+
+
+def test_roundtrip_tuple():
+    assert deserialize(serialize((1, "two", 3.0))) == (1, "two", 3.0)
+
+
+def test_roundtrip_set():
+    assert deserialize(serialize({3, 1, 2})) == {1, 2, 3}
+
+
+def test_canonical_ordering():
+    assert serialize({"b": 1, "a": 2}) == serialize({"a": 2, "b": 1})
+
+
+def test_live_objects_rejected():
+    with pytest.raises(TypeError):
+        serialize(open)  # a function is not data
+
+
+def test_serialized_size_counts_bytes():
+    assert serialized_size("abc") == len('"abc"')
+
+
+def test_default_limit_is_ten_megabytes():
+    assert DEFAULT_PAYLOAD_LIMIT == 10 * 1024 * 1024

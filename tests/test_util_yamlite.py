@@ -1,0 +1,138 @@
+"""Unit tests for the YAML-subset parser."""
+
+import pytest
+
+from repro.errors import WorkflowParseError
+from repro.util import yamlite
+
+
+def test_flat_mapping():
+    assert yamlite.loads("a: 1\nb: two\n") == {"a": 1, "b": "two"}
+
+
+def test_nested_mapping():
+    doc = "outer:\n  inner:\n    key: value\n"
+    assert yamlite.loads(doc) == {"outer": {"inner": {"key": "value"}}}
+
+
+def test_sequence_of_scalars():
+    assert yamlite.loads("- 1\n- 2\n- three\n") == [1, 2, "three"]
+
+
+def test_mapping_with_sequence_value():
+    doc = "branches:\n  - main\n  - dev\n"
+    assert yamlite.loads(doc) == {"branches": ["main", "dev"]}
+
+
+def test_compound_sequence_entries():
+    doc = "steps:\n  - name: first\n    run: echo hi\n  - name: second\n    uses: some/action@v1\n"
+    assert yamlite.loads(doc) == {
+        "steps": [
+            {"name": "first", "run": "echo hi"},
+            {"name": "second", "uses": "some/action@v1"},
+        ]
+    }
+
+
+def test_flow_sequence_and_mapping():
+    assert yamlite.loads("a: [1, 2, x]\nb: {k: v, n: 3}\n") == {
+        "a": [1, 2, "x"],
+        "b": {"k": "v", "n": 3},
+    }
+
+
+def test_scalars():
+    doc = (
+        "t: true\nf: false\nn: null\ntilde: ~\ni: -5\nfl: 2.5\n"
+        "sq: 'single'\ndq: \"double\"\nplain: hello world\n"
+    )
+    assert yamlite.loads(doc) == {
+        "t": True,
+        "f": False,
+        "n": None,
+        "tilde": None,
+        "i": -5,
+        "fl": 2.5,
+        "sq": "single",
+        "dq": "double",
+        "plain": "hello world",
+    }
+
+
+def test_comments_stripped():
+    doc = "# leading comment\na: 1  # trailing\nb: 2\n"
+    assert yamlite.loads(doc) == {"a": 1, "b": 2}
+
+
+def test_hash_inside_quotes_preserved():
+    assert yamlite.loads("a: 'value # not comment'\n") == {
+        "a": "value # not comment"
+    }
+
+
+def test_expression_value_with_braces():
+    doc = "with:\n  client_id: '${{ secrets.GLOBUS_ID }}'\n"
+    assert yamlite.loads(doc) == {
+        "with": {"client_id": "${{ secrets.GLOBUS_ID }}"}
+    }
+
+
+def test_literal_block():
+    doc = "script: |\n  line one\n  line two\nafter: 1\n"
+    assert yamlite.loads(doc) == {
+        "script": "line one\nline two\n",
+        "after": 1,
+    }
+
+
+def test_empty_value_is_null():
+    assert yamlite.loads("key:\n") == {"key": None}
+
+
+def test_on_as_key_stays_string():
+    doc = "on:\n  push:\n"
+    parsed = yamlite.loads(doc)
+    assert "on" in parsed
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(WorkflowParseError):
+        yamlite.loads("a: 1\na: 2\n")
+
+
+def test_tabs_rejected():
+    with pytest.raises(WorkflowParseError):
+        yamlite.loads("a:\n\tb: 1\n")
+
+
+def test_quoted_colon_in_value():
+    assert yamlite.loads("cmd: 'pytest -k \"x\"'\n") == {"cmd": 'pytest -k "x"'}
+
+
+def test_github_workflow_shape():
+    doc = """name: CI
+on:
+  push:
+    branches: [main]
+  workflow_dispatch:
+jobs:
+  test:
+    runs-on: ubuntu-latest
+    environment: hpc
+    env:
+      ENDPOINT_UUID: abc-123
+    steps:
+      - name: Run tox
+        id: tox
+        uses: globus-labs/correct@v1
+        with:
+          client_id: '${{ secrets.GLOBUS_ID }}'
+          shell_cmd: tox
+"""
+    parsed = yamlite.loads(doc)
+    assert parsed["name"] == "CI"
+    assert parsed["on"]["push"]["branches"] == ["main"]
+    assert parsed["on"]["workflow_dispatch"] is None
+    step = parsed["jobs"]["test"]["steps"][0]
+    assert step["uses"] == "globus-labs/correct@v1"
+    assert step["with"]["shell_cmd"] == "tox"

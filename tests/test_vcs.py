@@ -1,0 +1,199 @@
+"""Unit tests for the version control substrate."""
+
+import pytest
+
+from repro.errors import MergeConflict, ObjectNotFound, RefNotFound
+from repro.vcs.objects import Commit, ObjectStore
+from repro.vcs.remote import clone, fork, push
+from repro.vcs.repository import Repository
+
+
+class TestObjectStore:
+    def test_blob_roundtrip(self):
+        store = ObjectStore()
+        oid = store.put_blob("content")
+        assert store.blob(oid).data == "content"
+
+    def test_identical_content_same_oid(self):
+        store = ObjectStore()
+        assert store.put_blob("x") == store.put_blob("x")
+
+    def test_missing_object_raises(self):
+        with pytest.raises(ObjectNotFound):
+            ObjectStore().blob("nope")
+
+    def test_tree_from_files_roundtrip(self):
+        store = ObjectStore()
+        files = {"a.txt": "A", "dir/b.txt": "B", "dir/sub/c.txt": "C"}
+        tree_oid = store.tree_from_files(files)
+        assert store.files_from_tree(tree_oid) == files
+
+    def test_tree_oid_stable_under_insertion_order(self):
+        store = ObjectStore()
+        t1 = store.tree_from_files({"a": "1", "b": "2"})
+        t2 = store.tree_from_files({"b": "2", "a": "1"})
+        assert t1 == t2
+
+    def test_path_conflict_rejected(self):
+        store = ObjectStore()
+        with pytest.raises(ValueError):
+            store.tree_from_files({"a": "file", "a/b": "child"})
+
+    def test_copy_reachable(self):
+        src = ObjectStore()
+        tree = src.tree_from_files({"f": "data"})
+        commit = Commit(tree=tree, parents=(), author="a", message="m", timestamp=0)
+        src.put_commit(commit)
+        dest = ObjectStore()
+        copied = src.copy_reachable(commit.oid, dest)
+        assert copied >= 3  # commit + tree + blob
+        assert dest.files_from_tree(dest.commit(commit.oid).tree) == {"f": "data"}
+
+    def test_copy_reachable_idempotent(self):
+        src = ObjectStore()
+        tree = src.tree_from_files({"f": "data"})
+        commit = Commit(tree=tree, parents=(), author="a", message="m", timestamp=0)
+        src.put_commit(commit)
+        dest = ObjectStore()
+        src.copy_reachable(commit.oid, dest)
+        assert src.copy_reachable(commit.oid, dest) == 0
+
+
+class TestRepository:
+    def _repo(self):
+        repo = Repository("org/demo")
+        repo.commit(files={"README.md": "v1"}, message="init", timestamp=1.0)
+        return repo
+
+    def test_commit_creates_branch(self):
+        repo = self._repo()
+        assert repo.branches() == ["main"]
+        assert repo.files_at("main") == {"README.md": "v1"}
+
+    def test_patch_commit(self):
+        repo = self._repo()
+        repo.commit(patch={"new.txt": "N", "README.md": None}, timestamp=2.0)
+        assert repo.files_at("main") == {"new.txt": "N"}
+
+    def test_commit_requires_files_or_patch(self):
+        repo = self._repo()
+        with pytest.raises(ValueError):
+            repo.commit()
+        with pytest.raises(ValueError):
+            repo.commit(files={}, patch={})
+
+    def test_new_branch_forks_from_default(self):
+        repo = self._repo()
+        repo.commit(patch={"f.txt": "F"}, branch="feature", timestamp=2.0)
+        files = repo.files_at("feature")
+        assert files == {"README.md": "v1", "f.txt": "F"}
+        # main is untouched
+        assert repo.files_at("main") == {"README.md": "v1"}
+
+    def test_log_newest_first(self):
+        repo = self._repo()
+        repo.commit(patch={"a": "1"}, message="second", timestamp=2.0)
+        log = repo.log()
+        assert [c.message for c in log] == ["second", "init"]
+
+    def test_resolve_prefix(self):
+        repo = self._repo()
+        head = repo.head()
+        assert repo.resolve(head[:10]) == head
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(RefNotFound):
+            self._repo().resolve("does-not-exist")
+
+    def test_read_file(self):
+        repo = self._repo()
+        assert repo.read_file("main", "README.md") == "v1"
+        with pytest.raises(RefNotFound):
+            repo.read_file("main", "missing.txt")
+
+    def test_tags_immutable(self):
+        repo = self._repo()
+        repo.set_tag("v1.0", repo.head())
+        with pytest.raises(RefNotFound):
+            repo.set_tag("v1.0", repo.head())
+        assert repo.tags() == ["v1.0"]
+
+    def test_delete_default_branch_refused(self):
+        repo = self._repo()
+        with pytest.raises(RefNotFound):
+            repo.delete_branch("main")
+
+    def test_diff(self):
+        repo = self._repo()
+        base = repo.head()
+        repo.commit(
+            patch={"README.md": "v2", "new.txt": "n"}, timestamp=2.0
+        )
+        diff = repo.diff(base, "main")
+        assert diff == {"README.md": "modified", "new.txt": "added"}
+
+    def test_merge_fast_forward(self):
+        repo = self._repo()
+        repo.commit(patch={"f": "1"}, branch="feature", timestamp=2.0)
+        merged = repo.merge("main", "feature", timestamp=3.0)
+        assert merged == repo.head("feature")
+
+    def test_merge_three_way(self):
+        repo = self._repo()
+        repo.commit(patch={"a.txt": "A"}, branch="feature", timestamp=2.0)
+        repo.commit(patch={"b.txt": "B"}, branch="main", timestamp=3.0)
+        repo.merge("main", "feature", timestamp=4.0)
+        files = repo.files_at("main")
+        assert files["a.txt"] == "A" and files["b.txt"] == "B"
+
+    def test_merge_conflict_detected(self):
+        repo = self._repo()
+        repo.commit(patch={"README.md": "theirs"}, branch="feature", timestamp=2.0)
+        repo.commit(patch={"README.md": "ours"}, branch="main", timestamp=3.0)
+        with pytest.raises(MergeConflict):
+            repo.merge("main", "feature", timestamp=4.0)
+
+    def test_merge_base(self):
+        repo = self._repo()
+        base = repo.head()
+        repo.commit(patch={"x": "1"}, branch="feature", timestamp=2.0)
+        repo.commit(patch={"y": "2"}, branch="main", timestamp=3.0)
+        assert repo.merge_base("main", "feature") == base
+
+
+class TestRemote:
+    def test_clone_copies_refs_and_content(self):
+        origin = Repository("org/app")
+        origin.commit(files={"f": "1"}, timestamp=1.0)
+        origin.set_tag("v1", origin.head())
+        local = clone(origin)
+        assert local.files_at("main") == {"f": "1"}
+        assert local.tags() == ["v1"]
+        # clone is independent
+        local.commit(patch={"g": "2"}, timestamp=2.0)
+        assert "g" not in origin.files_at("main")
+
+    def test_fork_renames(self):
+        origin = Repository("org/app")
+        origin.commit(files={"f": "1"}, timestamp=1.0)
+        forked = fork(origin, "alice")
+        assert forked.name == "alice/app"
+
+    def test_push_fast_forward(self):
+        origin = Repository("org/app")
+        origin.commit(files={"f": "1"}, timestamp=1.0)
+        local = clone(origin)
+        local.commit(patch={"f": "2"}, timestamp=2.0)
+        push(local, origin)
+        assert origin.files_at("main") == {"f": "2"}
+
+    def test_push_non_fast_forward_rejected(self):
+        origin = Repository("org/app")
+        origin.commit(files={"f": "1"}, timestamp=1.0)
+        local = clone(origin)
+        origin.commit(patch={"f": "upstream"}, timestamp=2.0)
+        local.commit(patch={"f": "local"}, timestamp=2.0)
+        with pytest.raises(RefNotFound):
+            push(local, origin)
+        push(local, origin, force=True)
+        assert origin.files_at("main") == {"f": "local"}

@@ -1,0 +1,57 @@
+"""Tests for the composition root."""
+
+import pytest
+
+from repro.core.action import CORRECT_REFERENCE
+from repro.world import World
+
+
+class TestWorld:
+    def test_sites_cached(self):
+        world = World()
+        assert world.site("faster") is world.site("faster")
+
+    def test_unknown_site(self):
+        with pytest.raises(ValueError):
+            World().site("frontier")
+
+    def test_register_user_creates_everything(self):
+        world = World()
+        user = world.register_user("alice", {"faster": "x-alice"})
+        assert world.hub.users["alice"].identity_urn == user.identity.urn
+        assert world.site("faster").has_account("x-alice")
+        assert world.site("faster").identity_map.resolve(user.identity) == "x-alice"
+        # credentials are valid
+        token = world.auth.client_credentials_grant(
+            user.client_id, user.client_secret
+        )
+        assert token.identity == user.identity
+
+    def test_correct_published_to_marketplace(self):
+        world = World()
+        assert CORRECT_REFERENCE in world.hub.marketplace.listings()
+        meta = world.hub.marketplace.metadata(CORRECT_REFERENCE)
+        assert "client_id" in meta.inputs
+
+    def test_deploy_user_endpoint_requires_account(self):
+        world = World()
+        user = world.register_user("alice", {})
+        with pytest.raises(ValueError):
+            world.deploy_user_endpoint(user, "faster")
+
+    def test_deploy_mep_registers_with_cloud(self):
+        world = World()
+        mep = world.deploy_mep("anvil")
+        assert mep.endpoint_id in world.faas.endpoints()
+
+    def test_shared_clock_everywhere(self):
+        world = World()
+        site = world.site("faster")
+        assert site.clock is world.clock
+        assert world.hub.clock is world.clock
+        assert world.runner_pool.cloud.clock is world.clock
+
+    def test_image_command_registration(self):
+        world = World()
+        world.register_image_command("cmd-x", lambda s, a: None)
+        assert "cmd-x" in world.services.image_commands
