@@ -1,16 +1,21 @@
-"""ABL1–ABL3 — ablations of DESIGN.md's called-out design choices.
+"""ABL1–ABL4 — ablations of DESIGN.md's called-out design choices.
 
 * ABL1 (§7.3): pilot-job reuse vs per-task batch allocations, and the
   resulting amortization factor.
 * ABL2 (§5.2): every security mechanism exercised in both directions.
 * ABL3 (§6.2): PSI/J's cron CI vs CORRECT on freshness and review gating,
   plus the §7.4 artifact-retention comparison.
+* ABL4 (§7.3): task round-trip latency as a function of the FaaS cloud
+  overhead setting.
 """
 
 import statistics
 
+import pytest
+
 from repro.analysis.tables import format_series, format_table
 from repro.experiments.ablations import (
+    cloud_overhead_sweep,
     cron_vs_correct,
     overhead_ablation,
     retention_ablation,
@@ -94,3 +99,21 @@ def test_abl3_artifact_retention(benchmark, emit):
     rows = [[check, str(ok)] for check, ok in results.items()]
     emit("ablation3_retention", format_table(["check", "result"], rows))
     assert all(results.values()), results
+
+
+def test_abl4_cloud_overhead_sweep(benchmark, emit):
+    result = benchmark.pedantic(cloud_overhead_sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{overhead:.1f}", f"{latency:.2f}"]
+        for overhead, latency in sorted(result.latencies.items())
+    ]
+    emit(
+        "ablation4_cloud_overhead",
+        format_table(["cloud overhead (s)", "task round-trip (s)"], rows)
+        + f"\n\nmarginal cost: {result.marginal_cost:.2f}s per second of overhead",
+    )
+
+    # round-trip grows linearly, one second per second of overhead
+    assert result.marginal_cost == pytest.approx(1.0, abs=0.05)
+    latencies = [result.latencies[o] for o in sorted(result.latencies)]
+    assert latencies == sorted(latencies)

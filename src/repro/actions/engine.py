@@ -22,6 +22,7 @@ from repro.errors import (
     ReproError,
     WorkflowParseError,
 )
+from repro.faas.future import Future
 from repro.faas.service import FaaSService
 from repro.hub.models import HostedRepo
 from repro.hub.secrets import resolve_secrets
@@ -180,11 +181,13 @@ class Engine:
         services: Optional[EngineServices] = None,
         events: Optional[EventLog] = None,
         auto_subscribe: bool = True,
+        concurrent_jobs: bool = False,
     ) -> None:
         self.hub = hub
         self.pool = runner_pool
         self.services = services or EngineServices()
         self.events = events if events is not None else hub.events
+        self.concurrent_jobs = concurrent_jobs
         self.runs: List[WorkflowRun] = []
         self._run_ids = IdFactory("run")
         self._register_builtin_actions()
@@ -324,72 +327,117 @@ class Engine:
         return [jr for jr in run.jobs.values() if jr.def_id == def_id]
 
     def process(self, run: WorkflowRun) -> WorkflowRun:
-        """Execute runnable job instances in order; stop at approval gates."""
+        """Execute runnable job instances in order; stop at approval gates.
+
+        Each pass collects a *wave*: the runnable instances, scanning
+        jobs in dependency order and stopping at the first unfinished
+        dependency or approval gate. With ``concurrent_jobs`` the wave's
+        instances interleave step-by-step in virtual time; otherwise the
+        wave executes sequentially, which is byte-for-byte the original
+        blocking behaviour.
+        """
         hosted = self.hub.repo(run.repo_slug)
-        for def_id in run.workflow.job_order():
-            job_def = run.workflow.jobs[def_id]
-            dep_instances = [
-                jr for dep in job_def.needs for jr in self._instances(run, dep)
-            ]
-            failed_dep = any(
-                jr.status in ("failure", "skipped") for jr in dep_instances
-            )
-            unfinished_dep = any(not jr.finished for jr in dep_instances)
-            if failed_dep:
-                for job_run in self._instances(run, def_id):
-                    if not job_run.finished:
-                        job_run.status = "skipped"
-                        run.append_log(
-                            f"[{job_run.job_id}] skipped (dependency failed)"
-                        )
-                continue
-            if unfinished_dep:
-                break  # an earlier gate is blocking
-            for job_run in self._instances(run, def_id):
-                if job_run.finished:
+        while True:
+            wave: List[tuple] = []
+            gated = False
+            for def_id in run.workflow.job_order():
+                job_def = run.workflow.jobs[def_id]
+                dep_instances = [
+                    jr
+                    for dep in job_def.needs
+                    for jr in self._instances(run, dep)
+                ]
+                failed_dep = any(
+                    jr.status in ("failure", "skipped") for jr in dep_instances
+                )
+                unfinished_dep = any(not jr.finished for jr in dep_instances)
+                if failed_dep:
+                    for job_run in self._instances(run, def_id):
+                        if not job_run.finished:
+                            job_run.status = "skipped"
+                            run.append_log(
+                                f"[{job_run.job_id}] skipped (dependency failed)"
+                            )
                     continue
-                # environment protection (name may reference matrix values)
-                if job_def.environment:
-                    env_name = job_def.environment
-                    if "${{" in env_name:
-                        env_name = str(
-                            interpolate(
-                                env_name,
-                                {
-                                    "matrix": job_run.matrix,
-                                    "github": {"ref_name": run.branch},
-                                },
-                            )
-                        )
-                    job_run.resolved_environment = env_name
-                    env = hosted.environment(env_name)
-                    if not env.protection.branch_allowed(run.branch):
-                        job_run.status = "failure"
-                        run.append_log(
-                            f"[{job_run.job_id}] branch {run.branch!r} not "
-                            f"allowed for environment {env.name!r}"
-                        )
+                if unfinished_dep:
+                    break  # an earlier gate or this pass's wave is blocking
+                for job_run in self._instances(run, def_id):
+                    if job_run.finished:
                         continue
-                    if (
-                        env.protection.needs_approval
-                        and job_run.approval_state != "approved"
-                    ):
-                        if job_run.approval_state != "pending":
-                            job_run.approval_state = "pending"
-                            job_run.status = "waiting"
-                            self.events.emit(
-                                self.clock.now, "actions",
-                                "job.waiting_approval",
-                                run_id=run.run_id, job=job_run.job_id,
-                                reviewers=list(
-                                    env.protection.required_reviewers
-                                ),
+                    # environment protection (name may reference matrix values)
+                    if job_def.environment:
+                        env_name = job_def.environment
+                        if "${{" in env_name:
+                            env_name = str(
+                                interpolate(
+                                    env_name,
+                                    {
+                                        "matrix": job_run.matrix,
+                                        "github": {"ref_name": run.branch},
+                                    },
+                                )
                             )
-                        return run
-                self._execute_job(run, job_run, job_def, hosted)
-        return run
+                        job_run.resolved_environment = env_name
+                        env = hosted.environment(env_name)
+                        if not env.protection.branch_allowed(run.branch):
+                            job_run.status = "failure"
+                            run.append_log(
+                                f"[{job_run.job_id}] branch {run.branch!r} not "
+                                f"allowed for environment {env.name!r}"
+                            )
+                            continue
+                        if (
+                            env.protection.needs_approval
+                            and job_run.approval_state != "approved"
+                        ):
+                            if wave:
+                                # run the jobs ahead of the gate first;
+                                # the rescan re-encounters the gate alone
+                                gated = True
+                                break
+                            if job_run.approval_state != "pending":
+                                job_run.approval_state = "pending"
+                                job_run.status = "waiting"
+                                self.events.emit(
+                                    self.clock.now, "actions",
+                                    "job.waiting_approval",
+                                    run_id=run.run_id, job=job_run.job_id,
+                                    reviewers=list(
+                                        env.protection.required_reviewers
+                                    ),
+                                )
+                            return run
+                    wave.append((job_run, job_def))
+                if gated:
+                    break
+            if not wave:
+                return run
+            if self.concurrent_jobs and len(wave) > 1:
+                self._execute_wave(run, wave, hosted)
+            else:
+                for job_run, job_def in wave:
+                    self._execute_job(run, job_run, job_def, hosted)
 
     def _execute_job(self, run, job_run, job_def, hosted) -> None:
+        """Run one job instance to completion, blocking in virtual time."""
+        stepper = self._job_stepper(run, job_run, job_def, hosted)
+        try:
+            pending = next(stepper)
+            while True:
+                pending = stepper.send(self._step_outcome_of(pending))
+        except StopIteration:
+            pass
+
+    def _job_stepper(self, run, job_run, job_def, hosted):
+        """Generator executing one job instance's steps in order.
+
+        Yields a :class:`Future` for every step whose implementation
+        supports deferred execution, and expects the resolved
+        :class:`StepOutcome` to be sent back. All bookkeeping — outputs,
+        logs, and the §5.3 failure-propagation contract (a failed step
+        fails the job but ``if: always()`` steps still run) — lives here,
+        identically for sequential and concurrent execution.
+        """
         job_run.status = "running"
         runner = self.pool.acquire(job_def.runs_on)
         secrets = resolve_secrets(
@@ -405,6 +453,8 @@ class Engine:
                 run, job_run, job_def, step, runner, secrets,
                 step_results, job_failed,
             )
+            if isinstance(outcome, Future):
+                outcome = yield outcome
             job_run.step_outcomes.append(outcome)
             if step.id:
                 step_results[step.id] = {
@@ -425,6 +475,61 @@ class Engine:
             self.clock.now, "actions", "job.finished",
             run_id=run.run_id, job=job_run.job_id, status=job_run.status,
         )
+
+    def _step_outcome_of(self, future: Future) -> StepOutcome:
+        """Resolve a step future, mapping exceptions like _execute_step."""
+        try:
+            return future.result()
+        except ReproError as exc:
+            return StepOutcome(
+                status="failure", error=f"{type(exc).__name__}: {exc}"
+            )
+        except Exception:  # noqa: BLE001 - step isolation
+            return StepOutcome(status="failure", error=traceback.format_exc())
+
+    def _execute_wave(self, run, wave, hosted) -> None:
+        """Interleave several job instances' steps in virtual time.
+
+        Each stepper advances until it yields a step future; the loop
+        resumes whichever steppers' futures have resolved, and when every
+        live stepper is blocked it fires the next clock event. Pilot
+        queue waits and remote task bodies on different endpoints
+        therefore occupy overlapping virtual intervals — the run's
+        makespan approaches the slowest job rather than the sum.
+        """
+        live: List[Dict[str, Any]] = []
+        for job_run, job_def in wave:
+            stepper = self._job_stepper(run, job_run, job_def, hosted)
+            try:
+                live.append(
+                    {"stepper": stepper, "future": next(stepper), "job": job_run}
+                )
+            except StopIteration:
+                pass  # all-sync job finished during spin-up
+        while live:
+            progressed = False
+            for state in list(live):
+                while state["future"].done():
+                    progressed = True
+                    outcome = self._step_outcome_of(state["future"])
+                    try:
+                        state["future"] = state["stepper"].send(outcome)
+                    except StopIteration:
+                        live.remove(state)
+                        break
+            if not live or progressed:
+                continue
+            nxt = self.clock.next_event_time()
+            if nxt is None:
+                # deadlock: no event can ever resolve the pending steps
+                for state in live:
+                    state["job"].status = "failure"
+                    run.append_log(
+                        f"[{state['job'].job_id}] failed: step future "
+                        f"pending with no events scheduled"
+                    )
+                return
+            self.clock.run_until(nxt)
 
     def _expression_context(
         self,
@@ -520,6 +625,9 @@ class Engine:
                 runner=runner,
                 services=self.services,
             )
+            if hasattr(impl, "run_async"):
+                # deferred: the stepper awaits the returned future
+                return impl.run_async(step_context)
             return impl.run(step_context)
         except ReproError as exc:
             return StepOutcome(status="failure", error=f"{type(exc).__name__}: {exc}")

@@ -42,6 +42,19 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     return 0 if result.all_passed() else 1
 
 
+def _cmd_fig4_overlap(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig4_overlap
+
+    result = run_fig4_overlap()
+    print("Fig. 4 (async) — multi-site overlap from the deferred lifecycle\n")
+    for site, duration in result.per_site_serialized.items():
+        print(f"  {site:<12} serialized {duration:8.1f}s")
+    print(f"\nserialized total: {result.serialized_total:8.1f}s")
+    print(f"concurrent makespan: {result.makespan:8.1f}s")
+    print(f"overlap speedup: {result.speedup:.2f}x")
+    return 0 if result.makespan < result.serialized_total else 1
+
+
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig5
 
@@ -121,6 +134,16 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     )
     retention = retention_ablation()
     print(f"ABL3 retention checks: {sum(retention.values())}/{len(retention)}")
+    from repro.experiments.ablations import cloud_overhead_sweep
+
+    sweep = cloud_overhead_sweep()
+    print(
+        "ABL4 cloud overhead: "
+        + ", ".join(
+            f"{o:.1f}s→{lat:.1f}s" for o, lat in sorted(sweep.latencies.items())
+        )
+        + f" (marginal {sweep.marginal_cost:.2f}s/s)"
+    )
     ok = all(security.values()) and all(retention.values())
     return 0 if ok else 1
 
@@ -128,6 +151,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "fig1": _cmd_fig1,
     "fig4": _cmd_fig4,
+    "fig4-overlap": _cmd_fig4_overlap,
     "fig5": _cmd_fig5,
     "exp63": _cmd_exp63,
     "tables": _cmd_tables,
@@ -148,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in [
         ("fig1", "badge counts over time (Fig. 1)"),
         ("fig4", "ParslDock multi-site runtimes (Fig. 4)"),
+        ("fig4-overlap", "multi-site overlap via the async lifecycle"),
         ("fig5", "PSI/J failure surfacing (Fig. 5)"),
         ("exp63", "KaMPIng artifact evaluation (§6.3)"),
         ("tables", "survey tables 1-4 with executable probes"),

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import json
 
-from repro.core.driver import CorrectResult, execute_correct, register_helpers
+from repro.core.driver import (
+    CorrectResult,
+    execute_correct_async,
+    register_helpers,
+)
 from repro.core.inputs import CorrectInputs
 from repro.core.remote import FN_CAPTURE_ENV, FN_RUN_SHELL
 from repro.errors import (
@@ -15,6 +19,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.faas.client import ComputeClient
+from repro.faas.future import Future
 from repro.hub.marketplace import ActionMetadata
 from repro.provenance.record import EnvironmentSnapshot, ExecutionRecord
 
@@ -43,35 +48,84 @@ class CorrectAction:
     """
 
     def run(self, ctx) -> "StepOutcome":  # noqa: F821 - engine protocol
+        """Blocking wrapper: drives virtual time until the step finishes."""
+        return self.run_async(ctx).result()
+
+    def run_async(self, ctx) -> Future:
+        """Deferred step execution; resolves to the :class:`StepOutcome`.
+
+        Remote calls are issued as futures, so CORRECT steps for jobs on
+        different endpoints progress through overlapping virtual time
+        when the engine runs jobs concurrently. The returned future never
+        carries an exception — failures become failure outcomes, exactly
+        as in the blocking path.
+        """
         from repro.actions.engine import StepOutcome
+
+        clock = ctx.engine.clock
+        done = Future(clock)
+
+        def resolve(outcome: "StepOutcome") -> Future:
+            done.set_result(outcome)
+            return done
 
         try:
             inputs = CorrectInputs.from_step_inputs(ctx.inputs)
         except InputValidationError as exc:
-            return StepOutcome(status="failure", error=f"CORRECT: {exc}")
+            return resolve(
+                StepOutcome(status="failure", error=f"CORRECT: {exc}")
+            )
 
         faas = ctx.services.faas
         if faas is None:
-            return StepOutcome(
-                status="failure",
-                error="CORRECT: no FaaS service configured in EngineServices",
+            return resolve(
+                StepOutcome(
+                    status="failure",
+                    error="CORRECT: no FaaS service configured in EngineServices",
+                )
             )
 
         # 1. the runner needs the compute SDK before it can talk to the cloud
         session = ctx.runner.shell(services=ctx.shell_services(), env=ctx.env)
         sdk = session.run("pip install globus-compute-sdk")
         if not sdk.ok:
-            return StepOutcome(
-                status="failure",
-                error=f"CORRECT: cannot install compute SDK: {sdk.stderr}",
-                log=sdk.combined_output(),
+            return resolve(
+                StepOutcome(
+                    status="failure",
+                    error=f"CORRECT: cannot install compute SDK: {sdk.stderr}",
+                    log=sdk.combined_output(),
+                )
             )
 
-        # 2-5. the framework-agnostic core
+        # 2-5. the framework-agnostic core, issued as a chained future
         try:
-            result = execute_correct(
+            result_future = execute_correct_async(
                 faas, inputs, ctx.run.repo_slug, ctx.run.branch
             )
+        except InvalidCredentials as exc:
+            return resolve(
+                StepOutcome(status="failure", error=f"CORRECT: {exc}")
+            )
+        except ReproError as exc:
+            return resolve(
+                StepOutcome(
+                    status="failure",
+                    error=f"CORRECT: {type(exc).__name__}: {exc}",
+                )
+            )
+
+        def finish(fut: Future) -> None:
+            done.set_result(self._conclude(ctx, inputs, faas, fut))
+
+        result_future.add_done_callback(finish)
+        return done
+
+    def _conclude(self, ctx, inputs, faas, fut: Future) -> "StepOutcome":
+        """Map the (resolved) core future to a step outcome + evidence."""
+        from repro.actions.engine import StepOutcome
+
+        try:
+            result = fut.result()
         except InvalidCredentials as exc:
             return StepOutcome(status="failure", error=f"CORRECT: {exc}")
         except CloneFailed as exc:

@@ -17,6 +17,7 @@ from repro.core.inputs import CorrectInputs
 from repro.core.remote import FN_CLONE, FN_RUN_SHELL, REMOTE_FUNCTIONS
 from repro.errors import CloneFailed, RemoteExecutionFailed, TaskFailed
 from repro.faas.client import ComputeClient
+from repro.faas.future import Future, TaskFuture
 from repro.faas.service import FaaSService
 
 
@@ -46,54 +47,38 @@ def register_helpers(client: ComputeClient) -> Dict[str, str]:
     }
 
 
-def execute_correct(
+def execute_correct_async(
     faas: FaaSService,
     inputs: CorrectInputs,
     default_repo: str,
     default_branch: str,
-) -> CorrectResult:
-    """Run the CORRECT flow (§5.3 steps 2–5).
+) -> Future:
+    """Run the CORRECT flow (§5.3 steps 2–5) without blocking virtual time.
 
-    Raises :class:`~repro.errors.InvalidCredentials` on bad client
-    credentials, :class:`~repro.errors.CloneFailed` when the repository
-    clone fails remotely, and :class:`~repro.errors.RemoteExecutionFailed`
-    when the task infrastructure fails (a non-zero *exit code* from the
-    user's command is a normal result, not an exception).
+    Returns a :class:`Future` resolving to a :class:`CorrectResult`. The
+    remote calls (clone, then the user's command) are issued as task
+    futures and chained through completion callbacks, so several CORRECT
+    steps on different endpoints make progress through the same span of
+    virtual time. Authentication still raises
+    :class:`~repro.errors.InvalidCredentials` eagerly; downstream
+    failures surface through the future as
+    :class:`~repro.errors.CloneFailed` or
+    :class:`~repro.errors.RemoteExecutionFailed` (a non-zero *exit code*
+    from the user's command is a normal result, not an exception).
     """
     client = ComputeClient(faas, inputs.client_id, inputs.client_secret)
     function_ids = register_helpers(client)
+    done = Future(faas.clock)
 
-    clone_path = ""
-    sha = ""
-    if inputs.clone:
-        slug = inputs.repository or default_repo
-        branch = inputs.branch or default_branch
-        try:
-            task_id = client.run(
-                inputs.endpoint_uuid,
-                function_ids[FN_CLONE],
-                slug,
-                branch,
-                template=inputs.template,
-            )
-            clone_result = client.get_result(task_id)
-        except TaskFailed as exc:
-            raise CloneFailed(
-                f"repository clone of {slug}@{branch} failed: "
-                f"{exc.remote_traceback or exc}"
-            ) from exc
-        clone_path = clone_result["path"]
-        sha = clone_result.get("sha", "")
-
-    if inputs.shell_cmd:
-        command = inputs.shell_cmd
-        if inputs.container_image:
-            command = (
-                f"{inputs.container_runtime} exec "
-                f"{inputs.container_image} {inputs.shell_cmd}"
-            )
-        try:
-            task_id = client.run(
+    def run_payload(clone_path: str, sha: str) -> None:
+        if inputs.shell_cmd:
+            command = inputs.shell_cmd
+            if inputs.container_image:
+                command = (
+                    f"{inputs.container_runtime} exec "
+                    f"{inputs.container_image} {inputs.shell_cmd}"
+                )
+            shell_future = client.submit(
                 inputs.endpoint_uuid,
                 function_ids[FN_RUN_SHELL],
                 command,
@@ -101,41 +86,113 @@ def execute_correct(
                 conda_env=inputs.conda_env,
                 template=inputs.template,
             )
-            result = client.get_result(task_id)
-        except TaskFailed as exc:
-            raise RemoteExecutionFailed(
-                f"remote execution failed: {exc}",
-                stderr=exc.remote_traceback,
-            ) from exc
-        return CorrectResult(
-            exit_code=int(result["exit_code"]),
-            stdout=result["stdout"],
-            stderr=result["stderr"],
-            task_id=task_id,
-            clone_path=clone_path,
-            sha=sha,
-            environment=result.get("environment"),
-            duration=float(result.get("duration", 0.0)),
-        )
 
-    try:
-        task_id = client.run(
+            def on_shell(fut: TaskFuture) -> None:
+                try:
+                    result = fut.result()
+                except TaskFailed as exc:
+                    done.set_exception(
+                        RemoteExecutionFailed(
+                            f"remote execution failed: {exc}",
+                            stderr=exc.remote_traceback,
+                        )
+                    )
+                    return
+                done.set_result(
+                    CorrectResult(
+                        exit_code=int(result["exit_code"]),
+                        stdout=result["stdout"],
+                        stderr=result["stderr"],
+                        task_id=fut.task_id,
+                        clone_path=clone_path,
+                        sha=sha,
+                        environment=result.get("environment"),
+                        duration=float(result.get("duration", 0.0)),
+                    )
+                )
+
+            shell_future.add_done_callback(on_shell)
+            return
+
+        fn_future = client.submit(
             inputs.endpoint_uuid,
             inputs.function_uuid,
             *inputs.function_args,
             template=inputs.template,
         )
-        value = client.get_result(task_id)
-    except TaskFailed as exc:
-        raise RemoteExecutionFailed(
-            f"remote execution failed: {exc}",
-            stderr=exc.remote_traceback,
-        ) from exc
-    return CorrectResult(
-        exit_code=0,
-        stdout=str(value),
-        stderr="",
-        task_id=task_id,
-        clone_path=clone_path,
-        sha=sha,
-    )
+
+        def on_function(fut: TaskFuture) -> None:
+            try:
+                value = fut.result()
+            except TaskFailed as exc:
+                done.set_exception(
+                    RemoteExecutionFailed(
+                        f"remote execution failed: {exc}",
+                        stderr=exc.remote_traceback,
+                    )
+                )
+                return
+            done.set_result(
+                CorrectResult(
+                    exit_code=0,
+                    stdout=str(value),
+                    stderr="",
+                    task_id=fut.task_id,
+                    clone_path=clone_path,
+                    sha=sha,
+                )
+            )
+
+        fn_future.add_done_callback(on_function)
+
+    if inputs.clone:
+        slug = inputs.repository or default_repo
+        branch = inputs.branch or default_branch
+        clone_future = client.submit(
+            inputs.endpoint_uuid,
+            function_ids[FN_CLONE],
+            slug,
+            branch,
+            template=inputs.template,
+        )
+
+        def on_clone(fut: TaskFuture) -> None:
+            try:
+                clone_result = fut.result()
+            except TaskFailed as exc:
+                done.set_exception(
+                    CloneFailed(
+                        f"repository clone of {slug}@{branch} failed: "
+                        f"{exc.remote_traceback or exc}"
+                    )
+                )
+                return
+            try:
+                run_payload(
+                    clone_result["path"], clone_result.get("sha", "")
+                )
+            except Exception as exc:  # noqa: BLE001 - eager submit errors
+                # must not escape into the event loop driving this callback
+                done.set_exception(exc)
+
+        clone_future.add_done_callback(on_clone)
+    else:
+        run_payload("", "")
+
+    return done
+
+
+def execute_correct(
+    faas: FaaSService,
+    inputs: CorrectInputs,
+    default_repo: str,
+    default_branch: str,
+) -> CorrectResult:
+    """Blocking wrapper over :func:`execute_correct_async`.
+
+    Drives virtual time until the flow completes; raises the same
+    exceptions the async path delivers through its future.
+    """
+    return execute_correct_async(
+        faas, inputs, default_repo, default_branch
+    ).result()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.errors import ExecutorError, WalltimeExceeded
+from repro.errors import ExecutorError, ReproError, WalltimeExceeded
 from repro.executor.providers import Block, Provider
 from repro.scheduler.jobs import JobState
 from repro.sites.site import NodeHandle
@@ -17,12 +17,24 @@ class PilotExecutor:
     batch sites); subsequent tasks reuse the warm block — the amortization
     the paper credits for "the benefits of adopting a FaaS based model"
     on short tests (§6.1).
+
+    Two submission paths share the same accounting:
+
+    * :meth:`submit` — blocking in virtual time; provisioning and the
+      task body advance the shared clock inline.
+    * :meth:`submit_async` — deferred; provisioning is a scheduled event
+      (queue wait becomes pending clock events, overlapping with work on
+      other executors) and the task body is costed in a
+      :meth:`~repro.util.clock.SimClock.measure` region, with completion
+      delivered by callback at ``start + elapsed``.
     """
 
     def __init__(self, provider: Provider, user: Optional[str] = None) -> None:
         self.provider = provider
         self.user = user or provider.user
         self._block: Optional[Block] = None
+        self._provisioning = False
+        self._ready_waiters: list = []
         self.tasks_run = 0
         self.total_queue_wait = 0.0
         self.blocks_started = 0
@@ -31,16 +43,55 @@ class PilotExecutor:
     def site(self):
         return self.provider.site
 
+    def _adopt_block(self, block: Block) -> Block:
+        """Record one provisioned block — first provision *or* re-provision
+        after a dead block both land here, so ``total_queue_wait`` always
+        reflects every queue wait actually paid."""
+        self._block = block
+        self.blocks_started += 1
+        self.total_queue_wait += block.queue_wait
+        return block
+
+    def _live_block(self) -> Optional[Block]:
+        """The current block if it is still usable, else None."""
+        if self._block is None or not self._block.active:
+            return None
+        if self._block_job_alive():
+            return self._block
+        self._block.active = False
+        return None
+
     def ensure_block(self) -> Block:
         """Provision a block if none is active; returns the live block."""
-        if self._block is not None and self._block.active:
-            if self._block_job_alive():
-                return self._block
-            self._block.active = False
-        self._block = self.provider.start_block()
-        self.blocks_started += 1
-        self.total_queue_wait += self._block.queue_wait
-        return self._block
+        block = self._live_block()
+        if block is not None:
+            return block
+        return self._adopt_block(self.provider.start_block())
+
+    def ensure_block_async(self, on_ready: Callable[[Block], None]) -> None:
+        """Event-driven :meth:`ensure_block`: ``on_ready(block)`` fires once
+        a live block exists, without advancing the caller's timeline.
+
+        Concurrent callers while a provision is in flight queue up and
+        share the one new block — one pilot job, not one per waiter.
+        """
+        block = self._live_block()
+        if block is not None:
+            on_ready(block)
+            return
+        self._ready_waiters.append(on_ready)
+        if self._provisioning:
+            return
+        self._provisioning = True
+
+        def adopted(new_block: Block) -> None:
+            self._provisioning = False
+            self._adopt_block(new_block)
+            waiters, self._ready_waiters = self._ready_waiters, []
+            for waiter in waiters:
+                waiter(new_block)
+
+        self.provider.start_block_async(adopted)
 
     def _block_job_alive(self) -> bool:
         block = self._block
@@ -51,13 +102,31 @@ class PilotExecutor:
         assert scheduler is not None
         return scheduler.job(block.job_id).state is JobState.RUNNING
 
-    def node_handle(self) -> NodeHandle:
-        """A handle on the first node of the (ensured) block."""
-        block = self.ensure_block()
+    def _handle_for(self, block: Block) -> NodeHandle:
         node = block.nodes[0]
         if block.node_class == "login":
             return self.site.login_handle(self.user)
         return self.site.compute_handle(self.user, node)
+
+    def node_handle(self) -> NodeHandle:
+        """A handle on the first node of the (ensured) block."""
+        return self._handle_for(self.ensure_block())
+
+    def _check_block_job(self, block: Block) -> None:
+        """Raise if the backing batch job died under the task."""
+        if block.job_id is None:
+            return
+        scheduler = self.site.scheduler
+        assert scheduler is not None
+        state = scheduler.job(block.job_id).state
+        if state is JobState.TIMEOUT:
+            raise WalltimeExceeded(
+                f"pilot {block.job_id} hit walltime during task"
+            )
+        if state not in (JobState.RUNNING,):
+            raise ExecutorError(
+                f"pilot {block.job_id} ended ({state.value}) during task"
+            )
 
     def submit(self, fn: Callable[[NodeHandle], Any]) -> Any:
         """Run ``fn(handle)`` on the pilot; returns its result.
@@ -69,19 +138,47 @@ class PilotExecutor:
         handle = self.node_handle()
         self.tasks_run += 1
         result = fn(handle)
-        if block.job_id is not None:
-            scheduler = self.site.scheduler
-            assert scheduler is not None
-            state = scheduler.job(block.job_id).state
-            if state is JobState.TIMEOUT:
-                raise WalltimeExceeded(
-                    f"pilot {block.job_id} hit walltime during task"
-                )
-            if state not in (JobState.RUNNING,):
-                raise ExecutorError(
-                    f"pilot {block.job_id} ended ({state.value}) during task"
-                )
+        self._check_block_job(block)
         return result
+
+    def submit_async(
+        self,
+        fn: Callable[[NodeHandle], Any],
+        on_done: Callable[[Any, Optional[BaseException]], None],
+    ) -> None:
+        """Run ``fn(handle)`` without blocking virtual time.
+
+        ``on_done(result, error)`` fires at the task's virtual completion
+        time. The body runs in a measure region when the block becomes
+        ready: its cost is captured as a span and charged via a scheduled
+        completion event, so bodies on other executors occupy the same
+        virtual interval.
+        """
+        clock = self.site.clock
+
+        def on_block(block: Block) -> None:
+            handle = self._handle_for(block)
+            self.tasks_run += 1
+            result: Any = None
+            error: Optional[BaseException] = None
+            with clock.measure() as span:
+                try:
+                    result = fn(handle)
+                except BaseException as exc:  # noqa: BLE001 - remote user code
+                    error = exc
+
+            def finish() -> None:
+                err = error
+                if err is None:
+                    try:
+                        self._check_block_job(block)
+                    except ReproError as exc:
+                        err = exc
+                on_done(None if err is not None else result, err)
+
+            clock.call_after(span.elapsed, finish)
+
+        self.ensure_block_async(on_block)
 
     def shutdown(self) -> None:
         """Release the block (completes the pilot batch job)."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import ExecutorError
 from repro.scheduler.jobs import Job, JobState
@@ -36,6 +36,17 @@ class Provider(abc.ABC):
         """Provision one block, advancing virtual time until it is usable."""
 
     @abc.abstractmethod
+    def start_block_async(self, on_ready: Callable[[Block], None]) -> None:
+        """Provision one block without blocking virtual time.
+
+        ``on_ready(block)`` fires (via a clock event or a scheduler
+        start callback) once the block is usable. Unlike
+        :meth:`start_block`, the caller's timeline is not advanced:
+        provisioning delay on one site overlaps with work everywhere
+        else.
+        """
+
+    @abc.abstractmethod
     def release_block(self, block: Block) -> None:
         """Return the block's resources."""
 
@@ -61,13 +72,21 @@ class LocalProvider(Provider):
     def node_class(self) -> str:
         return "login"
 
-    def start_block(self) -> Block:
-        self.site.clock.advance(self.startup_overhead)
+    def _make_block(self) -> Block:
         return Block(
             nodes=[self.site.login_nodes[0]],
             node_class="login",
             started_at=self.site.clock.now,
             queue_wait=0.0,
+        )
+
+    def start_block(self) -> Block:
+        self.site.clock.advance(self.startup_overhead)
+        return self._make_block()
+
+    def start_block_async(self, on_ready: Callable[[Block], None]) -> None:
+        self.site.clock.call_after(
+            self.startup_overhead, lambda: on_ready(self._make_block())
         )
 
     def release_block(self, block: Block) -> None:
@@ -103,10 +122,8 @@ class SlurmProvider(Provider):
     def node_class(self) -> str:
         return "compute"
 
-    def start_block(self) -> Block:
-        scheduler = self.site.scheduler
-        assert scheduler is not None
-        job = Job(
+    def _pilot_job(self) -> Job:
+        return Job(
             user=self.user,
             partition=self.partition,
             num_nodes=self.nodes_per_block,
@@ -114,18 +131,41 @@ class SlurmProvider(Provider):
             duration=None,  # pilot: open-ended
             name=f"pilot-{self.user}",
         )
+
+    def _block_from_job(self, job: Job) -> Block:
+        return Block(
+            nodes=list(job.allocated_nodes),
+            node_class="compute",
+            job_id=job.job_id,
+            started_at=self.site.clock.now,
+            queue_wait=job.queue_wait or 0.0,
+        )
+
+    def start_block(self) -> Block:
+        scheduler = self.site.scheduler
+        assert scheduler is not None
+        job = self._pilot_job()
         job_id = scheduler.submit(job)
         scheduler.wait_for_start(job_id)
         if job.state is not JobState.RUNNING:
             raise ExecutorError(
                 f"pilot job {job_id} did not start (state {job.state.value})"
             )
-        return Block(
-            nodes=list(job.allocated_nodes),
-            node_class="compute",
-            job_id=job_id,
-            started_at=self.site.clock.now,
-            queue_wait=job.queue_wait or 0.0,
+        return self._block_from_job(job)
+
+    def start_block_async(self, on_ready: Callable[[Block], None]) -> None:
+        """Submit the pilot and hand the block over when the job starts.
+
+        Uses the scheduler's :meth:`notify_start` completion callback, so
+        the queue wait is spent as pending events on the shared clock —
+        other endpoints keep dispatching while this pilot queues.
+        """
+        scheduler = self.site.scheduler
+        assert scheduler is not None
+        job = self._pilot_job()
+        job_id = scheduler.submit(job)
+        scheduler.notify_start(
+            job_id, lambda started: on_ready(self._block_from_job(started))
         )
 
     def release_block(self, block: Block) -> None:

@@ -5,7 +5,12 @@ these, so the numbers printed by the benchmark suite and the numbers a
 user sees from ``examples/`` come from the same code.
 """
 
-from repro.experiments.fig4_parsldock import run_fig4, Fig4Result
+from repro.experiments.fig4_parsldock import (
+    run_fig4,
+    run_fig4_overlap,
+    Fig4Result,
+    Fig4OverlapResult,
+)
 from repro.experiments.fig5_psij import run_fig5, Fig5Result
 from repro.experiments.exp63_kamping import run_exp63, Exp63Result
 from repro.experiments.fig1_badges import run_fig1
@@ -18,7 +23,9 @@ from repro.experiments.survey_tables import (
 
 __all__ = [
     "run_fig4",
+    "run_fig4_overlap",
     "Fig4Result",
+    "Fig4OverlapResult",
     "run_fig5",
     "Fig5Result",
     "run_exp63",

@@ -9,6 +9,9 @@
   result freshness and review gating.
 * :func:`retention_ablation` — §7.4: the 90-day artifact window vs
   committing outputs to the repository.
+* :func:`cloud_overhead_sweep` — §7.3: task round-trip latency as a
+  function of the cloud-service overhead, isolating the fixed FaaS cost
+  from site-side execution time.
 """
 
 from __future__ import annotations
@@ -96,6 +99,56 @@ def overhead_ablation(
         per_task_latencies.append(run_task(executor))
         executor.shutdown()
     return OverheadResult(pilot_latencies, per_task_latencies)
+
+
+@dataclass
+class CloudOverheadResult:
+    """Round-trip latency per cloud-overhead setting (§7.3)."""
+
+    latencies: Dict[float, float]  # overhead seconds -> round-trip seconds
+
+    @property
+    def marginal_cost(self) -> float:
+        """Seconds of round-trip added per second of cloud overhead."""
+        settings = sorted(self.latencies)
+        lo, hi = settings[0], settings[-1]
+        if hi == lo:
+            return 0.0
+        return (self.latencies[hi] - self.latencies[lo]) / (hi - lo)
+
+
+def cloud_overhead_sweep(
+    overheads: tuple = (0.0, 0.4, 0.8, 1.6, 3.2),
+    site_name: str = "chameleon",
+) -> CloudOverheadResult:
+    """Measure task round-trip time under different FaaS overheads.
+
+    Rebuilds the world's cloud with each ``cloud_overhead_seconds``
+    setting and times a trivial task on an unscheduled site, so the
+    measured latency isolates the dispatch path: cloud overhead plus two
+    network traversals plus (constant) execution.
+    """
+    from repro.faas.service import FaaSService
+
+    latencies: Dict[float, float] = {}
+    for overhead in overheads:
+        world = World()
+        world.faas = FaaSService(
+            world.clock,
+            world.auth,
+            events=world.events,
+            cloud_overhead_seconds=overhead,
+        )
+        world.services.faas = world.faas
+        user = world.register_user("ops", {site_name: "x-ops"})
+        mep = common.deploy_site_mep(world, site_name)
+        client = ComputeClient(world.faas, user.client_id, user.client_secret)
+        fid = client.register_function(lambda fctx: 0, name="noop")
+        start = world.clock.now
+        task_id = client.run(mep.endpoint_id, fid)
+        client.get_result(task_id)
+        latencies[overhead] = world.clock.now - start
+    return CloudOverheadResult(latencies)
 
 
 # ---------------------------------------------------------------------------

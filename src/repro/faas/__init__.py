@@ -16,12 +16,16 @@ from repro.faas.endpoint import (
     MultiUserEndpoint,
     EndpointTemplate,
 )
-from repro.faas.service import FaaSService
+from repro.faas.future import Future, TaskFuture
+from repro.faas.service import BatchRequest, FaaSService
 from repro.faas.client import ComputeClient
 
 __all__ = [
     "Task",
     "TaskState",
+    "Future",
+    "TaskFuture",
+    "BatchRequest",
     "FunctionSpec",
     "FunctionRegistry",
     "FunctionContext",

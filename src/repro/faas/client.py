@@ -2,15 +2,18 @@
 
 CORRECT instantiates this on the GitHub runner with the client id and
 secret pulled from environment secrets, then registers/submits functions
-and fetches results.
+and fetches results. :meth:`ComputeClient.submit` is the primary,
+future-based path; :meth:`ComputeClient.run` is the blocking wrapper kept
+for callers written against the original synchronous API.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, List, Sequence
 
 from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
-from repro.faas.service import FaaSService
+from repro.faas.future import TaskFuture
+from repro.faas.service import BatchRequest, FaaSService
 from repro.faas.task import Task
 
 
@@ -48,15 +51,15 @@ class ComputeClient:
             self._token.value, fn, name=name, needs_outbound=needs_outbound
         )
 
-    def run(
+    def submit(
         self,
         endpoint_id: str,
         function_id: str,
         *args: Any,
         template: str = "default",
         **kwargs: Any,
-    ) -> str:
-        """Submit a task; returns the task id."""
+    ) -> TaskFuture:
+        """Submit a task; returns its future without advancing time."""
         return self.service.submit(
             self._token.value,
             endpoint_id,
@@ -65,6 +68,31 @@ class ComputeClient:
             kwargs=kwargs,
             template=template,
         )
+
+    def submit_batch(
+        self, requests: Sequence[BatchRequest]
+    ) -> List[TaskFuture]:
+        """Submit many tasks at once; futures in request order."""
+        return self.service.submit_batch(self._token.value, requests)
+
+    def run(
+        self,
+        endpoint_id: str,
+        function_id: str,
+        *args: Any,
+        template: str = "default",
+        **kwargs: Any,
+    ) -> str:
+        """Submit a task and drive it to completion; returns the task id.
+
+        Blocking wrapper over :meth:`submit` — remote failures do *not*
+        raise here; inspect :meth:`get_task` / call :meth:`get_result`.
+        """
+        future = self.submit(
+            endpoint_id, function_id, *args, template=template, **kwargs
+        )
+        future.wait()
+        return future.task_id
 
     def get_task(self, task_id: str) -> Task:
         return self.service.get_task(task_id)

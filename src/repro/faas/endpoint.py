@@ -17,7 +17,7 @@ before any code runs (§5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.auth.identity import Identity
 from repro.auth.oauth import Token
@@ -103,11 +103,7 @@ class UserEndpoint:
             return self._login_executor
         return self._compute_executor
 
-    def execute(self, spec: FunctionSpec, args: tuple, kwargs: dict):
-        """Run one task; returns the function's result (or raises)."""
-        self.check_function_allowed(spec)
-        executor = self._executor_for(spec)
-
+    def _task_body(self, spec: FunctionSpec, args: tuple, kwargs: dict):
         def task_body(handle):
             ctx = FunctionContext(
                 handle=handle,
@@ -116,7 +112,27 @@ class UserEndpoint:
             )
             return spec.fn(ctx, *args, **kwargs)
 
-        return executor.submit(task_body)
+        return task_body
+
+    def execute(self, spec: FunctionSpec, args: tuple, kwargs: dict):
+        """Run one task; returns the function's result (or raises)."""
+        self.check_function_allowed(spec)
+        executor = self._executor_for(spec)
+        return executor.submit(self._task_body(spec, args, kwargs))
+
+    def execute_async(
+        self,
+        spec: FunctionSpec,
+        args: tuple,
+        kwargs: dict,
+        on_done: Callable[[Any, Optional[BaseException]], None],
+    ) -> None:
+        """Deferred :meth:`execute`: ``on_done(result, error)`` fires at the
+        task's virtual completion time. Allow-list violations raise
+        immediately — no code runs, so no time passes (§5.2)."""
+        self.check_function_allowed(spec)
+        executor = self._executor_for(spec)
+        executor.submit_async(self._task_body(spec, args, kwargs), on_done)
 
     def stats(self) -> Dict[str, float]:
         out = {
@@ -195,6 +211,16 @@ class MultiUserEndpoint:
             )
         return uep
 
+    def _audit_task(self, token: Token, spec: FunctionSpec) -> None:
+        self.audit_log.append(
+            {
+                "time": self.site.clock.now,
+                "event": "task.executed",
+                "identity": token.identity.urn,
+                "function": spec.name,
+            }
+        )
+
     def execute(
         self,
         token: Token,
@@ -204,15 +230,24 @@ class MultiUserEndpoint:
         template_name: str = "default",
     ):
         uep = self.user_endpoint(token, template_name)
-        self.audit_log.append(
-            {
-                "time": self.site.clock.now,
-                "event": "task.executed",
-                "identity": token.identity.urn,
-                "function": spec.name,
-            }
-        )
+        self._audit_task(token, spec)
         return uep.execute(spec, args, kwargs)
+
+    def execute_async(
+        self,
+        token: Token,
+        spec: FunctionSpec,
+        args: tuple,
+        kwargs: dict,
+        on_done: Callable[[Any, Optional[BaseException]], None],
+        template_name: str = "default",
+    ) -> None:
+        """Deferred :meth:`execute`. Policy, identity mapping, and template
+        resolution still raise synchronously at dispatch — an unmapped or
+        policy-violating identity never reaches a local account."""
+        uep = self.user_endpoint(token, template_name)
+        self._audit_task(token, spec)
+        uep.execute_async(spec, args, kwargs, on_done)
 
     def shutdown(self) -> None:
         for uep in self._ueps.values():

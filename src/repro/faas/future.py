@@ -1,0 +1,132 @@
+"""Futures for the deferred task lifecycle.
+
+:meth:`FaaSService.submit` no longer runs the task to completion — it
+enqueues the task on a per-endpoint dispatcher and hands back a
+:class:`TaskFuture`. Results are pulled by *driving the shared clock*:
+``future.result()`` fires pending events (dispatch, block provisioning,
+task completion) until this future resolves. Because every blocking wait
+is expressed as clock events rather than Python control flow, tasks
+in flight on different endpoints interleave in virtual time.
+
+:class:`Future` is the generic building block; chained computations (the
+CORRECT clone→execute pipeline) compose plain futures resolved from
+completion callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import TaskFailed
+from repro.util.clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faas.task import Task
+
+
+class Future:
+    """A value that resolves when the simulation reaches its event.
+
+    ``clock`` is the shared :class:`SimClock`; :meth:`wait` advances it
+    event by event until the future resolves. A future that can never
+    resolve (the event queue drains first) raises :class:`TaskFailed`
+    rather than spinning — in a discrete-event world an empty queue *is*
+    a deadlock.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self._clock = clock
+        self._resolved = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    # -- resolution (producer side) ------------------------------------------
+    def set_result(self, value: Any) -> None:
+        self._resolve(result=value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._resolve(exception=exc)
+
+    def _resolve(
+        self, result: Any = None, exception: Optional[BaseException] = None
+    ) -> None:
+        if self._resolved:
+            raise RuntimeError("future already resolved")
+        self._resolved = True
+        self._result = result
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- observation (consumer side) -----------------------------------------
+    def done(self) -> bool:
+        """True once the future has a result or an exception."""
+        return self._resolved
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Call ``fn(self)`` when resolved; immediately if already done."""
+        if self._resolved:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def wait(self) -> "Future":
+        """Drive the clock until this future resolves; never raises its error."""
+        while not self._resolved:
+            if self._clock is None:
+                raise TaskFailed("future has no clock to drive and is pending")
+            nxt = self._clock.next_event_time()
+            if nxt is None:
+                raise TaskFailed(
+                    "deadlock: future pending but no events are scheduled"
+                )
+            self._clock.run_until(nxt)
+        return self
+
+    def result(self) -> Any:
+        """The value; drives the clock if needed, re-raises the exception."""
+        self.wait()
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """The exception (or None); drives the clock if needed."""
+        self.wait()
+        return self._exception
+
+
+class TaskFuture(Future):
+    """Handle on one submitted FaaS task.
+
+    Mirrors the compute SDK's future: :meth:`result` drives virtual time
+    until the task completes, returning the remote value or raising
+    :class:`~repro.errors.TaskFailed` carrying the remote traceback.
+    """
+
+    def __init__(self, clock: SimClock, task: "Task") -> None:
+        super().__init__(clock)
+        self.task = task
+
+    @property
+    def task_id(self) -> str:
+        return self.task.task_id
+
+    def resolve_from_task(self) -> None:
+        """Resolve from the (terminal) task record. Called by the service."""
+        from repro.faas.task import TaskState
+
+        if self.task.state is TaskState.SUCCESS:
+            self.set_result(self.task.result)
+        else:
+            self.set_exception(
+                TaskFailed(
+                    f"task {self.task.task_id} failed remotely",
+                    remote_traceback=self.task.exception_text,
+                )
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskFuture({self.task.task_id}, state={self.task.state.value})"

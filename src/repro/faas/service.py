@@ -1,11 +1,24 @@
-"""The FaaS cloud service: registry, submission, results."""
+"""The FaaS cloud service: registry, submission, dispatch, results.
+
+The submit→result path is deferred: :meth:`FaaSService.submit` validates
+the request, enqueues the task on a **per-endpoint dispatcher**, and
+returns a :class:`~repro.faas.future.TaskFuture` immediately — no virtual
+time passes. Control-plane cost (cloud overhead plus the runner↔cloud
+round trip) becomes a scheduled *dispatch event*; execution is driven by
+the shared :class:`~repro.util.clock.SimClock`. Tasks bound for different
+endpoints therefore interleave in virtual time: a pilot queue wait on one
+site overlaps with compute on another, which is the FaaS amortization
+argument of §6.1/§7.3 made concrete.
+"""
 
 from __future__ import annotations
 
 import traceback
-from typing import Dict, List, Optional, Union
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.auth.oauth import AuthService, SCOPE_COMPUTE
+from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
 from repro.errors import (
     EndpointNotFound,
     EndpointOffline,
@@ -15,27 +28,122 @@ from repro.errors import (
     TaskFailed,
 )
 from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
-from repro.faas.functions import FunctionRegistry
+from repro.faas.functions import FunctionRegistry, FunctionSpec
+from repro.faas.future import TaskFuture
 from repro.faas.task import Task, TaskState
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
 from repro.util.serialization import DEFAULT_PAYLOAD_LIMIT, serialized_size
 
-# Fixed cloud-side processing overhead per task (queueing, dispatch).
+# Default cloud-side processing overhead per task (queueing, dispatch).
+# Constructor parameter ``cloud_overhead_seconds`` overrides it so the
+# §7.3 overhead ablation can sweep the control-plane cost.
 CLOUD_OVERHEAD_SECONDS = 0.8
 
 Endpoint = Union[UserEndpoint, MultiUserEndpoint]
 
 
+@dataclass
+class BatchRequest:
+    """One entry of a :meth:`FaaSService.submit_batch` submission."""
+
+    endpoint_id: str
+    function_id: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    template: str = "default"
+
+
+@dataclass
+class _PendingTask:
+    """A validated task waiting on (or moving through) an endpoint queue."""
+
+    task: Task
+    future: TaskFuture
+    token: Token
+    spec: FunctionSpec
+    template: str
+
+
+class _EndpointDispatcher:
+    """FIFO dispatch loop for one endpoint.
+
+    Tasks arrive via scheduled dispatch events and run one at a time per
+    endpoint (the pilot holds one block); completion hands the loop to
+    the next queued task. Separate endpoints have separate dispatchers,
+    so their queues drain concurrently in virtual time.
+    """
+
+    def __init__(self, service: "FaaSService", endpoint_id: str) -> None:
+        self.service = service
+        self.endpoint_id = endpoint_id
+        self.queue: Deque[_PendingTask] = deque()
+        self.busy = False
+
+    def arrive(self, entry: _PendingTask) -> None:
+        self.queue.append(entry)
+        self.pump()
+
+    def pump(self) -> None:
+        if self.busy or not self.queue:
+            return
+        entry = self.queue.popleft()
+        self.busy = True
+        task = entry.task
+        task.state = TaskState.RUNNING
+        task.started_at = self.service.clock.now
+        self.service.events.emit(
+            self.service.clock.now, "faas", "task.dispatched",
+            task_id=task.task_id, endpoint=self.endpoint_id,
+        )
+
+        def on_done(result, error) -> None:
+            # free the lane *before* resolving: done-callbacks may submit
+            # follow-up tasks to this endpoint and drive the clock.
+            self.busy = False
+            self.service._complete(entry, result, error)
+            self.pump()
+
+        try:
+            endpoint = self.service._endpoints.get(self.endpoint_id)
+            if endpoint is None:
+                raise EndpointNotFound(
+                    f"endpoint {self.endpoint_id!r} disappeared before dispatch"
+                )
+            if not endpoint.online:
+                raise EndpointOffline(
+                    f"endpoint {self.endpoint_id!r} went offline before dispatch"
+                )
+            if isinstance(endpoint, MultiUserEndpoint):
+                endpoint.execute_async(
+                    entry.token, entry.spec, task.args, task.kwargs,
+                    on_done, template_name=entry.template,
+                )
+            else:
+                if (
+                    endpoint.owner is not None
+                    and endpoint.owner != entry.token.identity
+                ):
+                    raise PermissionDenied(
+                        f"endpoint {self.endpoint_id[:8]} belongs to "
+                        f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
+                    )
+                endpoint.execute_async(
+                    entry.spec, task.args, task.kwargs, on_done
+                )
+        except BaseException as exc:  # noqa: BLE001 - dispatch-time failure
+            on_done(None, exc)
+
+
 class FaaSService:
     """The hybrid cloud service endpoints register with.
 
-    Execution is synchronous in virtual time: :meth:`submit` routes the
-    task to the endpoint, runs it (advancing the shared clock through
-    queue waits and compute), records the outcome, and returns the task
-    id. :meth:`get_result` then returns the value or raises
-    :class:`~repro.errors.TaskFailed` with the remote traceback.
+    :meth:`submit` enqueues and returns a :class:`TaskFuture`; the task
+    executes as the clock is driven past its dispatch, provisioning, and
+    completion events. ``future.result()`` (and the blocking client
+    wrapper built on it) drives the clock on the caller's behalf, so
+    code written against the old synchronous API behaves identically.
     """
 
     def __init__(
@@ -44,14 +152,18 @@ class FaaSService:
         auth: AuthService,
         events: Optional[EventLog] = None,
         payload_limit: int = DEFAULT_PAYLOAD_LIMIT,
+        cloud_overhead_seconds: float = CLOUD_OVERHEAD_SECONDS,
     ) -> None:
         self.clock = clock
         self.auth = auth
         self.events = events if events is not None else EventLog()
         self.functions = FunctionRegistry()
         self.payload_limit = payload_limit
+        self.cloud_overhead_seconds = cloud_overhead_seconds
         self._endpoints: Dict[str, Endpoint] = {}
         self._tasks: Dict[str, Task] = {}
+        self._futures: Dict[str, TaskFuture] = {}
+        self._dispatchers: Dict[str, _EndpointDispatcher] = {}
         self._task_ids = IdFactory("task")
 
     # -- registration ------------------------------------------------------------
@@ -92,6 +204,13 @@ class FaaSService:
     def endpoints(self) -> List[str]:
         return sorted(self._endpoints)
 
+    def _dispatcher(self, endpoint_id: str) -> _EndpointDispatcher:
+        dispatcher = self._dispatchers.get(endpoint_id)
+        if dispatcher is None:
+            dispatcher = _EndpointDispatcher(self, endpoint_id)
+            self._dispatchers[endpoint_id] = dispatcher
+        return dispatcher
+
     # -- task lifecycle -------------------------------------------------------------
     def submit(
         self,
@@ -101,8 +220,15 @@ class FaaSService:
         args: tuple = (),
         kwargs: Optional[dict] = None,
         template: str = "default",
-    ) -> str:
-        """Submit one task; executes synchronously in virtual time."""
+    ) -> TaskFuture:
+        """Enqueue one task; returns its future immediately.
+
+        Validation (credentials, endpoint existence and liveness, payload
+        size) happens eagerly and raises, mirroring the SDK rejecting a
+        request at the cloud's front door. Everything downstream —
+        dispatch, policy checks, provisioning, execution — happens as
+        clock events and surfaces through the future.
+        """
         kwargs = kwargs or {}
         token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
         spec = self.functions.get(function_id)
@@ -127,53 +253,97 @@ class FaaSService:
             submitted_at=self.clock.now,
         )
         self._tasks[task.task_id] = task
+        future = TaskFuture(self.clock, task)
+        self._futures[task.task_id] = future
         self.events.emit(
             self.clock.now, "faas", "task.submitted",
             task_id=task.task_id, function=spec.name,
             endpoint=endpoint_id, identity=token.identity.urn,
         )
 
-        # control-plane cost: runner -> cloud -> endpoint
-        self.clock.advance(
-            CLOUD_OVERHEAD_SECONDS + 2 * endpoint.site.network.latency_to_cloud
+        entry = _PendingTask(task, future, token, spec, template)
+        dispatcher = self._dispatcher(endpoint_id)
+        # control-plane cost: runner -> cloud -> endpoint, as an event
+        delay = (
+            self.cloud_overhead_seconds
+            + 2 * endpoint.site.network.latency_to_cloud
         )
-        task.state = TaskState.RUNNING
-        task.started_at = self.clock.now
-        try:
-            if isinstance(endpoint, MultiUserEndpoint):
-                result = endpoint.execute(
-                    token, spec, args, kwargs, template_name=template
-                )
-            else:
-                if (
-                    endpoint.owner is not None
-                    and endpoint.owner != token.identity
-                ):
-                    raise PermissionDenied(
-                        f"endpoint {endpoint_id[:8]} belongs to "
-                        f"{endpoint.owner.urn}, not {token.identity.urn}"
+        self.clock.call_after(delay, lambda: dispatcher.arrive(entry))
+        return future
+
+    def submit_batch(
+        self,
+        token_value: str,
+        requests: Sequence[BatchRequest],
+    ) -> List[TaskFuture]:
+        """Enqueue many tasks at once; futures come back in request order.
+
+        One authentication round covers the whole batch, and tasks fan
+        out to their endpoint dispatchers immediately — the bulk path the
+        ROADMAP's heavy-traffic goal calls for.
+        """
+        return [
+            self.submit(
+                token_value,
+                request.endpoint_id,
+                request.function_id,
+                args=request.args,
+                kwargs=request.kwargs,
+                template=request.template,
+            )
+            for request in requests
+        ]
+
+    def _complete(
+        self, entry: _PendingTask, result, error: Optional[BaseException]
+    ) -> None:
+        """Record a finished dispatch and resolve its future."""
+        task = entry.task
+        if error is None:
+            try:
+                result_size = serialized_size(result)
+                if result_size > self.payload_limit:
+                    raise PayloadTooLarge(
+                        f"result serializes to {result_size} bytes "
+                        f"(limit {self.payload_limit})"
                     )
-                result = endpoint.execute(spec, args, kwargs)
-            result_size = serialized_size(result)
-            if result_size > self.payload_limit:
-                raise PayloadTooLarge(
-                    f"result serializes to {result_size} bytes "
-                    f"(limit {self.payload_limit})"
-                )
+            except ReproError as exc:
+                error = exc
+        if error is None:
             task.result = result
             task.state = TaskState.SUCCESS
-        except ReproError as exc:
+        else:
             task.state = TaskState.FAILED
-            task.exception_text = f"{type(exc).__name__}: {exc}"
-        except Exception:  # noqa: BLE001 - remote user code may raise anything
-            task.state = TaskState.FAILED
-            task.exception_text = traceback.format_exc()
+            if isinstance(error, ReproError):
+                task.exception_text = f"{type(error).__name__}: {error}"
+            else:
+                task.exception_text = "".join(
+                    traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                )
         task.completed_at = self.clock.now
         self.events.emit(
             self.clock.now, "faas", "task.completed",
             task_id=task.task_id, state=task.state.value,
         )
-        return task.task_id
+        future = self._futures.get(task.task_id)
+        if future is not None:
+            future.resolve_from_task()
+
+    # -- results ---------------------------------------------------------------
+    def drive_until_complete(self, task_id: str) -> Task:
+        """Advance virtual time event-by-event until the task is terminal."""
+        task = self.get_task(task_id)
+        while not task.state.is_terminal:
+            nxt = self.clock.next_event_time()
+            if nxt is None:
+                raise TaskFailed(
+                    f"task {task_id} cannot complete: no pending events "
+                    f"(state {task.state.value})"
+                )
+            self.clock.run_until(nxt)
+        return task
 
     def get_task(self, task_id: str) -> Task:
         try:
@@ -181,9 +351,19 @@ class FaaSService:
         except KeyError:
             raise TaskFailed(f"unknown task {task_id!r}") from None
 
+    def get_future(self, task_id: str) -> TaskFuture:
+        try:
+            return self._futures[task_id]
+        except KeyError:
+            raise TaskFailed(f"unknown task {task_id!r}") from None
+
     def get_result(self, task_id: str):
-        """Result of a task; raises :class:`TaskFailed` with the remote error."""
-        task = self.get_task(task_id)
+        """Result of a task; raises :class:`TaskFailed` with the remote error.
+
+        Blocking wrapper over the future: a task still in flight is
+        driven to completion in virtual time first.
+        """
+        task = self.drive_until_complete(task_id)
         if task.state is TaskState.FAILED:
             raise TaskFailed(
                 f"task {task_id} failed remotely",

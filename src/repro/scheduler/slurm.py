@@ -8,7 +8,7 @@ queue only if it fits on currently-free nodes *and* is guaranteed to finish
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import InvalidJobSpec, JobNotFound
 from repro.scheduler.jobs import Job, JobState
@@ -43,6 +43,8 @@ class SlurmScheduler:
             p.name: set() for p in partitions
         }
         self._end_handles: Dict[str, EventHandle] = {}
+        self._start_watchers: Dict[str, List[Callable[[Job], None]]] = {}
+        self._end_watchers: Dict[str, List[Callable[[Job], None]]] = {}
         self._ids = IdFactory(f"{name}-job")
 
     # -- public API (sbatch/squeue/scancel equivalents) ------------------------
@@ -115,6 +117,31 @@ class SlurmScheduler:
             raise JobNotFound(f"job {job_id} is not running")
         self._end_job(job, JobState.FAILED)
 
+    # -- completion callbacks -----------------------------------------------------
+    def notify_start(self, job_id: str, callback: Callable[[Job], None]) -> None:
+        """Call ``callback(job)`` when the job starts running.
+
+        Fires immediately if the job already started (or synchronously
+        from :meth:`submit` when free nodes allow an instant start). This
+        is the event-driven alternative to :meth:`wait_for_start`: the
+        async pilot provisioning path registers a callback instead of
+        pumping the clock, so a queue wait on one site no longer blocks
+        progress anywhere else.
+        """
+        job = self.job(job_id)
+        if job.state is not JobState.PENDING:
+            callback(job)
+            return
+        self._start_watchers.setdefault(job_id, []).append(callback)
+
+    def notify_end(self, job_id: str, callback: Callable[[Job], None]) -> None:
+        """Call ``callback(job)`` when the job reaches a terminal state."""
+        job = self.job(job_id)
+        if job.state.is_terminal:
+            callback(job)
+            return
+        self._end_watchers.setdefault(job_id, []).append(callback)
+
     # -- waiting helpers ---------------------------------------------------------
     def wait_for_start(self, job_id: str, limit: float = float("inf")) -> Job:
         """Advance virtual time until the job starts (or hits ``limit``)."""
@@ -153,36 +180,43 @@ class SlurmScheduler:
             self._schedule_partition(pname)
 
     def _schedule_partition(self, pname: str) -> None:
-        queue = [j for j in self._pending if self._jobs[j].partition == pname]
-        if not queue:
-            return
-        free = len(self.free_nodes(pname))
-        # Start jobs FCFS while they fit.
-        started: List[str] = []
-        head_blocked: Optional[Job] = None
-        for job_id in queue:
-            job = self._jobs[job_id]
-            if head_blocked is None:
-                if job.num_nodes <= free:
-                    self._start_job(job)
-                    free -= job.num_nodes
-                    started.append(job_id)
-                else:
+        # One job starts per scan, dequeued *before* its start callbacks
+        # run: a start watcher may drive the clock (async pilot dispatch
+        # runs task bodies), re-entering _schedule — the queue must never
+        # hold a job that is already running.
+        while True:
+            queue = [
+                j for j in self._pending if self._jobs[j].partition == pname
+            ]
+            if not queue:
+                return
+            free = len(self.free_nodes(pname))
+            head_blocked: Optional[Job] = None
+            to_start: Optional[Job] = None
+            for job_id in queue:
+                job = self._jobs[job_id]
+                if head_blocked is None:
+                    if job.num_nodes <= free:
+                        to_start = job
+                        break
                     head_blocked = job
-            else:
-                # Backfill: may start only if it fits now AND its walltime
-                # bound ends before the blocked head's earliest start.
-                shadow = self._shadow_time(head_blocked)
-                if (
-                    job.num_nodes <= free
-                    and shadow is not None
-                    and self.clock.now + (job.walltime or 0.0) <= shadow + 1e-9
-                ):
-                    self._start_job(job)
-                    free -= job.num_nodes
-                    started.append(job_id)
-        for job_id in started:
-            self._pending.remove(job_id)
+                else:
+                    # Backfill: may start only if it fits now AND its
+                    # walltime bound ends before the blocked head's
+                    # earliest start.
+                    shadow = self._shadow_time(head_blocked)
+                    if (
+                        job.num_nodes <= free
+                        and shadow is not None
+                        and self.clock.now + (job.walltime or 0.0)
+                        <= shadow + 1e-9
+                    ):
+                        to_start = job
+                        break
+            if to_start is None:
+                return
+            self._pending.remove(to_start.job_id)
+            self._start_job(to_start)
 
     def _shadow_time(self, head: Job) -> Optional[float]:
         """Earliest time the blocked head job could start.
@@ -224,6 +258,8 @@ class SlurmScheduler:
         )
         if job.on_start is not None:
             job.on_start(job)
+        for watcher in self._start_watchers.pop(job.job_id, []):
+            watcher(job)
         # schedule the end: payload completion or walltime kill
         if job.duration is not None and job.duration <= (job.walltime or 0.0):
             end_state = JobState.COMPLETED
@@ -258,3 +294,6 @@ class SlurmScheduler:
         )
         if job.on_end is not None:
             job.on_end(job)
+        self._start_watchers.pop(job.job_id, None)
+        for watcher in self._end_watchers.pop(job.job_id, []):
+            watcher(job)

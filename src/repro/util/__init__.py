@@ -1,7 +1,7 @@
 """Shared utilities: virtual clock, ids, hashing, event log, serialization,
 mini-YAML parsing, and plain-text table/series rendering."""
 
-from repro.util.clock import SimClock
+from repro.util.clock import SimClock, Span
 from repro.util.ids import IdFactory, deterministic_uuid
 from repro.util.events import EventLog, Event
 from repro.util.hashing import content_hash
@@ -9,6 +9,7 @@ from repro.util.serialization import serialize, deserialize, serialized_size
 
 __all__ = [
     "SimClock",
+    "Span",
     "IdFactory",
     "deterministic_uuid",
     "EventLog",

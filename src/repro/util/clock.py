@@ -13,10 +13,11 @@ scheduler uses this to model job start/finish events.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 
 @dataclass(order=True)
@@ -46,6 +47,18 @@ class EventHandle:
         return self._event.cancelled
 
 
+class Span:
+    """The outcome of a :meth:`SimClock.measure` region.
+
+    ``elapsed`` is the virtual time the region consumed. It is only
+    meaningful after the region exits.
+    """
+
+    def __init__(self, start: float) -> None:
+        self.start = start
+        self.elapsed = 0.0
+
+
 class SimClock:
     """A monotonically increasing virtual clock with scheduled callbacks.
 
@@ -60,6 +73,7 @@ class SimClock:
         self._now = float(start)
         self._queue: List[_ScheduledEvent] = []
         self._counter = itertools.count()
+        self._regions: List[Span] = []
 
     @property
     def now(self) -> float:
@@ -109,6 +123,8 @@ class SimClock:
                 continue
             self._now = max(self._now, event.time)
             event.callback()
+            # a nested measure region may have rewound the clock; events
+            # it consumed are gone, so the loop stays monotone
         self._now = max(self._now, target)
 
     def run_until_idle(self, limit: float = float("inf")) -> None:
@@ -117,6 +133,8 @@ class SimClock:
         ``limit`` bounds the final time to protect against runaway
         self-rescheduling loops.
         """
+        if self._regions:
+            raise RuntimeError("cannot drain events inside a measure() region")
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
@@ -125,6 +143,33 @@ class SimClock:
             if head.time > limit:
                 break
             self.run_until(head.time)
+
+    @contextlib.contextmanager
+    def measure(self) -> Iterator[Span]:
+        """Run a region of code, capture its cost, and rewind the clock.
+
+        Inside the region the clock behaves exactly as usual — the body
+        advances it, scheduled events (its own batch jobs, background
+        load, other tasks' dispatches) fire in time order. On exit, the
+        elapsed virtual time is available as ``span.elapsed`` and the
+        clock is rewound to the region's start: the caller then schedules
+        a completion event ``elapsed`` seconds out instead of having
+        blocked the timeline. This is what lets task bodies on different
+        endpoints overlap in virtual time — each body is costed where it
+        started, and only its start/finish events constrain the others.
+
+        Regions nest: an event fired while a body advances the clock may
+        dispatch another task, whose own region rewinds its cost away so
+        it is never charged to the outer span.
+        """
+        span = Span(self._now)
+        self._regions.append(span)
+        try:
+            yield span
+        finally:
+            self._regions.pop()
+            span.elapsed = self._now - span.start
+            self._now = span.start
 
     def pending_events(self) -> int:
         """Number of scheduled, non-cancelled events."""

@@ -46,7 +46,9 @@ class WorldUser:
 class World:
     """Everything the paper's evaluation environment contains."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, concurrent_jobs: bool = False
+    ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
         self.package_index = standard_index()
@@ -66,7 +68,11 @@ class World:
             archive=self.archive,
         )
         self.engine = Engine(
-            self.hub, self.runner_pool, services=self.services, events=self.events
+            self.hub,
+            self.runner_pool,
+            services=self.services,
+            events=self.events,
+            concurrent_jobs=concurrent_jobs,
         )
         publish_correct(self.hub.marketplace)
         self.sites: Dict[str, Site] = {}

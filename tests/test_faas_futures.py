@@ -1,0 +1,161 @@
+"""The async task lifecycle: futures, batches, dispatch interleaving."""
+
+import pytest
+
+from repro.errors import TaskFailed
+from repro.executor.pilot import PilotExecutor
+from repro.executor.providers import SlurmProvider
+from repro.experiments import common
+from repro.experiments.fig4_parsldock import run_fig4_overlap
+from repro.faas import BatchRequest
+from repro.faas.client import ComputeClient
+from repro.faas.future import Future
+from repro.faas.task import TaskState
+from repro.scheduler.jobs import Job
+
+
+@pytest.fixture
+def two_endpoints(quiet_world):
+    """A client plus MEPs on two sites with different network latencies."""
+    world = quiet_world
+    user = world.register_user(
+        "alice", {"chameleon": "cc", "faster": "x-alice"}
+    )
+    ep_a = common.deploy_site_mep(world, "chameleon")
+    ep_b = common.deploy_site_mep(world, "faster", login_only=True)
+    client = ComputeClient(world.faas, user.client_id, user.client_secret)
+    return world, client, ep_a.endpoint_id, ep_b.endpoint_id
+
+
+def _work(fctx, seconds):
+    fctx.handle.compute(seconds)
+    return seconds
+
+
+class TestTaskFuture:
+    def test_submit_returns_pending_future(self, two_endpoints):
+        world, client, ep_a, _ = two_endpoints
+        fid = client.register_function(lambda fctx: 42, "answer")
+        future = client.submit(ep_a, fid)
+        assert not future.done()
+        task = world.faas.get_task(future.task_id)
+        assert task.state is TaskState.PENDING
+        assert future.result() == 42
+        assert future.done()
+        assert world.faas.get_task(future.task_id).state is TaskState.SUCCESS
+
+    def test_completion_order_across_endpoints(self, two_endpoints):
+        world, client, ep_a, ep_b = two_endpoints
+        fid = client.register_function(_work, "work")
+        order = []
+        slow = client.submit(ep_a, fid, 30.0)
+        slow.add_done_callback(lambda f: order.append("slow"))
+        fast = client.submit(ep_b, fid, 5.0)
+        fast.add_done_callback(lambda f: order.append("fast"))
+        assert order == []  # nothing ran yet: submission is enqueue-only
+        slow.wait()
+        # the short task on the other endpoint finished first in virtual
+        # time even though it was submitted second
+        assert order == ["fast", "slow"]
+        assert fast.result() == 5.0
+
+    def test_batch_results_in_request_order(self, two_endpoints):
+        world, client, ep_a, ep_b = two_endpoints
+        fid = client.register_function(_work, "work")
+        futures = client.submit_batch(
+            [
+                BatchRequest(ep_a, fid, (30.0,)),
+                BatchRequest(ep_b, fid, (5.0,)),
+                BatchRequest(ep_a, fid, (1.0,)),
+            ]
+        )
+        assert [f.result() for f in futures] == [30.0, 5.0, 1.0]
+
+    def test_same_endpoint_serializes_fifo(self, two_endpoints):
+        world, client, ep_a, _ = two_endpoints
+        fid = client.register_function(_work, "work")
+        first = client.submit(ep_a, fid, 30.0)
+        second = client.submit(ep_a, fid, 1.0)
+        second.wait()
+        # FIFO per endpoint: the short task queued behind the long one
+        assert first.done()
+        t1 = world.faas.get_task(first.task_id)
+        t2 = world.faas.get_task(second.task_id)
+        assert t2.started_at >= t1.completed_at
+
+    def test_callback_fires_on_failure(self, two_endpoints):
+        world, client, ep_a, _ = two_endpoints
+
+        def boom(fctx):
+            raise ValueError("remote kaboom")
+
+        fid = client.register_function(boom, "boom")
+        future = client.submit(ep_a, fid)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.exception()))
+        future.wait()  # wait() never re-raises; result() does
+        assert len(seen) == 1
+        assert isinstance(seen[0], TaskFailed)
+        assert "remote kaboom" in seen[0].remote_traceback
+        with pytest.raises(TaskFailed):
+            future.result()
+
+    def test_blocking_wrapper_preserved(self, two_endpoints):
+        world, client, ep_a, _ = two_endpoints
+        fid = client.register_function(lambda fctx, x: x * 2, "double")
+        task_id = client.run(ep_a, fid, 21)
+        assert isinstance(task_id, str)
+        assert client.get_result(task_id) == 42
+
+    def test_pending_future_without_events_deadlocks(self, world):
+        future = Future(world.clock)
+        with pytest.raises(TaskFailed, match="deadlock"):
+            future.result()
+
+
+class TestPilotQueueWaitAccounting:
+    def test_queue_wait_recorded_on_reprovision(self):
+        """Queue wait of the *second* block (after walltime death) counts."""
+        from repro.envs.stdlib import standard_index
+        from repro.sites.catalog import make_faster
+        from repro.util.clock import SimClock
+
+        site = make_faster(
+            SimClock(), package_index=standard_index(), background_load=False
+        )
+        site.add_account("x-u")
+
+        def saturate():
+            site.scheduler.submit(
+                Job(
+                    user="x-u", partition="normal", num_nodes=16,
+                    duration=50.0, walltime=100.0,
+                )
+            )
+
+        saturate()  # pilot must queue behind a partition-wide filler
+        executor = PilotExecutor(
+            SlurmProvider(site, "x-u", partition="normal", walltime=120.0)
+        )
+        executor.submit(lambda handle: handle.compute(1.0))
+        first_wait = executor.total_queue_wait
+        assert first_wait > 0
+
+        site.clock.advance(300.0)  # pilot dies at its walltime
+        saturate()
+        executor.submit(lambda handle: handle.compute(1.0))
+        assert executor.blocks_started == 2
+        assert executor.total_queue_wait > first_wait
+        assert executor.total_queue_wait == pytest.approx(first_wait + 50.0)
+
+
+class TestFig4Overlap:
+    def test_makespan_beats_serialized_total(self):
+        result = run_fig4_overlap()
+        assert result.makespan < result.serialized_total
+        assert set(result.per_site_serialized) == {
+            "chameleon", "faster", "expanse",
+        }
+        # per-test durations still come out of the concurrent run
+        for site_durations in result.durations.values():
+            assert site_durations
