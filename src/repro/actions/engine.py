@@ -28,6 +28,7 @@ from repro.hub.models import HostedRepo
 from repro.hub.secrets import resolve_secrets
 from repro.hub.service import HubService
 from repro.shellsim.session import ShellServices
+from repro.telemetry import tracer_of
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
 
@@ -145,6 +146,8 @@ class WorkflowRun:
                     job_id=instance_id, def_id=job_id, matrix=dict(combo)
                 )
         self.log: List[str] = []
+        # telemetry root span for this run's trace (set by the engine)
+        self.span = None
 
     @property
     def status(self) -> str:
@@ -269,12 +272,30 @@ class Engine:
             actor=str(payload.get("actor") or payload.get("pusher") or ""),
         )
         self.runs.append(run)
+        # each run roots its own trace; everything it causes — jobs,
+        # steps, remote tasks, pilot batch jobs — hangs off this span
+        run.span = tracer_of(self.clock).start_span(
+            f"run:{workflow.name}", parent=None, kind="workflow",
+            run_id=run.run_id, repo=hosted.slug, event=event, sha=sha,
+        )
         self.events.emit(
             self.clock.now, "actions", "run.created",
             run_id=run.run_id, slug=hosted.slug,
             workflow=workflow.name, event=event,
         )
         return run
+
+    def _seal_run_span(self, run: WorkflowRun) -> None:
+        """Close the run's root span once its status is terminal."""
+        span = run.span
+        if span is None or not getattr(span, "is_open", False):
+            return
+        status = run.status
+        if status in ("success", "failure"):
+            tracer_of(self.clock).end_span(
+                span, status="ok" if status == "success" else "error",
+            )
+            span.attributes["run_status"] = status
 
     # -- approvals ------------------------------------------------------------------
     def approve(self, run: WorkflowRun, job_id: str, reviewer: str) -> None:
@@ -321,6 +342,7 @@ class Engine:
             self.clock.now, "actions", "job.rejected",
             run_id=run.run_id, job=job_id, reviewer=reviewer,
         )
+        self._seal_run_span(run)
 
     # -- execution ---------------------------------------------------------------
     def _instances(self, run: WorkflowRun, def_id: str) -> List[JobRun]:
@@ -411,6 +433,7 @@ class Engine:
                 if gated:
                     break
             if not wave:
+                self._seal_run_span(run)
                 return run
             if self.concurrent_jobs and len(wave) > 1:
                 self._execute_wave(run, wave, hosted)
@@ -446,15 +469,37 @@ class Engine:
         run.append_log(
             f"[{job_run.job_id}] started on runner {runner.runner_id}"
         )
+        tracer = tracer_of(self.clock)
+        job_span = tracer.start_span(
+            f"job:{job_run.job_id}",
+            parent=run.span.context if run.span is not None else None,
+            kind="job", run_id=run.run_id, job=job_run.job_id,
+            runner=runner.runner_id,
+        )
         job_failed = False
         step_results: Dict[str, Dict[str, Any]] = {}
         for step in job_def.steps:
-            outcome = self._execute_step(
-                run, job_run, job_def, step, runner, secrets,
-                step_results, job_failed,
+            label = step.name or step.id or step.uses or step.run.split("\n")[0]
+            step_span = tracer.start_span(
+                f"step:{label}", parent=job_span.context, kind="step",
+                run_id=run.run_id, job=job_run.job_id,
             )
+            # activate while the step body runs: any task it submits —
+            # synchronously or through the CORRECT future chain —
+            # inherits this step as its trace parent
+            with tracer.activate(step_span.context):
+                outcome = self._execute_step(
+                    run, job_run, job_def, step, runner, secrets,
+                    step_results, job_failed,
+                )
             if isinstance(outcome, Future):
                 outcome = yield outcome
+            tracer.end_span(
+                step_span,
+                status="error" if outcome.status == "failure" else "ok",
+                error=outcome.error,
+            )
+            step_span.attributes["step_status"] = outcome.status
             job_run.step_outcomes.append(outcome)
             if step.id:
                 step_results[step.id] = {
@@ -462,7 +507,6 @@ class Engine:
                     "outcome": outcome.status,
                     "conclusion": outcome.status,
                 }
-            label = step.name or step.id or step.uses or step.run.split("\n")[0]
             run.append_log(f"[{job_run.job_id}] step {label!r}: {outcome.status}")
             if outcome.log:
                 run.append_log(outcome.log)
@@ -471,6 +515,9 @@ class Engine:
             if outcome.status == "failure" and not step.continue_on_error:
                 job_failed = True
         job_run.status = "failure" if job_failed else "success"
+        tracer.end_span(
+            job_span, status="error" if job_failed else "ok",
+        )
         self.events.emit(
             self.clock.now, "actions", "job.finished",
             run_id=run.run_id, job=job_run.job_id, status=job_run.status,

@@ -25,11 +25,26 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_enabled(args: argparse.Namespace) -> bool:
+    return not getattr(args, "no_telemetry", False)
+
+
+def _maybe_print_metrics(args: argparse.Namespace, world) -> None:
+    """Print the metrics report when ``--metrics`` was passed."""
+    if not getattr(args, "metrics", False) or world is None:
+        return
+    print("\n== metrics ==")
+    if not _telemetry_enabled(args):
+        print("(telemetry disabled; no metrics collected)")
+        return
+    print(world.metrics.report())
+
+
 def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_grouped_bars
     from repro.experiments import run_fig4
 
-    result = run_fig4()
+    result = run_fig4(telemetry=_telemetry_enabled(args))
     print("Fig. 4 — ParslDock test runtimes on different machines\n")
     groups = {
         test: {site: result.durations[site][test] for site in result.durations}
@@ -39,31 +54,34 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     print("\npilot queue waits:", {
         s: round(w, 1) for s, w in result.queue_waits.items()
     })
+    _maybe_print_metrics(args, result.world)
     return 0 if result.all_passed() else 1
 
 
 def _cmd_fig4_overlap(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig4_overlap
 
-    result = run_fig4_overlap()
+    result = run_fig4_overlap(telemetry=_telemetry_enabled(args))
     print("Fig. 4 (async) — multi-site overlap from the deferred lifecycle\n")
     for site, duration in result.per_site_serialized.items():
         print(f"  {site:<12} serialized {duration:8.1f}s")
     print(f"\nserialized total: {result.serialized_total:8.1f}s")
     print(f"concurrent makespan: {result.makespan:8.1f}s")
     print(f"overlap speedup: {result.speedup:.2f}x")
+    _maybe_print_metrics(args, result.world)
     return 0 if result.makespan < result.serialized_total else 1
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig5
 
-    result = run_fig5()
+    result = run_fig5(telemetry=_telemetry_enabled(args))
     print("Fig. 5 — PSI/J CI via CORRECT on Anvil\n")
     print(f"run status: {result.run.status}")
     for name, (outcome, duration) in result.tests.items():
         print(f"  {name:<28} {outcome:<7} {duration:8.2f}s")
     print("\nfailing:", sorted(result.failing_tests))
+    _maybe_print_metrics(args, result.world)
     # the experiment *succeeds* when the run fails with the known bug
     return 0 if result.run_failed else 1
 
@@ -71,11 +89,50 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 def _cmd_exp63(args: argparse.Namespace) -> int:
     from repro.experiments import run_exp63
 
-    result = run_exp63()
+    result = run_exp63(telemetry=_telemetry_enabled(args))
     print("§6.3 — KaMPIng artifact evaluation\n")
     for name, verdict in result.verdicts().items():
         print(f"  {name:<24} {'REPRODUCED' if verdict else 'FAILED'}")
+    _maybe_print_metrics(args, result.world)
     return 0 if result.all_passed else 1
+
+
+TRACEABLE_EXPERIMENTS = ("fig4", "fig5", "exp63")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run an experiment with telemetry on and export its Chrome trace."""
+    from repro.experiments import run_exp63, run_fig4, run_fig5
+    from repro.telemetry.export import dumps_chrome_trace, text_report
+
+    runner = {
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+        "exp63": run_exp63,
+    }[args.experiment]
+    result = runner(telemetry=True)
+    world = result.world
+    output = args.output or f"{args.experiment}-trace.json"
+    text = dumps_chrome_trace(
+        world.tracer, world.metrics, include_orphans=args.all_traces
+    )
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    tracer = world.tracer
+    workflow_roots = [s for s in tracer.roots() if s.kind == "workflow"]
+    print(
+        f"wrote {output}: {len(tracer.spans)} spans, "
+        f"{len(workflow_roots)} workflow trace(s) "
+        "(load in Perfetto / chrome://tracing)"
+    )
+    if args.report:
+        print()
+        print(text_report(
+            tracer, world.metrics,
+            title=f"{args.experiment} run report",
+            include_orphans=args.all_traces,
+        ))
+    return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -156,6 +213,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "exp63": _cmd_exp63,
     "tables": _cmd_tables,
     "ablations": _cmd_ablations,
+    "trace": _cmd_trace,
 }
 
 
@@ -181,6 +239,35 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         if name == "fig1":
             p.add_argument("--seed", type=int, default=2025)
+        if name in ("fig4", "fig4-overlap", "fig5", "exp63"):
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="print the telemetry metrics report after the run",
+            )
+            p.add_argument(
+                "--no-telemetry", action="store_true",
+                help="run without tracer/metrics (outputs are identical)",
+            )
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment and export its Chrome trace JSON",
+    )
+    trace.add_argument(
+        "experiment", choices=["fig4", "fig5", "exp63"],
+        help="which experiment to run and trace",
+    )
+    trace.add_argument(
+        "-o", "--output", default="",
+        help="output path (default: <experiment>-trace.json)",
+    )
+    trace.add_argument(
+        "--report", action="store_true",
+        help="also print the plain-text span/metrics report",
+    )
+    trace.add_argument(
+        "--all-traces", action="store_true",
+        help="include non-CI traces (background load, pilots) in the export",
+    )
     return parser
 
 

@@ -61,11 +61,20 @@ class CorrectAction:
         as in the blocking path.
         """
         from repro.actions.engine import StepOutcome
+        from repro.telemetry import tracer_of
 
         clock = ctx.engine.clock
         done = Future(clock)
+        tracer = tracer_of(clock)
+        # parents under the engine's active step span
+        span = tracer.start_span("action:correct", kind="action")
 
         def resolve(outcome: "StepOutcome") -> Future:
+            tracer.end_span(
+                span,
+                status="ok" if outcome.status == "success" else "error",
+                error=outcome.error,
+            )
             done.set_result(outcome)
             return done
 
@@ -75,6 +84,10 @@ class CorrectAction:
             return resolve(
                 StepOutcome(status="failure", error=f"CORRECT: {exc}")
             )
+        span.attributes.update(
+            endpoint=inputs.endpoint_uuid,
+            command=inputs.shell_cmd or f"function:{inputs.function_uuid}",
+        )
 
         faas = ctx.services.faas
         if faas is None:
@@ -99,9 +112,10 @@ class CorrectAction:
 
         # 2-5. the framework-agnostic core, issued as a chained future
         try:
-            result_future = execute_correct_async(
-                faas, inputs, ctx.run.repo_slug, ctx.run.branch
-            )
+            with tracer.activate(span.context):
+                result_future = execute_correct_async(
+                    faas, inputs, ctx.run.repo_slug, ctx.run.branch
+                )
         except InvalidCredentials as exc:
             return resolve(
                 StepOutcome(status="failure", error=f"CORRECT: {exc}")
@@ -115,7 +129,11 @@ class CorrectAction:
             )
 
         def finish(fut: Future) -> None:
-            done.set_result(self._conclude(ctx, inputs, faas, fut))
+            # conclusion work (env snapshot, provenance) submits under the
+            # action span even though the callback fires contextless
+            with tracer.activate(span.context):
+                outcome = self._conclude(ctx, inputs, faas, fut)
+            resolve(outcome)
 
         result_future.add_done_callback(finish)
         return done
@@ -213,14 +231,26 @@ class CorrectAction:
     def _record_provenance(
         self, ctx, inputs: CorrectInputs, result: CorrectResult
     ) -> None:
+        from repro.telemetry import tracer_of
+
         store = ctx.services.provenance
         if store is None:
             return
-        task = ctx.services.faas.get_task(result.task_id)
+        faas = ctx.services.faas
+        task = faas.get_task(result.task_id)
         snapshot = (
             EnvironmentSnapshot(**result.environment)
             if result.environment
             else None
+        )
+        task_span = faas.get_future(result.task_id).span
+        timeline = (
+            [
+                s.to_dict()
+                for s in tracer_of(faas.clock).subtree(task_span.span_id)
+            ]
+            if task_span is not None and task_span.span_id
+            else []
         )
         record = ExecutionRecord(
             record_id=store.next_record_id(),
@@ -238,6 +268,9 @@ class CorrectAction:
             stdout_artifact=f"{inputs.artifact_prefix}-stdout",
             stderr_artifact=f"{inputs.artifact_prefix}-stderr",
             environment=snapshot,
+            trace_id=task_span.trace_id if task_span is not None else "",
+            span_id=task_span.span_id if task_span is not None else "",
+            timeline=timeline,
         )
         store.add(record)
 

@@ -19,6 +19,7 @@ from repro.errors import CloneFailed, RemoteExecutionFailed, TaskFailed
 from repro.faas.client import ComputeClient
 from repro.faas.future import Future, TaskFuture
 from repro.faas.service import FaaSService
+from repro.telemetry import tracer_of
 
 
 @dataclass
@@ -69,6 +70,10 @@ def execute_correct_async(
     client = ComputeClient(faas, inputs.client_id, inputs.client_secret)
     function_ids = register_helpers(client)
     done = Future(faas.clock)
+    # the follow-up submit in on_clone fires from the event loop, where
+    # the submitter's context is long gone — capture it here
+    tracer = tracer_of(faas.clock)
+    ctx = tracer.current()
 
     def run_payload(clone_path: str, sha: str) -> None:
         if inputs.shell_cmd:
@@ -168,9 +173,10 @@ def execute_correct_async(
                 )
                 return
             try:
-                run_payload(
-                    clone_result["path"], clone_result.get("sha", "")
-                )
+                with tracer.activate(ctx):
+                    run_payload(
+                        clone_result["path"], clone_result.get("sha", "")
+                    )
             except Exception as exc:  # noqa: BLE001 - eager submit errors
                 # must not escape into the event loop driving this callback
                 done.set_exception(exc)

@@ -209,6 +209,15 @@ def evaluate_across_sites(
             evaluation.record = records[-1]
             crate.add_record(records[-1])
         sites[site] = evaluation
+    # attach the run's telemetry so the crate carries the full timeline
+    # and metric summaries alongside the records (reviewable offline)
+    run_span = getattr(run, "span", None)
+    tracer = getattr(world, "tracer", None)
+    if tracer is not None and run_span is not None and run_span.trace_id:
+        crate.attach_trace(tracer.span_tree(run_span.trace_id))
+    metrics = getattr(world, "metrics", None)
+    if metrics is not None and len(metrics):
+        crate.attach_metrics(metrics.summaries())
     return MultiSiteEvaluation(
         slug=slug, sha=run.sha, run_id=run.run_id, sites=sites, crate=crate
     )

@@ -8,6 +8,7 @@ from repro.errors import ExecutorError, ReproError, WalltimeExceeded
 from repro.executor.providers import Block, Provider
 from repro.scheduler.jobs import JobState
 from repro.sites.site import NodeHandle
+from repro.telemetry import tracer_of
 
 
 class PilotExecutor:
@@ -135,9 +136,14 @@ class PilotExecutor:
         :class:`WalltimeExceeded` — the payload would have been killed.
         """
         block = self.ensure_block()
-        handle = self.node_handle()
+        handle = self._handle_for(block)
         self.tasks_run += 1
-        result = fn(handle)
+        with tracer_of(self.site.clock).span(
+            f"node:{handle.node.name}", kind="node",
+            site=self.site.name, node=handle.node.name,
+            node_class=block.node_class, user=self.user,
+        ):
+            result = fn(handle)
         self._check_block_job(block)
         return result
 
@@ -155,17 +161,39 @@ class PilotExecutor:
         virtual interval.
         """
         clock = self.site.clock
+        tracer = tracer_of(clock)
+        # block-ready fires from an arbitrary scheduled event; carry the
+        # submitter's trace context across that boundary explicitly
+        ctx = tracer.current()
 
         def on_block(block: Block) -> None:
             handle = self._handle_for(block)
             self.tasks_run += 1
+            node_span = tracer.start_span(
+                f"node:{handle.node.name}", parent=ctx, kind="node",
+                site=self.site.name, node=handle.node.name,
+                node_class=block.node_class, user=self.user,
+                queue_wait=block.queue_wait,
+            )
             result: Any = None
             error: Optional[BaseException] = None
             with clock.measure() as span:
-                try:
-                    result = fn(handle)
-                except BaseException as exc:  # noqa: BLE001 - remote user code
-                    error = exc
+                with tracer.activate(node_span.context):
+                    try:
+                        result = fn(handle)
+                    except BaseException as exc:  # noqa: BLE001 - remote user code
+                        error = exc
+                # sealed *inside* the measure region, where now is still
+                # start + elapsed — after exit the clock rewinds, and the
+                # span would collapse to zero duration
+                tracer.end_span(
+                    node_span,
+                    status="ok" if error is None else "error",
+                    error=(
+                        "" if error is None
+                        else f"{type(error).__name__}: {error}"
+                    ),
+                )
 
             def finish() -> None:
                 err = error

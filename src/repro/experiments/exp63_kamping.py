@@ -32,6 +32,8 @@ SITE = "chameleon"
 class Exp63Result:
     run: object
     artifact_outputs: Dict[str, str]  # artifact name -> stdout
+    # the world that produced the run, for telemetry export (trace CLI)
+    world: object = None
 
     @property
     def all_passed(self) -> bool:
@@ -62,9 +64,9 @@ def repo_files() -> Dict[str, str]:
     }
 
 
-def run_exp63() -> Exp63Result:
+def run_exp63(telemetry: bool = True) -> Exp63Result:
     """Execute the §6.3 experiment; returns per-artifact outputs."""
-    world = World()
+    world = World(telemetry=telemetry)
     user = world.register_user("vhayot", {SITE: "cc"})
     # publish the AE container and wire its commands into the shell layer
     world.container_registry.push(kamping_image())
@@ -112,4 +114,4 @@ def run_exp63() -> Exp63Result:
         outputs[name] = world.hub.artifacts.download(
             run.run_id, f"ae-{name}-stdout"
         ).content
-    return Exp63Result(run=run, artifact_outputs=outputs)
+    return Exp63Result(run=run, artifact_outputs=outputs, world=world)

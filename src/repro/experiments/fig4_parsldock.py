@@ -35,6 +35,8 @@ class Fig4Result:
     durations: Dict[str, Dict[str, float]]  # site -> test -> seconds
     outcomes: Dict[str, Dict[str, str]]  # site -> test -> PASSED/...
     queue_waits: Dict[str, float] = field(default_factory=dict)
+    # the world that produced the run, for telemetry export (trace CLI)
+    world: object = None
 
     def tests(self) -> List[str]:
         any_site = next(iter(self.durations.values()))
@@ -56,9 +58,11 @@ class Fig4Result:
         )
 
 
-def build_world(sites: Tuple[str, ...] = FIG4_SITES) -> Tuple[World, object, Dict[str, str]]:
+def build_world(
+    sites: Tuple[str, ...] = FIG4_SITES, telemetry: bool = True
+) -> Tuple[World, object, Dict[str, str]]:
     """Set up the §6.1 testbed; returns (world, user, endpoint ids)."""
-    world = World()
+    world = World(telemetry=telemetry)
     accounts = {site: "x-vhayot" for site in sites}
     user = world.register_user("vhayot", accounts)
     endpoints: Dict[str, str] = {}
@@ -107,6 +111,8 @@ class Fig4OverlapResult:
     makespan: float
     concurrent_run: object
     durations: Dict[str, Dict[str, float]]  # site -> test -> seconds
+    # the world of the concurrent run, for telemetry export
+    world: object = None
 
     @property
     def serialized_total(self) -> float:
@@ -118,7 +124,7 @@ class Fig4OverlapResult:
 
 
 def _run_gate_free(
-    sites: Tuple[str, ...], concurrent_jobs: bool
+    sites: Tuple[str, ...], concurrent_jobs: bool, telemetry: bool = True
 ) -> Tuple[World, object, Dict[str, str], float]:
     """One ParslDock run with repo-level secrets (no approval gates).
 
@@ -126,7 +132,7 @@ def _run_gate_free(
     trigger to completion — the part the task lifecycle changes; site
     provisioning beforehand is excluded from the comparison.
     """
-    world = World(concurrent_jobs=concurrent_jobs)
+    world = World(concurrent_jobs=concurrent_jobs, telemetry=telemetry)
     accounts = {site: "x-vhayot" for site in sites}
     user = world.register_user("vhayot", accounts)
     endpoints: Dict[str, str] = {}
@@ -172,7 +178,9 @@ def _run_gate_free(
     return world, run, endpoints, world.clock.now - started_at
 
 
-def run_fig4_overlap(sites: Tuple[str, ...] = FIG4_SITES) -> Fig4OverlapResult:
+def run_fig4_overlap(
+    sites: Tuple[str, ...] = FIG4_SITES, telemetry: bool = True
+) -> Fig4OverlapResult:
     """Demonstrate cross-site overlap from the deferred task lifecycle.
 
     Each site's job is first run alone (serialized baseline), then all
@@ -182,10 +190,14 @@ def run_fig4_overlap(sites: Tuple[str, ...] = FIG4_SITES) -> Fig4OverlapResult:
     """
     per_site: Dict[str, float] = {}
     for site_name in sites:
-        _, _, _, duration = _run_gate_free((site_name,), concurrent_jobs=False)
+        _, _, _, duration = _run_gate_free(
+            (site_name,), concurrent_jobs=False, telemetry=telemetry
+        )
         per_site[site_name] = duration
 
-    world, run, _, makespan = _run_gate_free(sites, concurrent_jobs=True)
+    world, run, _, makespan = _run_gate_free(
+        sites, concurrent_jobs=True, telemetry=telemetry
+    )
     durations: Dict[str, Dict[str, float]] = {}
     for site_name in sites:
         artifact = world.hub.artifacts.download(
@@ -198,12 +210,15 @@ def run_fig4_overlap(sites: Tuple[str, ...] = FIG4_SITES) -> Fig4OverlapResult:
         makespan=makespan,
         concurrent_run=run,
         durations=durations,
+        world=world,
     )
 
 
-def run_fig4(sites: Tuple[str, ...] = FIG4_SITES) -> Fig4Result:
+def run_fig4(
+    sites: Tuple[str, ...] = FIG4_SITES, telemetry: bool = True
+) -> Fig4Result:
     """Execute the full §6.1 experiment; returns the Fig. 4 series."""
-    world, user, endpoints = build_world(sites)
+    world, user, endpoints = build_world(sites, telemetry=telemetry)
     workflow_text = build_workflow(endpoints)
     environments = {
         f"hpc-{site}": {
@@ -245,5 +260,6 @@ def run_fig4(sites: Tuple[str, ...] = FIG4_SITES) -> Fig4Result:
                 stats[key] = stats.get(key, 0.0) + value
         queue_waits[site_name] = stats.get("compute_queue_wait", 0.0)
     return Fig4Result(
-        run=run, durations=durations, outcomes=outcomes, queue_waits=queue_waits
+        run=run, durations=durations, outcomes=outcomes,
+        queue_waits=queue_waits, world=world,
     )

@@ -30,6 +30,8 @@ class Fig5Result:
     stdout_artifact: str
     stderr_artifact: str
     tests: Dict[str, Tuple[str, float]]
+    # the world that produced the run, for telemetry export (trace CLI)
+    world: object = None
 
     @property
     def run_failed(self) -> bool:
@@ -48,9 +50,9 @@ class Fig5Result:
         return any("CORRECT: remote command exited" in line for line in self.run.log)
 
 
-def run_fig5() -> Fig5Result:
+def run_fig5(telemetry: bool = True) -> Fig5Result:
     """Execute the §6.2 experiment; returns the run + recovered outputs."""
-    world = World()
+    world = World(telemetry=telemetry)
     user = world.register_user("vhayot", {SITE: "x-vhayot"})
     common.provision_user_site(
         world, user, SITE, "x-vhayot", conda_env="psij", stack=common.PSIJ_STACK
@@ -96,4 +98,5 @@ def run_fig5() -> Fig5Result:
         stdout_artifact=stdout,
         stderr_artifact=stderr,
         tests=parse_pytest_stdout(stdout),
+        world=world,
     )

@@ -109,6 +109,9 @@ class TaskFuture(Future):
     def __init__(self, clock: SimClock, task: "Task") -> None:
         super().__init__(clock)
         self.task = task
+        # telemetry span for this task, set by the service at submit time
+        # (None when the world runs untraced)
+        self.span = None
 
     @property
     def task_id(self) -> str:

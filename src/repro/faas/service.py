@@ -31,6 +31,7 @@ from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
 from repro.faas.functions import FunctionRegistry, FunctionSpec
 from repro.faas.future import TaskFuture
 from repro.faas.task import Task, TaskState
+from repro.telemetry import tracer_of
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
@@ -64,6 +65,9 @@ class _PendingTask:
     token: Token
     spec: FunctionSpec
     template: str
+    # telemetry span opened at submit time; carries the submitter's trace
+    # context across the async dispatch boundary
+    span: object = None
 
 
 class _EndpointDispatcher:
@@ -97,41 +101,56 @@ class _EndpointDispatcher:
             self.service.clock.now, "faas", "task.dispatched",
             task_id=task.task_id, endpoint=self.endpoint_id,
         )
+        tracer = tracer_of(self.service.clock)
+        exec_span = tracer.start_span(
+            "task.execute",
+            parent=entry.span.context if entry.span is not None else None,
+            kind="execute", task_id=task.task_id, endpoint=self.endpoint_id,
+            dispatch_wait=self.service.clock.now - (task.submitted_at or 0.0),
+        )
 
         def on_done(result, error) -> None:
             # free the lane *before* resolving: done-callbacks may submit
             # follow-up tasks to this endpoint and drive the clock.
             self.busy = False
+            tracer.end_span(
+                exec_span,
+                status="ok" if error is None else "error",
+                error="" if error is None else f"{type(error).__name__}: {error}",
+            )
             self.service._complete(entry, result, error)
             self.pump()
 
         try:
-            endpoint = self.service._endpoints.get(self.endpoint_id)
-            if endpoint is None:
-                raise EndpointNotFound(
-                    f"endpoint {self.endpoint_id!r} disappeared before dispatch"
-                )
-            if not endpoint.online:
-                raise EndpointOffline(
-                    f"endpoint {self.endpoint_id!r} went offline before dispatch"
-                )
-            if isinstance(endpoint, MultiUserEndpoint):
-                endpoint.execute_async(
-                    entry.token, entry.spec, task.args, task.kwargs,
-                    on_done, template_name=entry.template,
-                )
-            else:
-                if (
-                    endpoint.owner is not None
-                    and endpoint.owner != entry.token.identity
-                ):
-                    raise PermissionDenied(
-                        f"endpoint {self.endpoint_id[:8]} belongs to "
-                        f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
+            # the execute span is active for the whole dispatch chain, so
+            # pilot provisioning and Slurm submissions parent under it
+            with tracer.activate(exec_span.context):
+                endpoint = self.service._endpoints.get(self.endpoint_id)
+                if endpoint is None:
+                    raise EndpointNotFound(
+                        f"endpoint {self.endpoint_id!r} disappeared before dispatch"
                     )
-                endpoint.execute_async(
-                    entry.spec, task.args, task.kwargs, on_done
-                )
+                if not endpoint.online:
+                    raise EndpointOffline(
+                        f"endpoint {self.endpoint_id!r} went offline before dispatch"
+                    )
+                if isinstance(endpoint, MultiUserEndpoint):
+                    endpoint.execute_async(
+                        entry.token, entry.spec, task.args, task.kwargs,
+                        on_done, template_name=entry.template,
+                    )
+                else:
+                    if (
+                        endpoint.owner is not None
+                        and endpoint.owner != entry.token.identity
+                    ):
+                        raise PermissionDenied(
+                            f"endpoint {self.endpoint_id[:8]} belongs to "
+                            f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
+                        )
+                    endpoint.execute_async(
+                        entry.spec, task.args, task.kwargs, on_done
+                    )
         except BaseException as exc:  # noqa: BLE001 - dispatch-time failure
             on_done(None, exc)
 
@@ -261,7 +280,16 @@ class FaaSService:
             endpoint=endpoint_id, identity=token.identity.urn,
         )
 
-        entry = _PendingTask(task, future, token, spec, template)
+        # task span parents under whatever is active at the submit site
+        # (a CI step, a CORRECT action...) and is carried on the pending
+        # entry so dispatch/execution can hang below it.
+        span = tracer_of(self.clock).start_span(
+            f"task:{spec.name}", kind="task",
+            task_id=task.task_id, function=spec.name,
+            endpoint=endpoint_id, site=endpoint.site.name,
+        )
+        future.span = span
+        entry = _PendingTask(task, future, token, spec, template, span=span)
         dispatcher = self._dispatcher(endpoint_id)
         # control-plane cost: runner -> cloud -> endpoint, as an event
         delay = (
@@ -323,9 +351,15 @@ class FaaSService:
                     )
                 )
         task.completed_at = self.clock.now
+        tracer_of(self.clock).end_span(
+            entry.span,
+            status="ok" if task.state is TaskState.SUCCESS else "error",
+            error="" if error is None else f"{type(error).__name__}: {error}",
+        )
         self.events.emit(
             self.clock.now, "faas", "task.completed",
             task_id=task.task_id, state=task.state.value,
+            endpoint=task.endpoint_id, function=entry.spec.name,
         )
         future = self._futures.get(task.task_id)
         if future is not None:

@@ -34,12 +34,22 @@ class ResearchCrate:
         self.description = description
         self.records: List[ExecutionRecord] = []
         self.artifacts: Dict[str, str] = {}  # name -> content
+        self.trace: List[Dict] = []  # nested span tree of the CI run
+        self.metrics: Dict[str, Dict] = {}  # metric summaries at capture
 
     def add_record(self, record: ExecutionRecord) -> None:
         self.records.append(record)
 
     def add_artifact(self, name: str, content: str) -> None:
         self.artifacts[name] = content
+
+    def attach_trace(self, span_tree: List[Dict]) -> None:
+        """Embed the run's telemetry span tree (see ``Tracer.span_tree``)."""
+        self.trace = list(span_tree)
+
+    def attach_metrics(self, summaries: Dict[str, Dict]) -> None:
+        """Embed metric summaries (``MetricsRegistry.summaries()``)."""
+        self.metrics = dict(summaries)
 
     # -- reviewer-facing checks ------------------------------------------------
     def completeness_report(self) -> Dict[str, bool]:
@@ -74,6 +84,8 @@ class ResearchCrate:
                 "description": self.description,
                 "records": [asdict(r) for r in self.records],
                 "artifacts": self.artifacts,
+                "trace": self.trace,
+                "metrics": self.metrics,
             },
             indent=2,
             sort_keys=True,
@@ -99,4 +111,6 @@ class ResearchCrate:
                 record.environment = EnvironmentSnapshot(**env)
             crate.records.append(record)
         crate.artifacts = dict(data.get("artifacts", {}))
+        crate.trace = list(data.get("trace", []))
+        crate.metrics = dict(data.get("metrics", {}))
         return crate

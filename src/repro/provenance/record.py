@@ -75,6 +75,12 @@ class ExecutionRecord:
     stdout_artifact: str = ""
     stderr_artifact: str = ""
     environment: Optional[EnvironmentSnapshot] = None
+    # telemetry linkage: which trace/span produced this execution, plus a
+    # flattened copy of the task's span subtree so the record stays
+    # reviewable without access to the live tracer
+    trace_id: str = ""
+    span_id: str = ""
+    timeline: List[Dict] = field(default_factory=list)
 
     @property
     def duration(self) -> float:

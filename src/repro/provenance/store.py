@@ -33,6 +33,10 @@ class ProvenanceStore:
     def for_site(self, site: str) -> List[ExecutionRecord]:
         return [r for r in self._records if r.site == site]
 
+    def for_trace(self, trace_id: str) -> List[ExecutionRecord]:
+        """Records produced under one telemetry trace (workflow run)."""
+        return [r for r in self._records if r.trace_id == trace_id]
+
     def sites_covered(self, slug: str) -> List[str]:
         """Distinct sites a repo's tests have run on — the multi-site
         coverage a reviewer would check first."""

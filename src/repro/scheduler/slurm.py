@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.errors import InvalidJobSpec, JobNotFound
 from repro.scheduler.jobs import Job, JobState
 from repro.scheduler.nodes import Node, Partition
+from repro.telemetry import tracer_of
 from repro.util.clock import EventHandle, SimClock
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
@@ -46,6 +47,9 @@ class SlurmScheduler:
         self._start_watchers: Dict[str, List[Callable[[Job], None]]] = {}
         self._end_watchers: Dict[str, List[Callable[[Job], None]]] = {}
         self._ids = IdFactory(f"{name}-job")
+        # telemetry: per-job lifetime span and its pending-in-queue child
+        self._spans: Dict[str, object] = {}
+        self._queue_spans: Dict[str, object] = {}
 
     # -- public API (sbatch/squeue/scancel equivalents) ------------------------
     def submit(self, job: Job) -> str:
@@ -76,6 +80,19 @@ class SlurmScheduler:
             self.clock.now, self.name, "job.submitted",
             job_id=job.job_id, name=job.name, user=job.user,
             nodes=job.num_nodes, partition=job.partition,
+        )
+        # spans exist before _schedule(): a free partition starts the job
+        # synchronously, and _start_job must find its queue span
+        tracer = tracer_of(self.clock)
+        job_span = tracer.start_span(
+            f"slurm:{job.name}", kind="slurm",
+            scheduler=self.name, job_id=job.job_id, user=job.user,
+            partition=job.partition, nodes=job.num_nodes,
+        )
+        self._spans[job.job_id] = job_span
+        self._queue_spans[job.job_id] = tracer.start_span(
+            "slurm.queue", parent=job_span.context, kind="slurm",
+            scheduler=self.name, job_id=job.job_id,
         )
         self._schedule()
         return job.job_id
@@ -256,6 +273,10 @@ class SlurmScheduler:
             nodes=[n.name for n in job.allocated_nodes],
             queue_wait=job.queue_wait,
         )
+        queue_span = self._queue_spans.pop(job.job_id, None)
+        if queue_span is not None:
+            tracer_of(self.clock).end_span(queue_span)
+            queue_span.attributes["queue_wait"] = job.queue_wait
         if job.on_start is not None:
             job.on_start(job)
         for watcher in self._start_watchers.pop(job.job_id, []):
@@ -292,6 +313,19 @@ class SlurmScheduler:
             self.clock.now, self.name, "job.ended",
             job_id=job.job_id, name=job.name, state=state.value,
         )
+        tracer = tracer_of(self.clock)
+        queue_span = self._queue_spans.pop(job.job_id, None)
+        if queue_span is not None:  # cancelled while still pending
+            tracer.end_span(queue_span, status="error", error=state.value)
+        job_span = self._spans.pop(job.job_id, None)
+        if job_span is not None:
+            ok = state in (JobState.COMPLETED, JobState.CANCELLED)
+            tracer.end_span(
+                job_span,
+                status="ok" if ok else "error",
+                error="" if ok else state.value,
+            )
+            job_span.attributes["state"] = state.value
         if job.on_end is not None:
             job.on_end(job)
         self._start_watchers.pop(job.job_id, None)

@@ -31,6 +31,7 @@ from repro.sites.filesystem import Mount, SimFileSystem
 from repro.sites.hardware import HardwareProfile
 from repro.sites.network import NetworkPolicy
 from repro.sites.site import Site
+from repro.telemetry import tracer_of
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 
@@ -58,17 +59,21 @@ def _add_background_load(
         if budget["remaining"] <= 0:
             return
         budget["remaining"] -= 1
-        scheduler.submit(
-            Job(
-                user="background",
-                partition=partition,
-                num_nodes=1,
-                walltime=cycle,
-                duration=cycle,
-                name="bg-follow",
-                on_end=resubmit,
+        # on_end fires under whatever trace context is active at the
+        # predecessor's completion; detach so synthetic load never
+        # parents into a CI trace
+        with tracer_of(site.clock).activate(None):
+            scheduler.submit(
+                Job(
+                    user="background",
+                    partition=partition,
+                    num_nodes=1,
+                    walltime=cycle,
+                    duration=cycle,
+                    name="bg-follow",
+                    on_end=resubmit,
+                )
             )
-        )
 
     for i in range(nodes):
         duration = stagger * (i + 1)

@@ -1,0 +1,53 @@
+"""End-to-end telemetry for the simulated CI→HPC stack.
+
+Three pieces, deliberately decoupled from the hot path:
+
+* :class:`Tracer` — hierarchical spans (workflow run → job → step →
+  CORRECT action → FaaS task → Slurm job → node execution) with context
+  propagation across the async task lifecycle, stamped with virtual
+  time, never advancing it.
+* :class:`MetricsRegistry` + :class:`EventMetricsBridge` — counters,
+  gauges, and histograms derived entirely from :class:`EventLog`
+  subscriptions.
+* Exporters — Chrome trace-event JSON (Perfetto-loadable) and a
+  plain-text report, attachable to provenance records and research
+  crates.
+
+``python -m repro trace fig4`` exercises the whole layer.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    text_report,
+    validate_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    EventMetricsBridge,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.telemetry.span import Span, SpanContext
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer, tracer_of
+
+__all__ = [
+    "Counter",
+    "EventMetricsBridge",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "percentile",
+    "text_report",
+    "tracer_of",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,211 @@
+"""Exporters: Chrome trace-event JSON and a plain-text run report.
+
+:func:`chrome_trace` renders a tracer's spans as the Chrome trace-event
+format (the ``traceEvents`` array of ``"X"`` complete events plus
+``"M"`` metadata), loadable in Perfetto / ``chrome://tracing``. Virtual
+seconds map to microseconds. Spans are laid out on display lanes by
+layer — CI jobs, endpoints, Slurm schedulers, nodes — so partially
+overlapping lifetimes (a pilot job outliving the task that provisioned
+it) never corrupt the nesting of a lane.
+
+:func:`text_report` renders the span trees and metric summaries as
+indented plain text for terminals and provenance bundles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.span import Span
+from repro.telemetry.tracer import Tracer
+
+_US = 1_000_000  # virtual seconds → trace microseconds
+
+
+def _lane_of(span: Span, by_id: Dict[str, Span],
+             cache: Dict[str, str]) -> str:
+    """Display lane for a span: its layer, not its tree position."""
+    cached = cache.get(span.span_id)
+    if cached is not None:
+        return cached
+    attrs = span.attributes
+    if span.kind == "workflow":
+        lane = "ci workflow"
+    elif span.kind == "job":
+        lane = f"ci {span.name}"
+    elif span.kind in ("task", "execute"):
+        lane = f"endpoint {str(attrs.get('endpoint', '?'))[:8]}"
+    elif span.kind == "slurm":
+        lane = f"slurm {attrs.get('scheduler', '?')}"
+    elif span.kind == "node":
+        lane = f"node {attrs.get('node', '?')}"
+    else:
+        parent = by_id.get(span.parent_id)
+        lane = _lane_of(parent, by_id, cache) if parent else "misc"
+    cache[span.span_id] = lane
+    return lane
+
+
+def chrome_trace(
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    include_orphans: bool = False,
+) -> Dict[str, Any]:
+    """Export spans as a Chrome trace-event document.
+
+    By default only traces rooted in a ``workflow`` span are exported —
+    the CI runs — keeping synthetic background-load traces out of the
+    picture; ``include_orphans=True`` exports everything. Open spans are
+    clamped to the latest timestamp seen and flagged ``open`` in their
+    args. Metric summaries ride along under ``otherData``.
+    """
+    spans = list(tracer.spans)
+    if not include_orphans:
+        ci_traces = {
+            s.trace_id for s in spans
+            if not s.parent_id and s.kind == "workflow"
+        }
+        spans = [s for s in spans if s.trace_id in ci_traces]
+
+    by_id = {s.span_id: s for s in spans}
+    horizon = 0.0
+    for span in spans:
+        horizon = max(horizon, span.start, span.end or span.start)
+
+    # deterministic pid per trace, tid per (trace, lane), in span order
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    events: List[Dict[str, Any]] = []
+    lane_cache: Dict[str, str] = {}
+    for span in spans:
+        pid = pids.setdefault(span.trace_id, len(pids) + 1)
+        lane = _lane_of(span, by_id, lane_cache)
+        tid_key = (span.trace_id, lane)
+        tid = tids.get(tid_key)
+        if tid is None:
+            tid = tids[tid_key] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": lane},
+            })
+        end = span.end if span.end is not None else horizon
+        args: Dict[str, Any] = dict(span.attributes)
+        args["status"] = span.status
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        if span.error:
+            args["error"] = span.error
+        if span.is_open:
+            args["open"] = True
+        events.append({
+            "name": span.name,
+            "cat": span.kind or "span",
+            "ph": "X",
+            "ts": round(span.start * _US, 3),
+            "dur": round((end - span.start) * _US, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    # name each trace's process after its root span
+    for span in spans:
+        if not span.parent_id:
+            events.append({
+                "name": "process_name", "ph": "M",
+                "pid": pids[span.trace_id], "tid": 0,
+                "args": {"name": f"{span.trace_id} {span.name}"},
+            })
+
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro-telemetry",
+            "clock": "virtual-seconds",
+            "spans": len(spans),
+            "traces": len(pids),
+        },
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = metrics.summaries()
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise :class:`ValueError` unless ``doc`` is a loadable trace.
+
+    Checks the shape Perfetto's legacy JSON importer requires: a
+    ``traceEvents`` list whose entries carry ``name``/``ph``/``pid``/
+    ``tid``, with numeric non-negative ``ts``/``dur`` on complete
+    (``"X"``) events.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{i}] missing {key!r}")
+        if event["ph"] == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{i}].{key} must be a non-negative "
+                        f"number, got {value!r}"
+                    )
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"traceEvents[{i}].args must be an object")
+
+
+def dumps_chrome_trace(
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    include_orphans: bool = False,
+) -> str:
+    """Validated JSON text of :func:`chrome_trace`."""
+    doc = chrome_trace(tracer, metrics=metrics, include_orphans=include_orphans)
+    validate_chrome_trace(doc)
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _render_span(span: Span, tracer: Tracer, lines: List[str],
+                 depth: int) -> None:
+    if span.end is None:
+        timing = f"[{span.start:10.1f}s …     open ]"
+    else:
+        timing = f"[{span.start:10.1f}s +{span.end - span.start:9.1f}s]"
+    status = "" if span.ok else f"  !{span.status}"
+    lines.append(f"{timing} {'  ' * depth}{span.name}{status}")
+    for child in tracer.children(span.span_id):
+        _render_span(child, tracer, lines, depth + 1)
+
+
+def text_report(
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    title: str = "telemetry report",
+    include_orphans: bool = False,
+) -> str:
+    """Human-readable run report: span trees, then metric summaries."""
+    lines = [f"== {title} ==", ""]
+    roots = tracer.roots()
+    if not include_orphans:
+        roots = [r for r in roots if r.kind == "workflow"]
+    if not roots:
+        lines.append("(no traces recorded)")
+    for root in roots:
+        lines.append(f"-- trace {root.trace_id} --")
+        _render_span(root, tracer, lines, 0)
+        lines.append("")
+    if metrics is not None and len(metrics):
+        lines.append("== metrics ==")
+        lines.append(metrics.report())
+    return "\n".join(lines) + "\n"

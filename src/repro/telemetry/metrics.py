@@ -1,0 +1,251 @@
+"""Metrics: counters, gauges, histograms, and the event→metric bridge.
+
+A :class:`MetricsRegistry` is a passive store of named, labelled
+instruments. Nothing in the hot path calls it directly: the
+:class:`EventMetricsBridge` subscribes to the existing
+:class:`~repro.util.events.EventLog` and derives every metric from the
+events subsystems already emit. Disabling telemetry is therefore just
+"don't subscribe" — the simulation's behaviour and timing are identical
+either way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.events import Event, EventLog
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (p in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of no values")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down; remembers its high-water mark."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.max_value = max(self.max_value, value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """A distribution with count/mean/p50/p95/max summaries."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        return percentile(self._values, p)
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self._values),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments, created on first use.
+
+    ``registry.histogram("faas.task.latency", endpoint=eid)`` returns the
+    one histogram for that (name, labels) pair; re-registering a name
+    with a different instrument type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+
+    def _get(self, factory: Callable[[], Any], name: str,
+             labels: Dict[str, Any]) -> Any:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def collect(self) -> Iterator[Tuple[str, Dict[str, str], Any]]:
+        """(name, labels, instrument) triples in sorted order."""
+        for (name, label_key) in sorted(self._instruments):
+            yield name, dict(label_key), self._instruments[(name, label_key)]
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready snapshot: ``name{k=v,...}`` → summary dict."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, labels, instrument in self.collect():
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            out[f"{name}{{{suffix}}}" if suffix else name] = (
+                instrument.summary()
+            )
+        return out
+
+    def report(self) -> str:
+        """Plain-text table of every instrument's summary."""
+        lines = []
+        for key, summary in self.summaries().items():
+            rendered = "  ".join(
+                f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in summary.items()
+            )
+            lines.append(f"{key:<64} {rendered}")
+        return "\n".join(lines)
+
+
+class EventMetricsBridge:
+    """Derives the standard metric set from the event log, by subscription.
+
+    Event → metric mapping (see DESIGN.md §8 for the full table):
+
+    * ``task.submitted``   → ``faas.tasks.submitted{endpoint}`` counter,
+      ``faas.dispatch.depth{endpoint}`` gauge (+1)
+    * ``task.dispatched``  → ``faas.task.queue_wait{endpoint}`` histogram,
+      dispatch-depth gauge (−1)
+    * ``task.completed``   → ``faas.task.latency{endpoint}`` histogram,
+      ``faas.tasks.completed{endpoint,state}`` counter,
+      ``faas.tasks.failed{endpoint}`` counter on failure
+    * ``job.submitted``    → ``slurm.jobs.submitted{scheduler}`` counter
+    * ``job.started``      → ``slurm.queue_wait{scheduler}`` histogram
+    * ``job.ended``        → ``slurm.jobs.ended{scheduler,state}`` counter
+    * ``run.created``      → ``ci.runs`` counter
+    * ``job.finished``     → ``ci.jobs{status}`` counter (actions source)
+    * ``subscriber_error`` → ``telemetry.subscriber_errors`` counter
+
+    The bridge holds a tiny join table (task id → submit time/endpoint)
+    so latencies need no second pass over the log.
+    """
+
+    def __init__(self, registry: MetricsRegistry, events: EventLog) -> None:
+        self.registry = registry
+        self._submits: Dict[str, Tuple[float, str]] = {}
+        self._unsubscribe: Optional[Callable[[], None]] = events.subscribe(
+            self.on_event
+        )
+
+    def close(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- the one subscriber --------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        kind, data = event.kind, event.data
+        reg = self.registry
+        if kind == "task.submitted":
+            endpoint = data.get("endpoint", "?")
+            self._submits[data.get("task_id", "")] = (event.time, endpoint)
+            reg.counter("faas.tasks.submitted", endpoint=endpoint).inc()
+            reg.gauge("faas.dispatch.depth", endpoint=endpoint).inc()
+        elif kind == "task.dispatched":
+            submitted = self._submits.get(data.get("task_id", ""))
+            endpoint = data.get("endpoint", "?")
+            reg.gauge("faas.dispatch.depth", endpoint=endpoint).dec()
+            if submitted is not None:
+                reg.histogram(
+                    "faas.task.queue_wait", endpoint=endpoint
+                ).observe(event.time - submitted[0])
+        elif kind == "task.completed":
+            submitted = self._submits.pop(data.get("task_id", ""), None)
+            state = data.get("state", "?")
+            if submitted is not None:
+                submit_time, endpoint = submitted
+                reg.histogram(
+                    "faas.task.latency", endpoint=endpoint
+                ).observe(event.time - submit_time)
+                reg.counter(
+                    "faas.tasks.completed", endpoint=endpoint, state=state
+                ).inc()
+                if str(state).upper() != "SUCCESS":
+                    reg.counter("faas.tasks.failed", endpoint=endpoint).inc()
+        elif kind == "job.submitted" and "job_id" in data:
+            reg.counter("slurm.jobs.submitted", scheduler=event.source).inc()
+        elif kind == "job.started" and "queue_wait" in data:
+            reg.histogram(
+                "slurm.queue_wait", scheduler=event.source
+            ).observe(float(data["queue_wait"] or 0.0))
+        elif kind == "job.ended" and "state" in data:
+            reg.counter(
+                "slurm.jobs.ended",
+                scheduler=event.source, state=data["state"],
+            ).inc()
+        elif kind == "run.created":
+            reg.counter("ci.runs").inc()
+        elif kind == "job.finished" and event.source == "actions":
+            reg.counter("ci.jobs", status=data.get("status", "?")).inc()
+        elif kind == "subscriber_error":
+            reg.counter("telemetry.subscriber_errors").inc()

@@ -1,15 +1,16 @@
 """Shared utilities: virtual clock, ids, hashing, event log, serialization,
 mini-YAML parsing, and plain-text table/series rendering."""
 
-from repro.util.clock import SimClock, Span
+from repro.util.clock import MeasuredRegion, SimClock, Span
 from repro.util.ids import IdFactory, deterministic_uuid
 from repro.util.events import EventLog, Event
 from repro.util.hashing import content_hash
 from repro.util.serialization import serialize, deserialize, serialized_size
 
 __all__ = [
+    "MeasuredRegion",
     "SimClock",
-    "Span",
+    "Span",  # deprecated alias of MeasuredRegion
     "IdFactory",
     "deterministic_uuid",
     "EventLog",

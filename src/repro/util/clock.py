@@ -47,16 +47,26 @@ class EventHandle:
         return self._event.cancelled
 
 
-class Span:
+class MeasuredRegion:
     """The outcome of a :meth:`SimClock.measure` region.
 
     ``elapsed`` is the virtual time the region consumed. It is only
     meaningful after the region exits.
+
+    Not to be confused with :class:`repro.telemetry.Span`: a measured
+    region is a nameless cost-accounting device (no end time, no parent,
+    no status), while a telemetry span is a node in a trace tree. This
+    class was previously named ``Span``; the old name remains as a
+    deprecated alias.
     """
 
     def __init__(self, start: float) -> None:
         self.start = start
         self.elapsed = 0.0
+
+
+# Deprecated alias — the telemetry subsystem owns the name "Span" now.
+Span = MeasuredRegion
 
 
 class SimClock:
@@ -73,7 +83,11 @@ class SimClock:
         self._now = float(start)
         self._queue: List[_ScheduledEvent] = []
         self._counter = itertools.count()
-        self._regions: List[Span] = []
+        self._regions: List[MeasuredRegion] = []
+        # Ambient telemetry: a repro.telemetry.Tracer registers itself
+        # here so components reach trace context through the one object
+        # every subsystem already shares. None means "not traced".
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -145,7 +159,7 @@ class SimClock:
             self.run_until(head.time)
 
     @contextlib.contextmanager
-    def measure(self) -> Iterator[Span]:
+    def measure(self) -> Iterator[MeasuredRegion]:
         """Run a region of code, capture its cost, and rewind the clock.
 
         Inside the region the clock behaves exactly as usual — the body
@@ -162,7 +176,7 @@ class SimClock:
         dispatch another task, whose own region rewinds its cost away so
         it is never charged to the outer span.
         """
-        span = Span(self._now)
+        span = MeasuredRegion(self._now)
         self._regions.append(span)
         try:
             yield span

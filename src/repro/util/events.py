@@ -3,15 +3,19 @@
 Every significant state change (workflow triggered, task submitted, job
 started, secret accessed...) is appended to an :class:`EventLog`. The log is
 the backbone of provenance capture: a CORRECT run's provenance record is a
-filtered view of these events.
+filtered view of these events, and the telemetry layer's metrics are
+derived entirely from subscriptions to it.
 """
 
 from __future__ import annotations
 
+import functools
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
+@functools.total_ordering
 @dataclass(frozen=True)
 class Event:
     """One immutable log entry.
@@ -26,28 +30,81 @@ class Event:
         Machine-readable event name (``"task.submitted"``...).
     data:
         Arbitrary JSON-like payload.
+    seq:
+        Monotonic emission sequence number, assigned by the log. Events
+        emitted at the same virtual timestamp are totally ordered by
+        ``seq``, so trace assembly and sorted queries are deterministic
+        rather than relying on list-append accident.
     """
 
     time: float
     source: str
     kind: str
     data: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key < other.sort_key
 
 
 class EventLog:
-    """Append-only event log with subscription and filtered queries."""
+    """Append-only event log with subscription and filtered queries.
+
+    Subscriber callbacks are isolated: one raising does not abort
+    delivery to the others, nor does the error propagate into the
+    emitting subsystem. Each failure is recorded as a
+    ``telemetry``/``subscriber_error`` event instead.
+    """
 
     def __init__(self) -> None:
         self._events: List[Event] = []
         self._subscribers: List[Callable[[Event], None]] = []
+        self._seq = itertools.count()
 
     def emit(self, time: float, source: str, kind: str, **data: Any) -> Event:
         """Record an event and notify subscribers."""
-        event = Event(time=time, source=source, kind=kind, data=dict(data))
+        event = Event(
+            time=time, source=source, kind=kind, data=dict(data),
+            seq=next(self._seq),
+        )
         self._events.append(event)
-        for sub in list(self._subscribers):
-            sub(event)
+        self._deliver(event, record_errors=True)
         return event
+
+    def _deliver(self, event: Event, record_errors: bool) -> None:
+        """Fan out to subscribers, isolating each callback.
+
+        A failure while delivering a ``subscriber_error`` event is
+        swallowed (``record_errors=False``) so a subscriber that raises
+        on *every* event cannot recurse the log into the ground.
+        """
+        for sub in list(self._subscribers):
+            try:
+                sub(event)
+            except Exception as exc:  # noqa: BLE001 - subscriber isolation
+                if not record_errors:
+                    continue
+                error_event = Event(
+                    time=event.time,
+                    source="telemetry",
+                    kind="subscriber_error",
+                    data={
+                        "subscriber": getattr(
+                            sub, "__qualname__", repr(sub)
+                        ),
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "during": f"{event.source}/{event.kind}",
+                    },
+                    seq=next(self._seq),
+                )
+                self._events.append(error_event)
+                self._deliver(error_event, record_errors=False)
 
     def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
         """Register ``callback`` for future events; returns an unsubscriber."""
@@ -66,7 +123,7 @@ class EventLog:
         since: float = float("-inf"),
         until: float = float("inf"),
     ) -> List[Event]:
-        """Return events matching all provided filters, in order."""
+        """Return events matching all provided filters, in emission order."""
         return [
             e
             for e in self._events

@@ -28,6 +28,12 @@ from repro.provenance.store import ProvenanceStore
 from repro.shellsim.session import ShellServices
 from repro.sites.catalog import SITE_BUILDERS
 from repro.sites.site import Site
+from repro.telemetry import (
+    NULL_TRACER,
+    EventMetricsBridge,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 
@@ -47,10 +53,26 @@ class World:
     """Everything the paper's evaluation environment contains."""
 
     def __init__(
-        self, start_time: float = 0.0, concurrent_jobs: bool = False
+        self,
+        start_time: float = 0.0,
+        concurrent_jobs: bool = False,
+        telemetry: bool = True,
     ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
+        # Telemetry observes the world; it never advances the clock, so
+        # experiment outputs are identical with it on or off. The tracer
+        # registers itself on the clock (ambient access via tracer_of);
+        # the metrics bridge derives instruments purely from EventLog
+        # subscriptions — no hot-path coupling.
+        if telemetry:
+            self.tracer = Tracer(self.clock)
+            self.metrics = MetricsRegistry()
+            self.telemetry_bridge = EventMetricsBridge(self.metrics, self.events)
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = MetricsRegistry()
+            self.telemetry_bridge = None
         self.package_index = standard_index()
         self.container_registry = ContainerRegistry("ghcr.io")
         self.auth = AuthService(self.clock)

@@ -1,0 +1,374 @@
+"""Unit tests for the telemetry subsystem: spans, tracer, metrics, export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    EventMetricsBridge,
+    MetricsRegistry,
+    Tracer,
+    percentile,
+    tracer_of,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    text_report,
+    validate_chrome_trace,
+)
+from repro.util.clock import SimClock
+from repro.util.events import EventLog
+
+
+class TestTracerSpans:
+    def test_root_span_opens_new_trace(self):
+        tracer = Tracer(SimClock())
+        a = tracer.start_span("a", parent=None)
+        b = tracer.start_span("b", parent=None)
+        assert a.trace_id != b.trace_id
+        assert a.parent_id == "" and b.parent_id == ""
+
+    def test_registers_on_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        assert clock.tracer is tracer
+        assert tracer_of(clock) is tracer
+
+    def test_tracer_of_unregistered_clock_is_null(self):
+        assert tracer_of(SimClock()) is NULL_TRACER
+
+    def test_spans_stamped_with_virtual_time(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("work", parent=None)
+        clock.advance(12.5)
+        tracer.end_span(span)
+        assert span.start == 0.0
+        assert span.end == 12.5
+        assert span.duration == 12.5
+
+    def test_current_context_is_default_parent(self):
+        tracer = Tracer(SimClock())
+        root = tracer.start_span("root", parent=None)
+        with tracer.activate(root.context):
+            child = tracer.start_span("child")
+        orphan = tracer.start_span("orphan")
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert orphan.parent_id == ""  # nothing active → new root
+
+    def test_explicit_parent_crosses_async_boundary(self):
+        tracer = Tracer(SimClock())
+        root = tracer.start_span("root", parent=None)
+        ctx = root.context
+        # simulate a callback firing later, under someone else's context
+        other = tracer.start_span("other", parent=None)
+        with tracer.activate(other.context):
+            child = tracer.start_span("child", parent=ctx)
+        assert child.parent_id == root.span_id
+
+    def test_activate_none_detaches(self):
+        tracer = Tracer(SimClock())
+        root = tracer.start_span("root", parent=None)
+        with tracer.activate(root.context):
+            with tracer.activate(None):
+                detached = tracer.start_span("bg")
+        assert detached.parent_id == ""
+        assert detached.trace_id != root.trace_id
+
+    def test_end_span_idempotent(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("s", parent=None)
+        tracer.end_span(span)
+        first_end = span.end
+        clock.advance(5.0)
+        tracer.end_span(span, status="error")
+        assert span.end == first_end
+        assert span.status == "ok"
+
+    def test_span_contextmanager_marks_errors(self):
+        tracer = Tracer(SimClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", parent=None):
+                raise RuntimeError("nope")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert "RuntimeError" in span.error
+        assert not span.is_open
+
+    def test_annotate_merges_into_active_span(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("s", parent=None, a=1) as span:
+            tracer.annotate(b=2)
+        assert span.attributes == {"a": 1, "b": 2}
+
+    def test_annotate_without_context_is_noop(self):
+        tracer = Tracer(SimClock())
+        tracer.annotate(x=1)  # must not raise
+
+    def test_deterministic_ids(self):
+        t1, t2 = Tracer(SimClock()), Tracer(SimClock())
+        for tracer in (t1, t2):
+            root = tracer.start_span("r", parent=None)
+            with tracer.activate(root.context):
+                tracer.start_span("c")
+        assert [s.span_id for s in t1.spans] == [s.span_id for s in t2.spans]
+        assert [s.trace_id for s in t1.spans] == [s.trace_id for s in t2.spans]
+
+
+class TestTracerQueries:
+    def _small_trace(self):
+        tracer = Tracer(SimClock())
+        root = tracer.start_span("root", parent=None, kind="workflow")
+        with tracer.activate(root.context):
+            a = tracer.start_span("a", kind="job")
+            with tracer.activate(a.context):
+                tracer.start_span("a1", kind="step")
+            tracer.start_span("b", kind="job")
+        return tracer, root
+
+    def test_children_and_subtree(self):
+        tracer, root = self._small_trace()
+        names = [s.name for s in tracer.children(root.span_id)]
+        assert names == ["a", "b"]
+        subtree = [s.name for s in tracer.subtree(root.span_id)]
+        assert subtree == ["root", "a", "a1", "b"]
+
+    def test_find_by_kind(self):
+        tracer, _ = self._small_trace()
+        assert [s.name for s in tracer.find(kind="job")] == ["a", "b"]
+
+    def test_span_tree_omits_ids(self):
+        tracer, root = self._small_trace()
+        (tree,) = tracer.span_tree(root.trace_id)
+        assert tree["name"] == "root"
+        assert "span_id" not in tree
+        assert [c["name"] for c in tree["children"]] == ["a", "b"]
+
+
+class TestNullTracer:
+    def test_full_api_is_inert(self):
+        span = NULL_TRACER.start_span("x", parent=None, k=1)
+        assert span.context is None
+        NULL_TRACER.end_span(span)
+        with NULL_TRACER.span("y") as inner:
+            inner.attributes["a"] = 1
+        with NULL_TRACER.activate(None):
+            NULL_TRACER.annotate(z=2)
+        assert NULL_TRACER.roots() == []
+        assert NULL_TRACER.span_tree("t") == []
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 95) == 4.0
+        assert percentile([7.0], 50) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_high_water(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.inc(3.0)
+        gauge.dec(2.0)
+        assert gauge.summary() == {"value": 1.0, "max": 3.0}
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            histogram.observe(v)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 10.0
+        assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
+
+    def test_labels_separate_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x", site="a").inc()
+        registry.counter("x", site="b").inc(5.0)
+        assert registry.counter("x", site="a").value == 1.0
+        assert registry.counter("x", site="b").value == 5.0
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+
+    def test_summaries_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("plain").inc()
+        registry.counter("lbl", b="2", a="1").inc()
+        keys = set(registry.summaries())
+        assert keys == {"plain", "lbl{a=1,b=2}"}
+
+
+class TestEventMetricsBridge:
+    def test_task_lifecycle_derives_latency(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        EventMetricsBridge(registry, events)
+        events.emit(0.0, "faas", "task.submitted", task_id="t1", endpoint="e1")
+        events.emit(2.0, "faas", "task.dispatched", task_id="t1", endpoint="e1")
+        events.emit(9.0, "faas", "task.completed", task_id="t1",
+                    state="success", endpoint="e1")
+        latency = registry.histogram("faas.task.latency", endpoint="e1")
+        assert latency.values() == [9.0]
+        queue = registry.histogram("faas.task.queue_wait", endpoint="e1")
+        assert queue.values() == [2.0]
+        depth = registry.gauge("faas.dispatch.depth", endpoint="e1")
+        assert depth.value == 0.0 and depth.max_value == 1.0
+
+    def test_failed_task_counted(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        EventMetricsBridge(registry, events)
+        events.emit(0.0, "faas", "task.submitted", task_id="t", endpoint="e")
+        events.emit(1.0, "faas", "task.completed", task_id="t",
+                    state="failed", endpoint="e")
+        assert registry.counter("faas.tasks.failed", endpoint="e").value == 1.0
+
+    def test_slurm_and_ci_events(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        EventMetricsBridge(registry, events)
+        events.emit(0.0, "faster-slurm", "job.submitted", job_id="j1")
+        events.emit(5.0, "faster-slurm", "job.started", job_id="j1",
+                    queue_wait=5.0)
+        events.emit(9.0, "faster-slurm", "job.ended", job_id="j1",
+                    state="completed")
+        events.emit(0.0, "actions", "run.created", run_id="r")
+        events.emit(1.0, "actions", "job.finished", status="success")
+        assert registry.counter(
+            "slurm.jobs.submitted", scheduler="faster-slurm"
+        ).value == 1.0
+        assert registry.histogram(
+            "slurm.queue_wait", scheduler="faster-slurm"
+        ).values() == [5.0]
+        assert registry.counter("ci.runs").value == 1.0
+        assert registry.counter("ci.jobs", status="success").value == 1.0
+
+    def test_close_unsubscribes(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        bridge = EventMetricsBridge(registry, events)
+        bridge.close()
+        events.emit(0.0, "actions", "run.created")
+        assert len(registry) == 0
+
+
+class TestChromeTraceExport:
+    def _traced_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        root = tracer.start_span("run:x", parent=None, kind="workflow")
+        with tracer.activate(root.context):
+            job = tracer.start_span("job:j", kind="job")
+            with tracer.activate(job.context):
+                step = tracer.start_span("step:s", kind="step")
+                clock.advance(3.0)
+                tracer.end_span(step)
+            tracer.end_span(job)
+        tracer.end_span(root)
+        return clock, tracer, root
+
+    def test_shape_and_validation(self):
+        _, tracer, _ = self._traced_clock()
+        doc = chrome_trace(tracer)
+        validate_chrome_trace(doc)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        step = next(e for e in xs if e["name"] == "step:s")
+        assert step["dur"] == 3.0 * 1_000_000
+
+    def test_orphan_traces_excluded_by_default(self):
+        clock, tracer, _ = self._traced_clock()
+        bg = tracer.start_span("slurm:bg", parent=None, kind="slurm",
+                               scheduler="s")
+        tracer.end_span(bg)
+        default = chrome_trace(tracer)
+        everything = chrome_trace(tracer, include_orphans=True)
+        default_names = {e["name"] for e in default["traceEvents"]}
+        all_names = {e["name"] for e in everything["traceEvents"]}
+        assert "slurm:bg" not in default_names
+        assert "slurm:bg" in all_names
+
+    def test_open_spans_clamped_and_flagged(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        root = tracer.start_span("run:x", parent=None, kind="workflow")
+        clock.advance(10.0)
+        done = tracer.start_span("done", parent=root.context, kind="step")
+        tracer.end_span(done)
+        doc = chrome_trace(tracer)
+        validate_chrome_trace(doc)
+        event = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "run:x"
+        )
+        assert event["args"]["open"] is True
+        assert event["dur"] == 10.0 * 1_000_000
+
+    def test_layers_get_distinct_lanes(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        root = tracer.start_span("run:x", parent=None, kind="workflow")
+        with tracer.activate(root.context):
+            task = tracer.start_span("task:t", kind="task", endpoint="e" * 36)
+            with tracer.activate(task.context):
+                node = tracer.start_span("node:n1", kind="node", node="n1")
+                tracer.end_span(node)
+            tracer.end_span(task)
+        tracer.end_span(root)
+        doc = chrome_trace(tracer)
+        lanes = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert lanes == {"ci workflow", "endpoint eeeeeeee", "node n1"}
+
+    def test_validate_rejects_bad_docs(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({
+                "traceEvents": [
+                    {"name": "n", "ph": "X", "pid": 1, "tid": 1,
+                     "ts": -1.0, "dur": 0}
+                ]
+            })
+
+    def test_dumps_round_trips(self):
+        _, tracer, _ = self._traced_clock()
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = dumps_chrome_trace(tracer, registry)
+        doc = json.loads(text)
+        assert doc["otherData"]["metrics"]["c"] == {"value": 1.0}
+
+    def test_text_report_renders_tree_and_metrics(self):
+        _, tracer, _ = self._traced_clock()
+        registry = MetricsRegistry()
+        registry.counter("ci.runs").inc()
+        report = text_report(tracer, registry, title="t")
+        assert "run:x" in report
+        assert "  job:j" in report  # indented child
+        assert "ci.runs" in report

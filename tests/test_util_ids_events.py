@@ -99,3 +99,69 @@ class TestEventLog:
         event = log.emit(0.0, "s", "k", x=1)
         with pytest.raises(AttributeError):
             event.kind = "other"  # type: ignore[misc]
+
+
+class TestEventOrdering:
+    def test_seq_is_monotonic(self):
+        log = EventLog()
+        events = [log.emit(5.0, "s", "k") for _ in range(4)]
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+        assert len({e.seq for e in events}) == 4
+
+    def test_same_timestamp_totally_ordered(self):
+        log = EventLog()
+        first = log.emit(1.0, "s", "a")
+        second = log.emit(1.0, "s", "b")
+        assert first < second
+        assert sorted([second, first]) == [first, second]
+
+    def test_sort_key_orders_by_time_then_seq(self):
+        log = EventLog()
+        late = log.emit(2.0, "s", "late")
+        early = log.emit(1.0, "s", "early")  # emitted after, but earlier time
+        assert sorted([late, early]) == [early, late]
+
+
+class TestSubscriberIsolation:
+    def test_raising_subscriber_does_not_abort_delivery(self):
+        log = EventLog()
+        seen = []
+
+        def bad(event):
+            if event.kind == "tick":
+                raise RuntimeError("boom")
+
+        log.subscribe(bad)
+        log.subscribe(lambda e: seen.append(e.kind))
+        log.emit(0.0, "s", "tick")  # must not raise into the emitter
+        assert "tick" in seen
+
+    def test_failure_recorded_as_subscriber_error_event(self):
+        log = EventLog()
+
+        def bad(event):
+            if event.kind == "tick":
+                raise ValueError("nope")
+
+        log.subscribe(bad)
+        log.emit(0.0, "s", "tick")
+        errors = log.query(source="telemetry", kind="subscriber_error")
+        assert len(errors) == 1
+        assert errors[0].data["during"] == "s/tick"
+        assert "ValueError" in errors[0].data["error"]
+
+    def test_always_raising_subscriber_bounded(self):
+        # a subscriber that raises on *every* event (including the error
+        # event) must not recurse the log into the ground
+        log = EventLog()
+
+        def always_bad(event):
+            raise RuntimeError("every time")
+
+        log.subscribe(always_bad)
+        log.emit(0.0, "s", "tick")
+        # one original + one error event for it; the failure while
+        # delivering the error event is swallowed
+        assert len(log) == 2
+        kinds = [e.kind for e in log]
+        assert kinds == ["tick", "subscriber_error"]
