@@ -145,6 +145,19 @@ def render_batch_attributes(spec: JobSpec) -> List[str]:
     return directives
 
 
+def render_batch_attributes_fixed(spec: JobSpec) -> List[str]:
+    """The corrected renderer — what upstream's fix looks like.
+
+    Used by the patched test suite variant so chaos experiments can
+    reproduce Fig. 5's failing artifact *without* the library bug: the
+    identical ``AttributeError`` is injected by the fault layer instead.
+    """
+    directives = []
+    for key, value in spec.custom_attributes.items():
+        directives.append(f"#SBATCH --{key}={value}")
+    return directives
+
+
 def get_executor(name: str, handle: NodeHandle, partition: str = "") -> JobExecutor:
     """Factory: the portability entry point user code calls."""
     if name == "local":

@@ -17,6 +17,7 @@ from repro.apps.psij.executors import (
     SlurmJobExecutor,
     get_executor,
     render_batch_attributes,
+    render_batch_attributes_fixed,
 )
 from repro.apps.psij.jobspec import JobSpec, JobStatus, PsiJJob, ResourceSpec
 from repro.shellsim.suites import SuiteContext, TestSuite
@@ -111,7 +112,19 @@ def _test_batch_attributes(ctx: SuiteContext) -> None:
     assert "#SBATCH --partition=shared" in directives
 
 
-def _build_suite() -> TestSuite:
+def _test_batch_attributes_fixed(ctx: SuiteContext) -> None:
+    # The corrected renderer: what the suite looks like once upstream
+    # fixes the attribute name. Used by chaos runs that reproduce the
+    # Fig. 5 failure through injection rather than the library defect.
+    spec = JobSpec(
+        executable="true",
+        custom_attributes={"partition": "shared", "account": "abc123"},
+    )
+    directives = render_batch_attributes_fixed(spec)
+    assert "#SBATCH --partition=shared" in directives
+
+
+def _build_suite(fixed: bool = False) -> TestSuite:
     suite = TestSuite("tests/test_executors.py")
     suite.add("test_version_installed", work=0.3, fn=_test_version_installed)
     suite.add("test_local_submit", work=1.0, fn=_test_local_submit)
@@ -120,15 +133,28 @@ def _build_suite() -> TestSuite:
     suite.add("test_executor_factory", work=0.5, fn=_test_executor_factory)
     suite.add("test_slurm_roundtrip", work=3.0, fn=_test_slurm_roundtrip)
     suite.add("test_slurm_cancel", work=2.0, fn=_test_slurm_cancel)
-    suite.add("test_batch_attributes", work=0.6, fn=_test_batch_attributes)
+    suite.add(
+        "test_batch_attributes", work=0.6,
+        fn=_test_batch_attributes_fixed if fixed else _test_batch_attributes,
+    )
     return suite
 
 
 PSIJ_SUITE = _build_suite()
+PSIJ_SUITE_FIXED = _build_suite(fixed=True)
 
 
-def repo_files() -> Dict[str, str]:
-    """Contents of the hosted psij-python repository."""
+def repo_files(fixed: bool = False) -> Dict[str, str]:
+    """Contents of the hosted psij-python repository.
+
+    ``fixed=True`` ships the patched suite (corrected renderer test) —
+    the repository as it looks after upstream's fix.
+    """
+    suite_ref = (
+        "repro.apps.psij.suite:PSIJ_SUITE_FIXED"
+        if fixed
+        else "repro.apps.psij.suite:PSIJ_SUITE"
+    )
     return {
         "README.md": (
             "# PSI/J\n\nA portable interface for submitting, monitoring, "
@@ -137,7 +163,7 @@ def repo_files() -> Dict[str, str]:
         "requirements.txt": (
             "psutil>=5.9\npystache>=0.6.0\ntypeguard>=3.0.1\npytest>=7\n"
         ),
-        ".repro-suite": "repro.apps.psij.suite:PSIJ_SUITE",
+        ".repro-suite": suite_ref,
         "tox.ini": (
             "[tox]\nenvlist = py311\n\n[testenv]\ndeps =\n"
             "    psutil>=5.9\n    pystache>=0.6.0\n    typeguard>=3.0.1\n"

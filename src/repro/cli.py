@@ -75,7 +75,10 @@ def _cmd_fig4_overlap(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig5
 
-    result = run_fig5(telemetry=_telemetry_enabled(args))
+    result = run_fig5(
+        telemetry=_telemetry_enabled(args),
+        inject_failure=getattr(args, "inject_failure", False),
+    )
     print("Fig. 5 — PSI/J CI via CORRECT on Anvil\n")
     print(f"run status: {result.run.status}")
     for name, (outcome, duration) in result.tests.items():
@@ -95,6 +98,35 @@ def _cmd_exp63(args: argparse.Namespace) -> int:
         print(f"  {name:<24} {'REPRODUCED' if verdict else 'FAILED'}")
     _maybe_print_metrics(args, result.world)
     return 0 if result.all_passed else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run an experiment under a seeded fault plan with resilience on."""
+    telemetry = _telemetry_enabled(args)
+    if args.experiment == "fig5":
+        from repro.experiments import run_fig5_chaos
+
+        result = run_fig5_chaos(seed=args.seed, telemetry=telemetry)
+        print(
+            "Chaos Fig. 5 — failing test reproduced by injection "
+            "(fixed suite)\n"
+        )
+        print(f"run status: {result.run.status}")
+        for name, (outcome, duration) in result.tests.items():
+            print(f"  {name:<28} {outcome:<7} {duration:8.2f}s")
+        print("\nfailing:", sorted(result.failing_tests))
+        _maybe_print_metrics(args, result.world)
+        return 0 if result.run_failed else 1
+
+    from repro.experiments import format_chaos_report, run_fig4_chaos
+
+    result = run_fig4_chaos(
+        seed=args.seed, profile=args.profile, telemetry=telemetry
+    )
+    print(format_chaos_report(result))
+    _maybe_print_metrics(args, result.world)
+    # graceful degradation succeeded if at least one site reported results
+    return 0 if result.sites_ok else 1
 
 
 TRACEABLE_EXPERIMENTS = ("fig4", "fig5", "exp63")
@@ -214,6 +246,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "tables": _cmd_tables,
     "ablations": _cmd_ablations,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -248,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-telemetry", action="store_true",
                 help="run without tracer/metrics (outputs are identical)",
             )
+        if name == "fig5":
+            p.add_argument(
+                "--inject-failure", action="store_true",
+                help=(
+                    "reproduce the failing test via the fault layer "
+                    "against the fixed suite (same artifact either way)"
+                ),
+            )
     trace = sub.add_parser(
         "trace",
         help="run an experiment and export its Chrome trace JSON",
@@ -267,6 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--all-traces", action="store_true",
         help="include non-CI traces (background load, pilots) in the export",
+    )
+    chaos = sub.add_parser(
+        "chaos",
+        help="run an experiment under a seeded fault plan (resilience on)",
+    )
+    chaos.add_argument(
+        "experiment", choices=["fig4", "fig5"],
+        help="which experiment to run chaotically",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan seed; the same seed replays the same chaos",
+    )
+    chaos.add_argument(
+        "--profile", default="flaky-endpoint",
+        choices=["flaky-endpoint", "walltime", "partition"],
+        help="named fault profile (fig4 only)",
+    )
+    chaos.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry metrics report after the run",
+    )
+    chaos.add_argument(
+        "--no-telemetry", action="store_true",
+        help="run without tracer/metrics (outputs are identical)",
     )
     return parser
 

@@ -231,6 +231,7 @@ class CorrectAction:
     def _record_provenance(
         self, ctx, inputs: CorrectInputs, result: CorrectResult
     ) -> None:
+        from repro.faults.injector import injector_of
         from repro.telemetry import tracer_of
 
         store = ctx.services.provenance
@@ -238,6 +239,7 @@ class CorrectAction:
             return
         faas = ctx.services.faas
         task = faas.get_task(result.task_id)
+        injector = injector_of(faas.clock)
         snapshot = (
             EnvironmentSnapshot(**result.environment)
             if result.environment
@@ -271,6 +273,9 @@ class CorrectAction:
             trace_id=task_span.trace_id if task_span is not None else "",
             span_id=task_span.span_id if task_span is not None else "",
             timeline=timeline,
+            fault_seed=injector.plan.seed if injector.active else None,
+            fault_profile=injector.plan.profile if injector.active else "",
+            task_attempts=task.attempts,
         )
         store.add(record)
 

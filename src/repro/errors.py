@@ -7,6 +7,14 @@ errors (``TypeError``, ``ValueError`` from bad arguments still propagate).
 The hierarchy mirrors the subsystem layout: VCS, hub, actions, auth, FaaS,
 scheduler, containers, environments, and the CORRECT action each have a
 dedicated branch.
+
+Orthogonally to the subsystem axis, failures are classified on a
+*retryability* axis via the :class:`TransientError` / :class:`PermanentError`
+mixins: an offline endpoint or a walltime kill may succeed on a second
+attempt, while a rejected credential or an oversized payload never will.
+The resilience layer (:mod:`repro.faults.resilience`) keys every retry
+decision off :func:`is_retryable`, so subsystems only have to mix the
+right class in — no string matching on messages.
 """
 
 from __future__ import annotations
@@ -14,6 +22,36 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all simulation-level errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Retryability taxonomy (mixins)
+# ---------------------------------------------------------------------------
+
+
+class TransientError:
+    """Mixin: the operation may succeed if retried (flaky infrastructure)."""
+
+
+class PermanentError:
+    """Mixin: retrying cannot help (bad request, policy rejection)."""
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether the resilience layer may retry after ``error``.
+
+    :class:`TransientError` wins over :class:`PermanentError` if both are
+    somehow mixed in; errors carrying neither mixin default to *not*
+    retryable — retrying an unclassified failure risks duplicating side
+    effects. :class:`TaskFailed` is special-cased: it wraps an arbitrary
+    remote failure, so it carries an explicit ``retryable`` flag set by
+    whoever classified the underlying cause.
+    """
+    if isinstance(error, TaskFailed):
+        return error.retryable
+    if isinstance(error, TransientError):
+        return True
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -45,7 +83,7 @@ class RepoNotFound(HubError):
     """Repository slug does not exist on the hub."""
 
 
-class PermissionDenied(HubError):
+class PermissionDenied(HubError, PermanentError):
     """Caller lacks the permission required for the operation."""
 
 
@@ -111,15 +149,15 @@ class AuthError(ReproError):
     """Base class for authentication/authorization errors."""
 
 
-class InvalidCredentials(AuthError):
+class InvalidCredentials(AuthError, PermanentError):
     """Client id/secret pair does not match a registered client."""
 
 
-class TokenExpired(AuthError):
-    """The bearer token's lifetime has elapsed."""
+class TokenExpired(AuthError, PermanentError):
+    """The bearer token's lifetime has elapsed (re-auth, don't retry)."""
 
 
-class InsufficientScope(AuthError):
+class InsufficientScope(AuthError, PermanentError):
     """The token lacks a scope required by the service."""
 
 
@@ -140,32 +178,60 @@ class FaaSError(ReproError):
     """Base class for the federated FaaS platform."""
 
 
-class EndpointNotFound(FaaSError):
+class EndpointNotFound(FaaSError, PermanentError):
     """Endpoint UUID is not registered with the cloud service."""
 
 
-class EndpointOffline(FaaSError):
+class EndpointOffline(FaaSError, TransientError):
     """The endpoint is registered but not currently connected."""
 
 
-class FunctionNotRegistered(FaaSError):
+class FunctionNotRegistered(FaaSError, PermanentError):
     """Function UUID does not resolve in the function registry."""
 
 
-class FunctionNotAllowed(FaaSError):
+class FunctionNotAllowed(FaaSError, PermanentError):
     """The endpoint's allow-list rejects this function."""
 
 
 class TaskFailed(FaaSError):
-    """The remote function raised; carries the remote traceback text."""
+    """The remote function raised; carries the remote traceback text.
 
-    def __init__(self, message: str, remote_traceback: str = "") -> None:
+    ``retryable`` records whether the *underlying* failure was transient
+    — the classification is made where the remote error is wrapped, and
+    :func:`is_retryable` defers to it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        remote_traceback: str = "",
+        retryable: bool = False,
+    ) -> None:
         super().__init__(message)
         self.remote_traceback = remote_traceback
+        self.retryable = retryable
 
 
-class PayloadTooLarge(FaaSError):
+class PayloadTooLarge(FaaSError, PermanentError):
     """Serialized arguments or result exceed the service limit."""
+
+
+class TaskTimeout(FaaSError, PermanentError):
+    """The task's caller-supplied deadline elapsed before completion.
+
+    Deadlines bound the *total* wait including retries, so a timeout is
+    final — the resilience layer must not spend more time on the task.
+    """
+
+
+class CircuitOpen(FaaSError, TransientError):
+    """The endpoint's circuit breaker is open and no fallback is declared.
+
+    Transient by nature — the breaker half-opens after its reset window —
+    but surfaced synchronously at submit so callers can degrade (report
+    the site as skipped) instead of queueing work that cannot run.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -181,16 +247,24 @@ class JobNotFound(SchedulerError):
     """Unknown job id."""
 
 
-class InvalidJobSpec(SchedulerError):
+class InvalidJobSpec(SchedulerError, PermanentError):
     """The job request cannot be satisfied (e.g. more nodes than exist)."""
 
 
-class WalltimeExceeded(SchedulerError):
+class WalltimeExceeded(SchedulerError, TransientError):
     """The job ran past its requested walltime and was killed."""
+
+
+class NodePreempted(SchedulerError, TransientError):
+    """The job's node was preempted (reclaimed) while the payload ran."""
 
 
 class ExecutorError(ReproError):
     """Base class for pilot-job executor errors."""
+
+
+class ProvisionFailed(ExecutorError, TransientError):
+    """A block provision attempt failed transiently (allocator flake)."""
 
 
 class ShellError(ReproError):
@@ -243,8 +317,12 @@ class SiteError(ReproError):
     """Base class for site-model errors."""
 
 
-class NetworkBlocked(SiteError):
-    """Outbound network access is disallowed from this node class."""
+class NetworkBlocked(SiteError, PermanentError):
+    """Outbound network access is disallowed from this node class (policy)."""
+
+
+class NetworkPartitioned(SiteError, TransientError):
+    """The site is temporarily unreachable from the FaaS cloud."""
 
 
 class FileSystemError(SiteError):
@@ -260,7 +338,7 @@ class CorrectError(ReproError):
     """Base class for errors raised by the CORRECT action itself."""
 
 
-class InputValidationError(CorrectError):
+class InputValidationError(CorrectError, PermanentError):
     """Action inputs are missing or inconsistent."""
 
 

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.errors import ExecutorError, ReproError, WalltimeExceeded
+from repro.errors import (
+    ExecutorError,
+    NodePreempted,
+    ReproError,
+    WalltimeExceeded,
+)
 from repro.executor.providers import Block, Provider
 from repro.scheduler.jobs import JobState
 from repro.sites.site import NodeHandle
@@ -69,18 +74,24 @@ class PilotExecutor:
             return block
         return self._adopt_block(self.provider.start_block())
 
-    def ensure_block_async(self, on_ready: Callable[[Block], None]) -> None:
+    def ensure_block_async(
+        self,
+        on_ready: Callable[[Block], None],
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
         """Event-driven :meth:`ensure_block`: ``on_ready(block)`` fires once
         a live block exists, without advancing the caller's timeline.
 
         Concurrent callers while a provision is in flight queue up and
-        share the one new block — one pilot job, not one per waiter.
+        share the one new block — one pilot job, not one per waiter. A
+        provisioning failure fans out to every waiter's ``on_error``
+        (raising for waiters that passed none).
         """
         block = self._live_block()
         if block is not None:
             on_ready(block)
             return
-        self._ready_waiters.append(on_ready)
+        self._ready_waiters.append((on_ready, on_error))
         if self._provisioning:
             return
         self._provisioning = True
@@ -89,10 +100,18 @@ class PilotExecutor:
             self._provisioning = False
             self._adopt_block(new_block)
             waiters, self._ready_waiters = self._ready_waiters, []
-            for waiter in waiters:
-                waiter(new_block)
+            for ready, _ in waiters:
+                ready(new_block)
 
-        self.provider.start_block_async(adopted)
+        def failed(error: BaseException) -> None:
+            self._provisioning = False
+            waiters, self._ready_waiters = self._ready_waiters, []
+            for _, err_cb in waiters:
+                if err_cb is None:
+                    raise error
+                err_cb(error)
+
+        self.provider.start_block_async(adopted, failed)
 
     def _block_job_alive(self) -> bool:
         block = self._block
@@ -123,6 +142,10 @@ class PilotExecutor:
         if state is JobState.TIMEOUT:
             raise WalltimeExceeded(
                 f"pilot {block.job_id} hit walltime during task"
+            )
+        if state is JobState.PREEMPTED:
+            raise NodePreempted(
+                f"pilot {block.job_id} was preempted during task"
             )
         if state not in (JobState.RUNNING,):
             raise ExecutorError(
@@ -206,7 +229,7 @@ class PilotExecutor:
 
             clock.call_after(span.elapsed, finish)
 
-        self.ensure_block_async(on_block)
+        self.ensure_block_async(on_block, lambda err: on_done(None, err))
 
     def shutdown(self) -> None:
         """Release the block (completes the pilot batch job)."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import ExecutorError
+from repro.faults.injector import injector_of
 from repro.scheduler.jobs import Job, JobState
 from repro.scheduler.nodes import Node
 from repro.sites.site import Site
@@ -36,15 +37,24 @@ class Provider(abc.ABC):
         """Provision one block, advancing virtual time until it is usable."""
 
     @abc.abstractmethod
-    def start_block_async(self, on_ready: Callable[[Block], None]) -> None:
+    def start_block_async(
+        self,
+        on_ready: Callable[[Block], None],
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
         """Provision one block without blocking virtual time.
 
         ``on_ready(block)`` fires (via a clock event or a scheduler
         start callback) once the block is usable. Unlike
         :meth:`start_block`, the caller's timeline is not advanced:
         provisioning delay on one site overlaps with work everywhere
-        else.
+        else. A provisioning failure (an armed provision flake) goes to
+        ``on_error(exc)``; with no handler it raises.
         """
+
+    def _provision_fault(self) -> Optional[BaseException]:
+        """Armed provision flake for this site, if any (else ``None``)."""
+        return injector_of(self.site.clock).provision_error_for(self.site.name)
 
     @abc.abstractmethod
     def release_block(self, block: Block) -> None:
@@ -81,10 +91,23 @@ class LocalProvider(Provider):
         )
 
     def start_block(self) -> Block:
+        fault = self._provision_fault()
+        if fault is not None:
+            raise fault
         self.site.clock.advance(self.startup_overhead)
         return self._make_block()
 
-    def start_block_async(self, on_ready: Callable[[Block], None]) -> None:
+    def start_block_async(
+        self,
+        on_ready: Callable[[Block], None],
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        fault = self._provision_fault()
+        if fault is not None:
+            if on_error is None:
+                raise fault
+            on_error(fault)
+            return
         self.site.clock.call_after(
             self.startup_overhead, lambda: on_ready(self._make_block())
         )
@@ -142,6 +165,9 @@ class SlurmProvider(Provider):
         )
 
     def start_block(self) -> Block:
+        fault = self._provision_fault()
+        if fault is not None:
+            raise fault
         scheduler = self.site.scheduler
         assert scheduler is not None
         job = self._pilot_job()
@@ -153,13 +179,23 @@ class SlurmProvider(Provider):
             )
         return self._block_from_job(job)
 
-    def start_block_async(self, on_ready: Callable[[Block], None]) -> None:
+    def start_block_async(
+        self,
+        on_ready: Callable[[Block], None],
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
         """Submit the pilot and hand the block over when the job starts.
 
         Uses the scheduler's :meth:`notify_start` completion callback, so
         the queue wait is spent as pending events on the shared clock —
         other endpoints keep dispatching while this pilot queues.
         """
+        fault = self._provision_fault()
+        if fault is not None:
+            if on_error is None:
+                raise fault
+            on_error(fault)
+            return
         scheduler = self.site.scheduler
         assert scheduler is not None
         job = self._pilot_job()

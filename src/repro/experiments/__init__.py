@@ -12,6 +12,12 @@ from repro.experiments.fig4_parsldock import (
     Fig4OverlapResult,
 )
 from repro.experiments.fig5_psij import run_fig5, Fig5Result
+from repro.experiments.chaos import (
+    ChaosFig4Result,
+    format_chaos_report,
+    run_fig4_chaos,
+    run_fig5_chaos,
+)
 from repro.experiments.exp63_kamping import run_exp63, Exp63Result
 from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.survey_tables import (
@@ -28,6 +34,10 @@ __all__ = [
     "Fig4OverlapResult",
     "run_fig5",
     "Fig5Result",
+    "ChaosFig4Result",
+    "format_chaos_report",
+    "run_fig4_chaos",
+    "run_fig5_chaos",
     "run_exp63",
     "Exp63Result",
     "run_fig1",

@@ -1,0 +1,246 @@
+"""Chaos experiments: the paper's figures under injected faults.
+
+``run_fig4_chaos`` replays §6.1 with a seeded fault plan armed and the
+resilience layer on: endpoint outages and injected task errors are
+absorbed by retries with deterministic backoff, a hard-down site trips
+its circuit breaker, and the run degrades to a per-site partial result
+instead of crashing. ``run_fig5_chaos`` reproduces §6.2's failing-test
+artifact through fault injection against the *fixed* PSI/J suite,
+proving the fault layer converges on the hard-coded defect path.
+
+Everything is virtual-time deterministic: the same seed twice produces
+byte-identical reports (the CI ``chaos-smoke`` job asserts exactly
+that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.reporting import parse_pytest_stdout
+from repro.experiments import common
+from repro.experiments.fig4_parsldock import (
+    FIG4_SITES,
+    REPO_SLUG,
+    WORKFLOW_PATH,
+    build_workflow,
+)
+from repro.experiments.fig5_psij import Fig5Result, run_fig5
+from repro.faults.plan import FaultPlan
+from repro.faults.profiles import DOWN_SITE, FLAKY_SITE, build_profile
+from repro.faults.resilience import BreakerPolicy, RetryPolicy
+from repro.world import World
+
+# resilience configuration every chaos run shares: enough attempts to
+# ride out a short outage window, a breaker that opens fast enough for
+# the hard-down site to trip it within one task's retry budget
+CHAOS_RETRY = dict(
+    max_attempts=5, base_delay=5.0, multiplier=2.0, max_delay=120.0,
+    jitter=0.1,
+)
+CHAOS_BREAKER = BreakerPolicy(failure_threshold=3, reset_timeout=1800.0)
+
+
+@dataclass
+class ChaosFig4Result:
+    """Fig. 4 under faults: per-site partial results + recovery audit."""
+
+    run: object
+    plan: FaultPlan
+    site_status: Dict[str, str]  # site -> "ok" | "skipped"
+    skip_reasons: Dict[str, str]
+    durations: Dict[str, Dict[str, float]]  # only sites that completed
+    outcomes: Dict[str, Dict[str, str]]
+    resilience: Dict
+    breakers: Dict[str, Dict]
+    injected: List[Dict] = field(default_factory=list)
+    records_with_seed: int = 0
+    world: object = None
+
+    @property
+    def sites_ok(self) -> List[str]:
+        return [s for s, st in self.site_status.items() if st == "ok"]
+
+    @property
+    def sites_skipped(self) -> List[str]:
+        return [s for s, st in self.site_status.items() if st == "skipped"]
+
+
+def run_fig4_chaos(
+    seed: int = 7,
+    profile: str = "flaky-endpoint",
+    telemetry: bool = True,
+    sites: Tuple[str, ...] = FIG4_SITES,
+) -> ChaosFig4Result:
+    """Execute Fig. 4 with the named fault profile armed.
+
+    The flaky site's failures are retried (and, if its breaker opens,
+    failed over to the declared fallback); a permanently-down site
+    exhausts its retry budget, trips its breaker, and its job fails —
+    the run reports partial results per site with the skip reason, and
+    never raises out of the harness.
+    """
+    plan = build_profile(profile, seed)
+    world = World(
+        telemetry=telemetry,
+        faults=plan,
+        retry_policy=RetryPolicy(seed=seed, **CHAOS_RETRY),
+        breaker=CHAOS_BREAKER,
+        # offline endpoints reject at dispatch (retryably), not at the
+        # cloud's front door — the degraded path instead of a crash
+        offline_policy="queue",
+    )
+    accounts = {site: "x-vhayot" for site in sites}
+    user = world.register_user("vhayot", accounts)
+    endpoints: Dict[str, str] = {}
+    for site_name in sites:
+        common.provision_user_site(
+            world, user, site_name, accounts[site_name],
+            conda_env="docking", stack=common.DOCKING_STACK,
+        )
+        mep = common.deploy_site_mep(world, site_name)
+        endpoints[site_name] = mep.endpoint_id
+    # graceful degradation routing: the flaky site may fail over to the
+    # healthy cloud site; the hard-down site deliberately has no
+    # fallback, so its breaker opening skips the site instead
+    if FLAKY_SITE in endpoints and "chameleon" in endpoints:
+        world.faas.declare_fallback(
+            endpoints[FLAKY_SITE], endpoints["chameleon"]
+        )
+
+    # everything up to here ran fault-free; fault times now mean
+    # "virtual seconds into the CI run"
+    world.arm_faults()
+
+    workflow_text = build_workflow(endpoints)
+    environments = {
+        f"hpc-{site}": {
+            "GLOBUS_ID": user.client_id,
+            "GLOBUS_SECRET": user.client_secret,
+        }
+        for site in sites
+    }
+    from repro.apps.parsldock import suite as parsldock_suite
+
+    common.create_repo_with_workflow(
+        world,
+        REPO_SLUG,
+        owner=user,
+        files=parsldock_suite.repo_files(),
+        workflow_path=WORKFLOW_PATH,
+        workflow_text=workflow_text,
+        environments=environments,
+    )
+    run = world.engine.runs[-1]
+    common.approve_all(world, run, user.login)
+
+    site_status: Dict[str, str] = {}
+    skip_reasons: Dict[str, str] = {}
+    durations: Dict[str, Dict[str, float]] = {}
+    outcomes: Dict[str, Dict[str, str]] = {}
+    for site_name in sites:
+        job = run.job(f"test-{site_name}")
+        if job.status == "success":
+            site_status[site_name] = "ok"
+            artifact = world.hub.artifacts.download(
+                run.run_id, f"correct-{site_name}-stdout"
+            )
+            parsed = parse_pytest_stdout(artifact.content)
+            durations[site_name] = {n: d for n, (_, d) in parsed.items()}
+            outcomes[site_name] = {n: o for n, (o, _) in parsed.items()}
+        else:
+            site_status[site_name] = "skipped"
+            errors = [
+                o.error for o in job.step_outcomes if o.status == "failure"
+            ]
+            skip_reasons[site_name] = (
+                errors[0] if errors else f"job ended {job.status}"
+            )
+
+    records_with_seed = sum(
+        1 for record in world.provenance.all() if record.fault_seed == seed
+    )
+    breakers = {
+        site_name: world.faas.breaker_for(endpoints[site_name]).snapshot()
+        for site_name in sites
+    }
+    return ChaosFig4Result(
+        run=run,
+        plan=plan,
+        site_status=site_status,
+        skip_reasons=skip_reasons,
+        durations=durations,
+        outcomes=outcomes,
+        resilience=world.faas.resilience.summary(),
+        breakers=breakers,
+        injected=list(world.fault_injector.injected),
+        records_with_seed=records_with_seed,
+        world=world,
+    )
+
+
+def run_fig5_chaos(seed: int = 0, telemetry: bool = True) -> Fig5Result:
+    """§6.2's failing artifact reproduced by injection (fixed suite)."""
+    del seed  # the plan is a single deterministic test failure
+    return run_fig5(telemetry=telemetry, inject_failure=True)
+
+
+def format_chaos_report(result: ChaosFig4Result) -> str:
+    """Deterministic plain-text report (byte-identical per seed)."""
+    plan = result.plan
+    lines = [
+        f"Chaos Fig. 4 — profile {plan.profile!r}, seed {plan.seed}",
+        f"faults planned: {len(plan)}  "
+        f"(flaky site: {FLAKY_SITE}, hard-down site: {DOWN_SITE})",
+        "",
+        f"run status: {result.run.status}",
+        "",
+        "per-site results:",
+    ]
+    for site, status in result.site_status.items():
+        if status == "ok":
+            tests = result.outcomes.get(site, {})
+            passed = sum(1 for o in tests.values() if o == "PASSED")
+            total_s = sum(result.durations.get(site, {}).values())
+            lines.append(
+                f"  {site:<12} ok       {passed}/{len(tests)} passed"
+                f"  ({total_s:8.2f}s of tests)"
+            )
+        else:
+            reason = result.skip_reasons.get(site, "")
+            lines.append(f"  {site:<12} SKIPPED  {reason}")
+    res = result.resilience
+    lines += [
+        "",
+        "resilience:",
+        f"  retries:       {res['retries']}",
+        f"  failovers:     {res['failovers']}",
+        f"  breaker trips: {res['breaker_trips']}",
+        f"  timeouts:      {res['timeouts']}",
+        f"  give-ups:      {res['give_ups']}",
+        "  errors absorbed: "
+        + (
+            ", ".join(f"{k}={v}" for k, v in res["by_error"].items())
+            or "none"
+        ),
+        "",
+        "breakers:",
+    ]
+    for site, snap in result.breakers.items():
+        lines.append(
+            f"  {site:<12} state={snap['state']:<9} trips={snap['trips']}"
+        )
+    lines += ["", f"injected faults fired: {len(result.injected)}"]
+    for entry in result.injected:
+        extra = {
+            k: v for k, v in entry.items() if k not in ("time", "kind")
+        }
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+        lines.append(f"  t={entry['time']:10.2f}  {entry['kind']:<22} {detail}")
+    lines += [
+        "",
+        f"provenance: {result.records_with_seed} execution record(s) "
+        f"carry fault seed {plan.seed}",
+    ]
+    return "\n".join(lines)

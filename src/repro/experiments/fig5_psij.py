@@ -17,6 +17,7 @@ from repro.apps.psij import suite as psij_suite
 from repro.core.reporting import parse_pytest_stdout
 from repro.core.workflow_builder import WorkflowBuilder
 from repro.experiments import common
+from repro.faults.plan import FaultPlan, TestFailure
 from repro.world import World
 
 REPO_SLUG = "exaworks/psij-python"
@@ -50,9 +51,37 @@ class Fig5Result:
         return any("CORRECT: remote command exited" in line for line in self.run.log)
 
 
-def run_fig5(telemetry: bool = True) -> Fig5Result:
-    """Execute the §6.2 experiment; returns the run + recovered outputs."""
-    world = World(telemetry=telemetry)
+def inject_failure_plan(seed: int = 0) -> FaultPlan:
+    """The fault plan reproducing Fig. 5's failing test by injection.
+
+    Arms the exact ``AttributeError`` the v0.9.9 renderer defect raises
+    against the *patched* suite — proving the fault layer converges on
+    the hard-coded failure path byte for byte.
+    """
+    plan = FaultPlan(seed=seed, profile="fig5-inject")
+    plan.add(
+        TestFailure(
+            at=0.0,
+            suite="tests/test_executors.py",
+            test_name="test_batch_attributes",
+            exception_type="AttributeError",
+            message="'JobSpec' object has no attribute 'attributes'",
+        )
+    )
+    return plan
+
+
+def run_fig5(telemetry: bool = True, inject_failure: bool = False) -> Fig5Result:
+    """Execute the §6.2 experiment; returns the run + recovered outputs.
+
+    ``inject_failure=True`` ships the *fixed* PSI/J suite and reproduces
+    the paper's failing-test artifact through the fault layer instead of
+    the library defect: the run must fail identically either way.
+    """
+    faults = inject_failure_plan() if inject_failure else None
+    world = World(telemetry=telemetry, faults=faults)
+    if inject_failure:
+        world.arm_faults()
     user = world.register_user("vhayot", {SITE: "x-vhayot"})
     common.provision_user_site(
         world, user, SITE, "x-vhayot", conda_env="psij", stack=common.PSIJ_STACK
@@ -78,7 +107,7 @@ def run_fig5(telemetry: bool = True) -> Fig5Result:
         world,
         REPO_SLUG,
         owner=user,
-        files=psij_suite.repo_files(),
+        files=psij_suite.repo_files(fixed=inject_failure),
         workflow_path=WORKFLOW_PATH,
         workflow_text=builder.render(),
         environments={

@@ -57,9 +57,15 @@ class ComputeClient:
         function_id: str,
         *args: Any,
         template: str = "default",
+        timeout: "float | None" = None,
         **kwargs: Any,
     ) -> TaskFuture:
-        """Submit a task; returns its future without advancing time."""
+        """Submit a task; returns its future without advancing time.
+
+        ``timeout`` bounds the task's total virtual-time lifetime
+        (retries included); on expiry the future fails with
+        :class:`~repro.errors.TaskTimeout`.
+        """
         return self.service.submit(
             self._token.value,
             endpoint_id,
@@ -67,6 +73,7 @@ class ComputeClient:
             args=args,
             kwargs=kwargs,
             template=template,
+            timeout=timeout,
         )
 
     def submit_batch(

@@ -128,6 +128,7 @@ class TaskFuture(Future):
                 TaskFailed(
                     f"task {self.task.task_id} failed remotely",
                     remote_traceback=self.task.exception_text,
+                    retryable=self.task.error_retryable,
                 )
             )
 

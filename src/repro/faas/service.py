@@ -20,17 +20,27 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
 from repro.errors import (
+    CircuitOpen,
     EndpointNotFound,
     EndpointOffline,
     PayloadTooLarge,
     PermissionDenied,
     ReproError,
     TaskFailed,
+    TaskTimeout,
+    is_retryable,
 )
 from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
 from repro.faas.functions import FunctionRegistry, FunctionSpec
 from repro.faas.future import TaskFuture
 from repro.faas.task import Task, TaskState
+from repro.faults.injector import injector_of
+from repro.faults.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.telemetry import tracer_of
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
@@ -68,6 +78,13 @@ class _PendingTask:
     # telemetry span opened at submit time; carries the submitter's trace
     # context across the async dispatch boundary
     span: object = None
+    # resilience bookkeeping: 1-based dispatch attempt, the abort flag an
+    # offline/timeout abort sets so a stale completion callback for the
+    # doomed attempt is discarded, and the absolute deadline when the
+    # caller set a per-task timeout
+    attempt: int = 1
+    aborted: bool = False
+    deadline: Optional[float] = None
 
 
 class _EndpointDispatcher:
@@ -84,22 +101,43 @@ class _EndpointDispatcher:
         self.endpoint_id = endpoint_id
         self.queue: Deque[_PendingTask] = deque()
         self.busy = False
+        self.inflight: Optional[_PendingTask] = None
 
     def arrive(self, entry: _PendingTask) -> None:
         self.queue.append(entry)
         self.pump()
+
+    def abort_inflight(self, error: BaseException) -> Optional[_PendingTask]:
+        """Fail the in-flight task with ``error`` and free the lane.
+
+        Used when the endpoint drops offline (or a deadline fires) while
+        work is on the wire: the eventual completion callback for the
+        doomed attempt is discarded via the entry's ``aborted`` flag, and
+        the typed error goes through the normal completion path — so it
+        is retryable like any other failure.
+        """
+        entry = self.inflight
+        if entry is None:
+            return None
+        entry.aborted = True
+        self.inflight = None
+        self.busy = False
+        self.service._complete(entry, None, error)
+        return entry
 
     def pump(self) -> None:
         if self.busy or not self.queue:
             return
         entry = self.queue.popleft()
         self.busy = True
+        self.inflight = entry
         task = entry.task
         task.state = TaskState.RUNNING
         task.started_at = self.service.clock.now
         self.service.events.emit(
             self.service.clock.now, "faas", "task.dispatched",
             task_id=task.task_id, endpoint=self.endpoint_id,
+            attempt=entry.attempt,
         )
         tracer = tracer_of(self.service.clock)
         exec_span = tracer.start_span(
@@ -107,17 +145,28 @@ class _EndpointDispatcher:
             parent=entry.span.context if entry.span is not None else None,
             kind="execute", task_id=task.task_id, endpoint=self.endpoint_id,
             dispatch_wait=self.service.clock.now - (task.submitted_at or 0.0),
+            attempt=entry.attempt,
         )
+        # an abort (offline, deadline) may re-queue this entry as a new
+        # attempt before this attempt's completion event fires; the
+        # generation stamp lets the doomed callback recognise itself even
+        # after the retry has cleared the aborted flag
+        attempt_at_dispatch = entry.attempt
 
         def on_done(result, error) -> None:
-            # free the lane *before* resolving: done-callbacks may submit
-            # follow-up tasks to this endpoint and drive the clock.
-            self.busy = False
             tracer.end_span(
                 exec_span,
                 status="ok" if error is None else "error",
                 error="" if error is None else f"{type(error).__name__}: {error}",
             )
+            if entry.aborted or entry.attempt != attempt_at_dispatch:
+                # the abort already completed (and possibly re-queued)
+                # this entry; this is the doomed attempt reporting in late
+                return
+            # free the lane *before* resolving: done-callbacks may submit
+            # follow-up tasks to this endpoint and drive the clock.
+            self.busy = False
+            self.inflight = None
             self.service._complete(entry, result, error)
             self.pump()
 
@@ -134,6 +183,13 @@ class _EndpointDispatcher:
                     raise EndpointOffline(
                         f"endpoint {self.endpoint_id!r} went offline before dispatch"
                     )
+                injector = injector_of(self.service.clock)
+                injector.check_dispatch(endpoint.site.name)
+                injected = injector.task_error_for(
+                    endpoint.site.name, entry.spec.name
+                )
+                if injected is not None:
+                    raise injected
                 if isinstance(endpoint, MultiUserEndpoint):
                     endpoint.execute_async(
                         entry.token, entry.spec, task.args, task.kwargs,
@@ -172,6 +228,9 @@ class FaaSService:
         events: Optional[EventLog] = None,
         payload_limit: int = DEFAULT_PAYLOAD_LIMIT,
         cloud_overhead_seconds: float = CLOUD_OVERHEAD_SECONDS,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        offline_policy: str = "raise",
     ) -> None:
         self.clock = clock
         self.auth = auth
@@ -179,10 +238,23 @@ class FaaSService:
         self.functions = FunctionRegistry()
         self.payload_limit = payload_limit
         self.cloud_overhead_seconds = cloud_overhead_seconds
+        # resilience knobs — all default to off, preserving the exact
+        # fault-free behavior (tasks fail on first error, offline
+        # endpoints reject submissions synchronously, no breakers)
+        self.retry_policy = retry_policy
+        self.breaker_policy = breaker
+        if offline_policy not in ("raise", "queue", "fail"):
+            raise ValueError(
+                f"offline_policy must be raise|queue|fail, got {offline_policy!r}"
+            )
+        self.offline_policy = offline_policy
+        self.resilience = ResilienceStats()
         self._endpoints: Dict[str, Endpoint] = {}
         self._tasks: Dict[str, Task] = {}
         self._futures: Dict[str, TaskFuture] = {}
         self._dispatchers: Dict[str, _EndpointDispatcher] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._fallbacks: Dict[str, str] = {}
         self._task_ids = IdFactory("task")
 
     # -- registration ------------------------------------------------------------
@@ -230,6 +302,43 @@ class FaaSService:
             self._dispatchers[endpoint_id] = dispatcher
         return dispatcher
 
+    # -- resilience --------------------------------------------------------------
+    def declare_fallback(self, endpoint_id: str, fallback_id: str) -> None:
+        """Declare where tasks reroute when ``endpoint_id``'s breaker opens."""
+        self._fallbacks[endpoint_id] = fallback_id
+
+    def breaker_for(self, endpoint_id: str) -> Optional[CircuitBreaker]:
+        """The endpoint's circuit breaker (``None`` when breakers are off)."""
+        if self.breaker_policy is None:
+            return None
+        breaker = self._breakers.get(endpoint_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_policy)
+            self._breakers[endpoint_id] = breaker
+        return breaker
+
+    def fail_inflight(
+        self, endpoint_id: str, error: BaseException
+    ) -> Optional[str]:
+        """Abort the task currently executing on ``endpoint_id``.
+
+        Called by the fault injector when an endpoint drops offline with
+        work on the wire. The task fails with the given typed error
+        through the normal completion path (so retry policy applies);
+        returns the aborted task id, or ``None`` if the lane was idle.
+        """
+        dispatcher = self._dispatchers.get(endpoint_id)
+        if dispatcher is None:
+            return None
+        entry = dispatcher.abort_inflight(error)
+        return entry.task.task_id if entry is not None else None
+
+    def kick(self, endpoint_id: str) -> None:
+        """Nudge an endpoint's dispatcher (e.g. after it comes back online)."""
+        dispatcher = self._dispatchers.get(endpoint_id)
+        if dispatcher is not None:
+            dispatcher.pump()
+
     # -- task lifecycle -------------------------------------------------------------
     def submit(
         self,
@@ -239,21 +348,72 @@ class FaaSService:
         args: tuple = (),
         kwargs: Optional[dict] = None,
         template: str = "default",
+        timeout: Optional[float] = None,
     ) -> TaskFuture:
         """Enqueue one task; returns its future immediately.
 
-        Validation (credentials, endpoint existence and liveness, payload
-        size) happens eagerly and raises, mirroring the SDK rejecting a
-        request at the cloud's front door. Everything downstream —
-        dispatch, policy checks, provisioning, execution — happens as
-        clock events and surfaces through the future.
+        Validation (credentials, endpoint existence, payload size)
+        happens eagerly and raises, mirroring the SDK rejecting a request
+        at the cloud's front door. An offline endpoint is handled per
+        ``offline_policy``: ``raise`` (default) rejects synchronously,
+        ``queue`` accepts and lets the dispatch fail (retryably) if the
+        endpoint is still down, ``fail`` returns an already-failed
+        future. An open circuit breaker reroutes to the declared fallback
+        endpoint or raises :class:`CircuitOpen`. ``timeout`` bounds the
+        task's total virtual-time lifetime, retries included; on expiry
+        the future fails with :class:`TaskTimeout` (not retried).
+        Everything downstream — dispatch, policy checks, provisioning,
+        execution — happens as clock events and surfaces through the
+        future.
         """
         kwargs = kwargs or {}
         token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
         spec = self.functions.get(function_id)
         endpoint = self.endpoint(endpoint_id)
+
+        requested_endpoint = endpoint_id
+        failed_over = False
+        breaker = self.breaker_for(endpoint_id)
+        if breaker is not None:
+            before = breaker.state
+            allowed = breaker.allow(self.clock.now)
+            if breaker.state != before:
+                self.events.emit(
+                    self.clock.now, "faas", "breaker.half_open",
+                    endpoint=endpoint_id,
+                )
+            if not allowed:
+                fallback_id = self._fallbacks.get(endpoint_id)
+                fb_breaker = (
+                    self.breaker_for(fallback_id) if fallback_id else None
+                )
+                if (
+                    fallback_id
+                    and fallback_id != endpoint_id
+                    and (
+                        fb_breaker is None
+                        or fb_breaker.allow(self.clock.now)
+                    )
+                ):
+                    endpoint_id = fallback_id
+                    endpoint = self.endpoint(endpoint_id)
+                    failed_over = True
+                else:
+                    raise CircuitOpen(
+                        f"circuit open for endpoint {requested_endpoint[:8]} "
+                        f"and no healthy fallback declared"
+                    )
+
+        offline_error: Optional[EndpointOffline] = None
         if not endpoint.online:
-            raise EndpointOffline(f"endpoint {endpoint_id!r} is offline")
+            if self.offline_policy == "raise":
+                raise EndpointOffline(f"endpoint {endpoint_id!r} is offline")
+            if self.offline_policy == "fail":
+                offline_error = EndpointOffline(
+                    f"endpoint {endpoint_id!r} was offline at submit"
+                )
+            # "queue": accept; the dispatch event re-checks liveness and
+            # fails retryably if the endpoint is still down
 
         payload_size = serialized_size({"args": list(args), "kwargs": kwargs})
         if payload_size > self.payload_limit:
@@ -279,6 +439,14 @@ class FaaSService:
             task_id=task.task_id, function=spec.name,
             endpoint=endpoint_id, identity=token.identity.urn,
         )
+        if failed_over:
+            task.original_endpoint_id = requested_endpoint
+            self.resilience.failovers += 1
+            self.events.emit(
+                self.clock.now, "faas", "task.failover",
+                task_id=task.task_id, from_endpoint=requested_endpoint,
+                to_endpoint=endpoint_id, reason="breaker_open",
+            )
 
         # task span parents under whatever is active at the submit site
         # (a CI step, a CORRECT action...) and is carried on the pending
@@ -290,6 +458,19 @@ class FaaSService:
         )
         future.span = span
         entry = _PendingTask(task, future, token, spec, template, span=span)
+
+        if offline_error is not None:
+            # offline_policy="fail": a typed, already-failed future —
+            # callers see EndpointOffline when they wait, never a raise
+            self._finalize(entry, None, offline_error)
+            return future
+
+        if timeout is not None:
+            entry.deadline = self.clock.now + timeout
+            self.clock.call_after(
+                timeout, lambda: self._deadline_fired(entry, timeout)
+            )
+
         dispatcher = self._dispatcher(endpoint_id)
         # control-plane cost: runner -> cloud -> endpoint, as an event
         delay = (
@@ -322,7 +503,121 @@ class FaaSService:
             for request in requests
         ]
 
+    def _deadline_fired(self, entry: _PendingTask, timeout: float) -> None:
+        """A per-task deadline event: fail the task if it is still alive."""
+        task = entry.task
+        if task.state.is_terminal:
+            return
+        error = TaskTimeout(
+            f"task {task.task_id} exceeded its {timeout:g}s deadline "
+            f"(attempt {entry.attempt})"
+        )
+        self.resilience.timeouts += 1
+        self.events.emit(
+            self.clock.now, "faas", "task.timeout",
+            task_id=task.task_id, endpoint=task.endpoint_id,
+            timeout=timeout, attempt=entry.attempt,
+        )
+        dispatcher = self._dispatchers.get(task.endpoint_id)
+        if dispatcher is not None:
+            if dispatcher.inflight is entry:
+                dispatcher.abort_inflight(error)
+                dispatcher.pump()
+                return
+            if entry in dispatcher.queue:
+                dispatcher.queue.remove(entry)
+        # waiting on its dispatch/backoff event, or queued: fail in place
+        self._complete(entry, None, error)
+
     def _complete(
+        self, entry: _PendingTask, result, error: Optional[BaseException]
+    ) -> None:
+        """Absorb one dispatch outcome: retry, fail over, or finalize.
+
+        Success and permanent errors finalize immediately. Retryable
+        errors consult the retry policy; while attempts remain the task
+        is re-queued after a deterministic backoff (rerouted to the
+        declared fallback if this endpoint's breaker has opened), and the
+        future stays pending. The breaker sees every outcome.
+        """
+        task = entry.task
+        now = self.clock.now
+        breaker = self.breaker_for(task.endpoint_id)
+        if error is None:
+            if breaker is not None:
+                before = breaker.state
+                breaker.record_success(now)
+                if before != breaker.state:
+                    self.events.emit(
+                        now, "faas", "breaker.close",
+                        endpoint=task.endpoint_id,
+                    )
+            self._finalize(entry, result, None)
+            return
+
+        self.resilience.count_error(error)
+        if breaker is not None and breaker.record_failure(now):
+            self.resilience.breaker_trips += 1
+            self.events.emit(
+                now, "faas", "breaker.open",
+                endpoint=task.endpoint_id,
+                consecutive_failures=breaker.consecutive_failures,
+                trips=breaker.trips,
+            )
+
+        policy = self.retry_policy
+        if policy is not None and policy.should_retry(error, entry.attempt):
+            delay = policy.delay(entry.attempt, task.task_id)
+            entry.attempt += 1
+            entry.aborted = False  # the retry's own callback must land
+            task.attempts = entry.attempt
+            task.state = TaskState.PENDING
+            self.resilience.retries += 1
+            target = task.endpoint_id
+            if (
+                breaker is not None
+                and breaker.state == CircuitBreaker.OPEN
+            ):
+                fallback_id = self._fallbacks.get(target)
+                fb_breaker = (
+                    self.breaker_for(fallback_id) if fallback_id else None
+                )
+                if (
+                    fallback_id
+                    and fallback_id != target
+                    and (fb_breaker is None or fb_breaker.allow(now))
+                ):
+                    if not task.original_endpoint_id:
+                        task.original_endpoint_id = target
+                    task.endpoint_id = fallback_id
+                    target = fallback_id
+                    self.resilience.failovers += 1
+                    self.events.emit(
+                        now, "faas", "task.failover",
+                        task_id=task.task_id,
+                        from_endpoint=task.original_endpoint_id,
+                        to_endpoint=target, reason="breaker_open",
+                    )
+            self.events.emit(
+                now, "faas", "task.retry",
+                task_id=task.task_id, endpoint=target,
+                attempt=entry.attempt, delay=round(delay, 6),
+                error=type(error).__name__,
+            )
+            dispatcher = self._dispatcher(target)
+            self.clock.call_after(delay, lambda: dispatcher.arrive(entry))
+            return
+
+        if policy is not None and is_retryable(error):
+            self.resilience.give_ups += 1
+            self.events.emit(
+                now, "faas", "task.gave_up",
+                task_id=task.task_id, endpoint=task.endpoint_id,
+                attempts=entry.attempt, error=type(error).__name__,
+            )
+        self._finalize(entry, result, error)
+
+    def _finalize(
         self, entry: _PendingTask, result, error: Optional[BaseException]
     ) -> None:
         """Record a finished dispatch and resolve its future."""
@@ -342,6 +637,7 @@ class FaaSService:
             task.state = TaskState.SUCCESS
         else:
             task.state = TaskState.FAILED
+            task.error_retryable = is_retryable(error)
             if isinstance(error, ReproError):
                 task.exception_text = f"{type(error).__name__}: {error}"
             else:

@@ -39,6 +39,12 @@ class Task:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     completed_at: Optional[float] = None
+    # resilience bookkeeping: dispatch attempts made (1 = no retries),
+    # whether the terminal error was transient (feeds TaskFailed.retryable),
+    # and the endpoint originally targeted when failover rerouted the task
+    attempts: int = 1
+    error_retryable: bool = False
+    original_endpoint_id: str = ""
 
     @property
     def queue_latency(self) -> Optional[float]:

@@ -1,0 +1,74 @@
+"""Deterministic fault injection + the resilience layer that absorbs it.
+
+Two halves, one subsystem:
+
+* **Injection** — :class:`FaultPlan` (typed faults: endpoint outages,
+  task errors, network delay/partition windows, walltime kills, node
+  preemption, provision flakes, injected test failures) armed by a
+  :class:`FaultInjector` over the shared clock. Seeded, virtual-time,
+  exactly replayable.
+* **Resilience** — :class:`RetryPolicy` (exponential backoff,
+  deterministic jitter, retryable-error taxonomy),
+  :class:`CircuitBreaker` + :class:`BreakerPolicy` (per-endpoint, with
+  declared fallback routing), honored by the FaaS service.
+
+``World(faults=plan)`` installs a plan; with none installed every hook is
+inert and all experiment outputs are byte-identical to a fault-free run.
+``python -m repro chaos fig4 --seed 7 --profile flaky-endpoint``
+exercises the whole layer.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedPermanentError,
+    InjectedTransientError,
+    NULL_INJECTOR,
+    NullInjector,
+    injector_of,
+)
+from repro.faults.plan import (
+    EndpointOutage,
+    Fault,
+    FaultPlan,
+    NetworkDelay,
+    NetworkPartition,
+    NodePreemption,
+    ProvisionFlake,
+    TaskError,
+    TestFailure,
+    WalltimeKill,
+)
+from repro.faults.profiles import PROFILES, build_profile
+from repro.faults.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+    deterministic_fraction,
+)
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "EndpointOutage",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedPermanentError",
+    "InjectedTransientError",
+    "NULL_INJECTOR",
+    "NetworkDelay",
+    "NetworkPartition",
+    "NodePreemption",
+    "NullInjector",
+    "PROFILES",
+    "ProvisionFlake",
+    "ResilienceStats",
+    "RetryPolicy",
+    "TaskError",
+    "TestFailure",
+    "WalltimeKill",
+    "build_profile",
+    "deterministic_fraction",
+    "injector_of",
+]

@@ -1,0 +1,180 @@
+"""Typed, seeded fault plans.
+
+A :class:`FaultPlan` is a declarative list of faults with *relative*
+virtual activation times: ``at`` counts from the moment the plan is armed
+(:meth:`repro.faults.injector.FaultInjector.arm`), not from world
+creation, so the same plan hits the same phase of an experiment no matter
+how long site provisioning took. Plans carry the seed that generated them
+— provenance records copy it, which is what makes any chaotic run exactly
+replayable (`python -m repro chaos fig4 --seed N` twice is byte-identical).
+
+Faults target *sites* by name rather than endpoint UUIDs: plans are built
+before (or independently of) endpoint registration, and the injector
+resolves site → endpoints at fire time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class for one planned failure.
+
+    ``at`` is the activation time in virtual seconds after the plan is
+    armed.
+    """
+
+    at: float
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> Dict:
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+
+@dataclass(frozen=True)
+class EndpointOutage(Fault):
+    """Every endpoint at ``site`` drops offline for ``duration`` seconds.
+
+    ``duration=inf`` models a hard crash with no recovery. Tasks in
+    flight when the window opens fail with a typed
+    :class:`~repro.errors.EndpointOffline` (retryable); dispatches during
+    the window fail the same way.
+    """
+
+    site: str
+    duration: float = float("inf")
+
+
+@dataclass(frozen=True)
+class TaskError(Fault):
+    """The next ``count`` matching task executions raise before running.
+
+    ``function`` matches the registered function name (empty = any);
+    ``site`` restricts to endpoints at one site (empty = any). The error
+    is transient when ``transient`` is set — the taxonomy decides whether
+    the resilience layer retries it.
+    """
+
+    site: str = ""
+    function: str = ""
+    count: int = 1
+    transient: bool = True
+    message: str = "injected task fault"
+
+
+@dataclass(frozen=True)
+class TestFailure(Fault):
+    """One named test in a simulated suite raises instead of running.
+
+    This is how Fig. 5's ``--inject-failure`` mode reproduces the paper's
+    failing-test artifact without the hard-coded v0.9.9 bug: the suite is
+    healthy, the *fault layer* makes ``test_name`` fail with
+    ``exception_type: message`` — and the two artifacts converge.
+    ``at`` is ignored (the fault is consulted whenever the suite runs).
+    """
+
+    suite: str = ""
+    test_name: str = ""
+    exception_type: str = "AttributeError"
+    message: str = "injected test failure"
+
+
+@dataclass(frozen=True)
+class NetworkDelay(Fault):
+    """``site``'s cloud latency grows by ``extra_latency`` for ``duration``."""
+
+    site: str
+    duration: float
+    extra_latency: float
+
+
+@dataclass(frozen=True)
+class NetworkPartition(Fault):
+    """Cloud ↔ ``site`` messages fail for ``duration`` seconds.
+
+    Dispatches to endpoints at the site raise
+    :class:`~repro.errors.NetworkPartitioned` (retryable) while the
+    window is open.
+    """
+
+    site: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class WalltimeKill(Fault):
+    """Force-expire the walltime of running pilot jobs at ``site``.
+
+    Models an underestimated walltime request: the batch job backing a
+    warm block dies mid-payload, the task fails with
+    :class:`~repro.errors.WalltimeExceeded`, and the executor must
+    re-provision (paying a second queue wait) on retry.
+    """
+
+    site: str
+    user: str = ""  # restrict to one user's pilots (empty = all)
+
+
+@dataclass(frozen=True)
+class NodePreemption(Fault):
+    """Preempt running jobs at ``site`` — the scheduler reclaims the nodes.
+
+    Like :class:`WalltimeKill` but the job ends ``PREEMPTED`` and the
+    payload failure is typed :class:`~repro.errors.NodePreempted`.
+    """
+
+    site: str
+    user: str = ""
+
+
+@dataclass(frozen=True)
+class ProvisionFlake(Fault):
+    """The next ``count`` block provisions at ``site`` fail transiently.
+
+    Models the allocator rejecting a pilot submission (burst limits,
+    transient Slurm errors); raises
+    :class:`~repro.errors.ProvisionFailed`.
+    """
+
+    site: str
+    count: int = 1
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered collection of faults.
+
+    ``seed`` and ``profile`` identify how the plan was generated (see
+    :mod:`repro.faults.profiles`); they ride into provenance records so a
+    chaotic run names its own reproduction recipe.
+    """
+
+    seed: int
+    faults: List[Fault] = field(default_factory=list)
+    profile: str = "custom"
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def by_kind(self, kind: type) -> List[Fault]:
+        return [f for f in self.faults if isinstance(f, kind)]
+
+    def describe(self) -> Dict:
+        """JSON-ready summary (stable ordering) for provenance/reports."""
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "faults": [f.describe() for f in self.faults],
+        }
+
+    def __len__(self) -> int:
+        return len(self.faults)

@@ -81,6 +81,12 @@ class ExecutionRecord:
     trace_id: str = ""
     span_id: str = ""
     timeline: List[Dict] = field(default_factory=list)
+    # fault provenance: the seed + profile of the armed fault plan (if
+    # any) and how many dispatch attempts the task took — a chaotic run
+    # names its own reproduction recipe (replay-from-seed)
+    fault_seed: Optional[int] = None
+    fault_profile: str = ""
+    task_attempts: int = 1
 
     @property
     def duration(self) -> float:

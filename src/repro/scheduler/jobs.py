@@ -16,6 +16,7 @@ class JobState(enum.Enum):
     CANCELLED = "CANCELLED"
     TIMEOUT = "TIMEOUT"
     FAILED = "FAILED"
+    PREEMPTED = "PREEMPTED"
 
     @property
     def is_terminal(self) -> bool:

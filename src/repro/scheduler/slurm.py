@@ -134,6 +134,25 @@ class SlurmScheduler:
             raise JobNotFound(f"job {job_id} is not running")
         self._end_job(job, JobState.FAILED)
 
+    def force_timeout(self, job_id: str) -> None:
+        """End a running job as TIMEOUT before its walltime bound.
+
+        Models an operator (or a fault injector) enforcing the limit
+        early — the owner observes the same terminal state as a natural
+        walltime kill.
+        """
+        job = self.job(job_id)
+        if job.state is not JobState.RUNNING:
+            raise JobNotFound(f"job {job_id} is not running")
+        self._end_job(job, JobState.TIMEOUT)
+
+    def preempt(self, job_id: str) -> None:
+        """Preempt a running job: nodes are reclaimed, state PREEMPTED."""
+        job = self.job(job_id)
+        if job.state is not JobState.RUNNING:
+            raise JobNotFound(f"job {job_id} is not running")
+        self._end_job(job, JobState.PREEMPTED)
+
     # -- completion callbacks -----------------------------------------------------
     def notify_start(self, job_id: str, callback: Callable[[Job], None]) -> None:
         """Call ``callback(job)`` when the job starts running.

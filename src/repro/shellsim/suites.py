@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ShellError
+from repro.faults.injector import injector_of
 
 
 @dataclass
@@ -157,10 +158,17 @@ class TestSuite:
     def run(self, ctx: SuiteContext, keyword: Optional[str] = None) -> TestReport:
         """Execute test cases against ``ctx``, charging virtual time."""
         report = TestReport(suite=self.name)
+        injector = injector_of(ctx.handle.site.clock)
         for case in self.select(keyword):
             start = ctx.handle.site.clock.now
             ctx.handle.process_launch()
+            # an armed TestFailure fault replaces the case body with the
+            # planned exception — same position, so charged time and the
+            # rendered message match a genuinely-broken test byte for byte
+            injected = injector.test_error_for(self.name, case.name)
             try:
+                if injected is not None:
+                    raise injected
                 case.fn(ctx)
                 ctx.handle.compute(case.work, threads=case.threads)
                 outcome, message = TestOutcome.PASSED, ""

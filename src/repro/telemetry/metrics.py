@@ -184,6 +184,14 @@ class EventMetricsBridge:
     * ``job.ended``        → ``slurm.jobs.ended{scheduler,state}`` counter
     * ``run.created``      → ``ci.runs`` counter
     * ``job.finished``     → ``ci.jobs{status}`` counter (actions source)
+    * ``task.retry``       → ``faas.task.retries{endpoint}`` counter,
+      ``faas.retry.backoff{endpoint}`` histogram of backoff delays
+    * ``task.failover``    → ``faas.task.failovers{from,to}`` counter
+    * ``task.timeout``     → ``faas.task.timeouts{endpoint}`` counter
+    * ``task.gave_up``     → ``faas.task.give_ups{endpoint}`` counter
+    * ``breaker.*``        → ``faas.breaker.transitions{endpoint,state}``
+      counter (state = open/close/half_open)
+    * any ``fault`` event  → ``faults.injected{kind}`` counter
     * ``subscriber_error`` → ``telemetry.subscriber_errors`` counter
 
     The bridge holds a tiny join table (task id → submit time/endpoint)
@@ -243,6 +251,34 @@ class EventMetricsBridge:
                 "slurm.jobs.ended",
                 scheduler=event.source, state=data["state"],
             ).inc()
+        elif kind == "task.retry":
+            endpoint = data.get("endpoint", "?")
+            reg.counter("faas.task.retries", endpoint=endpoint).inc()
+            reg.histogram("faas.retry.backoff", endpoint=endpoint).observe(
+                float(data.get("delay", 0.0))
+            )
+        elif kind == "task.failover":
+            reg.counter(
+                "faas.task.failovers",
+                from_endpoint=data.get("from_endpoint", "?"),
+                to_endpoint=data.get("to_endpoint", "?"),
+            ).inc()
+        elif kind == "task.timeout":
+            reg.counter(
+                "faas.task.timeouts", endpoint=data.get("endpoint", "?")
+            ).inc()
+        elif kind == "task.gave_up":
+            reg.counter(
+                "faas.task.give_ups", endpoint=data.get("endpoint", "?")
+            ).inc()
+        elif kind.startswith("breaker."):
+            reg.counter(
+                "faas.breaker.transitions",
+                endpoint=data.get("endpoint", "?"),
+                state=kind.split(".", 1)[1],
+            ).inc()
+        elif event.source == "fault":
+            reg.counter("faults.injected", kind=kind).inc()
         elif kind == "run.created":
             reg.counter("ci.runs").inc()
         elif kind == "job.finished" and event.source == "actions":

@@ -22,6 +22,9 @@ from repro.core.action import publish_correct
 from repro.envs.stdlib import standard_index
 from repro.faas.endpoint import EndpointTemplate, MultiUserEndpoint, UserEndpoint
 from repro.faas.service import FaaSService
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import BreakerPolicy, RetryPolicy
 from repro.hub.archive import PermanentArchive
 from repro.hub.service import HubService
 from repro.provenance.store import ProvenanceStore
@@ -57,6 +60,10 @@ class World:
         start_time: float = 0.0,
         concurrent_jobs: bool = False,
         telemetry: bool = True,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        offline_policy: str = "raise",
     ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
@@ -78,7 +85,11 @@ class World:
         self.auth = AuthService(self.clock)
         self.idp = IdentityProvider("uni.example.edu")
         self.hub = HubService(self.clock, events=self.events)
-        self.faas = FaaSService(self.clock, self.auth, events=self.events)
+        self.faas = FaaSService(
+            self.clock, self.auth, events=self.events,
+            retry_policy=retry_policy, breaker=breaker,
+            offline_policy=offline_policy,
+        )
         self.provenance = ProvenanceStore()
         self.archive = PermanentArchive(self.clock)
         self.runner_pool = RunnerPool(self.clock, package_index=self.package_index)
@@ -99,6 +110,25 @@ class World:
         publish_correct(self.hub.marketplace)
         self.sites: Dict[str, Site] = {}
         self.users: Dict[str, WorldUser] = {}
+        # fault injection: install stores the plan; arm_faults() schedules
+        # it relative to *that* moment, so setup (site provisioning, CI
+        # wiring) happens fault-free and fault times mean "into the run"
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None:
+            self.install_faults(faults)
+
+    # -- faults -------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Attach a fault plan to this world (not yet armed)."""
+        self.fault_injector = FaultInjector(self, plan)
+        return self.fault_injector
+
+    def arm_faults(self) -> FaultInjector:
+        """Arm the installed plan: faults fire relative to the current time."""
+        if self.fault_injector is None:
+            raise ValueError("no fault plan installed; pass World(faults=...)")
+        self.fault_injector.arm()
+        return self.fault_injector
 
     # -- sites -------------------------------------------------------------------
     def site(self, name: str, background_load: bool = True) -> Site:
