@@ -193,6 +193,10 @@ class Engine:
         self.concurrent_jobs = concurrent_jobs
         self.runs: List[WorkflowRun] = []
         self._run_ids = IdFactory("run")
+        # recovery: (run_id, job_id, step index) -> journaled outcome of a
+        # finished plain `run:` step, loaded by resume_run; None = no resume
+        self._step_ledger: Optional[Dict[tuple, Dict[str, Any]]] = None
+        self.replayed_steps = 0
         self._register_builtin_actions()
         if auto_subscribe:
             hub.subscribe(self.handle_event)
@@ -478,28 +482,48 @@ class Engine:
         )
         job_failed = False
         step_results: Dict[str, Dict[str, Any]] = {}
-        for step in job_def.steps:
+        for index, step in enumerate(job_def.steps):
             label = step.name or step.id or step.uses or step.run.split("\n")[0]
+            self.events.emit(
+                self.clock.now, "actions", "step.started",
+                run_id=run.run_id, job=job_run.job_id,
+                index=index, label=label,
+            )
             step_span = tracer.start_span(
                 f"step:{label}", parent=job_span.context, kind="step",
                 run_id=run.run_id, job=job_run.job_id,
             )
-            # activate while the step body runs: any task it submits —
-            # synchronously or through the CORRECT future chain —
-            # inherits this step as its trace parent
-            with tracer.activate(step_span.context):
-                outcome = self._execute_step(
-                    run, job_run, job_def, step, runner, secrets,
-                    step_results, job_failed,
-                )
-            if isinstance(outcome, Future):
-                outcome = yield outcome
+            replayed = self._journaled_step(run, job_run, step, index)
+            if replayed is not None:
+                # journaled-complete step: the recorded outcome resolves
+                # at the journaled finish time; the span still opens and
+                # closes so trace shape and id sequences are unchanged
+                outcome = yield replayed
+            else:
+                # activate while the step body runs: any task it submits —
+                # synchronously or through the CORRECT future chain —
+                # inherits this step as its trace parent
+                with tracer.activate(step_span.context):
+                    outcome = self._execute_step(
+                        run, job_run, job_def, step, runner, secrets,
+                        step_results, job_failed,
+                    )
+                if isinstance(outcome, Future):
+                    outcome = yield outcome
             tracer.end_span(
                 step_span,
                 status="error" if outcome.status == "failure" else "ok",
                 error=outcome.error,
             )
             step_span.attributes["step_status"] = outcome.status
+            self.events.emit(
+                self.clock.now, "actions", "step.finished",
+                run_id=run.run_id, job=job_run.job_id,
+                index=index, label=label, status=outcome.status,
+                outputs=dict(outcome.outputs), log=outcome.log,
+                error=outcome.error,
+                step_kind="run" if step.run else "uses",
+            )
             job_run.step_outcomes.append(outcome)
             if step.id:
                 step_results[step.id] = {
@@ -522,6 +546,62 @@ class Engine:
             self.clock.now, "actions", "job.finished",
             run_id=run.run_id, job=job_run.job_id, status=job_run.status,
         )
+
+    # -- durability ----------------------------------------------------------
+    def resume_run(self, journal: Any) -> Dict[str, int]:
+        """Load finished plain ``run:`` steps from a journal so re-execution
+        skips their bodies.
+
+        Only ``run:`` steps are replayed: ``uses:`` steps (notably CORRECT)
+        must re-execute live so their task submissions flow through the FaaS
+        replay layer, keeping task/span id allocation sequences identical to
+        the uninterrupted run.
+        """
+        ledger: Dict[tuple, Dict[str, Any]] = {}
+        for record in journal.replay():
+            if record.kind != "step.finished":
+                continue
+            data = record.data
+            if data.get("step_kind") != "run":
+                continue
+            ledger[(data["run_id"], data["job"], data["index"])] = {
+                "status": data["status"],
+                "outputs": dict(data.get("outputs", {})),
+                "log": data.get("log", ""),
+                "error": data.get("error", ""),
+                "finished_at": record.time,
+            }
+        self._step_ledger = ledger
+        return {"steps": len(ledger)}
+
+    def _journaled_step(self, run, job_run, step, index) -> Optional[Future]:
+        """A future resolving to the journaled outcome of this step, or None
+        if the step must execute live (no resume, or not journaled-complete).
+        """
+        if self._step_ledger is None or not step.run:
+            return None
+        entry = self._step_ledger.get((run.run_id, job_run.job_id, index))
+        if entry is None:
+            return None
+        outcome = StepOutcome(
+            status=entry["status"],
+            outputs=dict(entry["outputs"]),
+            log=entry["log"],
+            error=entry["error"],
+        )
+        self.replayed_steps += 1
+        self.events.emit(
+            self.clock.now, "actions", "step.replayed",
+            run_id=run.run_id, job=job_run.job_id, index=index,
+        )
+        future: Future = Future(self.clock)
+        # resolve no earlier than the journaled finish time, so wave
+        # interleaving and downstream timestamps match the original run
+        self.clock.call_at(
+            max(self.clock.now, entry["finished_at"]),
+            lambda: future.set_result(outcome),
+        )
+        return future
 
     def _step_outcome_of(self, future: Future) -> StepOutcome:
         """Resolve a step future, mapping exceptions like _execute_step."""

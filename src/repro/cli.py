@@ -129,6 +129,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.sites_ok else 1
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Crash an experiment at a journal offset and resume it exactly."""
+    import os
+
+    from repro.experiments import (
+        format_recovery_report,
+        run_fig4_recovery,
+        run_fig4_recovery_sweep,
+    )
+
+    telemetry = _telemetry_enabled(args)
+    if args.sweep:
+        results = run_fig4_recovery_sweep(seed=args.seed, telemetry=telemetry)
+    else:
+        results = [
+            run_fig4_recovery(
+                crash_at=args.crash_at, seed=args.seed, telemetry=telemetry
+            )
+        ]
+    print(format_recovery_report(results))
+    if args.dump_dir:
+        os.makedirs(args.dump_dir, exist_ok=True)
+        base = os.path.join(args.dump_dir, "baseline.txt")
+        with open(base, "w", encoding="utf-8") as fh:
+            fh.write(results[0].baseline_output + "\n")
+        for result in results:
+            path = os.path.join(
+                args.dump_dir, f"resumed-{result.crash_label}.txt"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(result.resumed_output + "\n")
+        print(f"\nwrote baseline + {len(results)} resumed output(s) "
+              f"to {args.dump_dir}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 TRACEABLE_EXPERIMENTS = ("fig4", "fig5", "exp63")
 
 
@@ -247,6 +283,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "ablations": _cmd_ablations,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "recover": _cmd_recover,
 }
 
 
@@ -331,6 +368,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the telemetry metrics report after the run",
     )
     chaos.add_argument(
+        "--no-telemetry", action="store_true",
+        help="run without tracer/metrics (outputs are identical)",
+    )
+    recover = sub.add_parser(
+        "recover",
+        help=(
+            "crash an experiment at a journal offset, resume from the "
+            "write-ahead journal, and diff against the uninterrupted run"
+        ),
+    )
+    recover.add_argument(
+        "experiment", choices=["fig4"],
+        help="which experiment to crash and recover",
+    )
+    recover.add_argument(
+        "--crash-at", default="mid-execute",
+        help=(
+            "named crash point (mid-dispatch, mid-execute, between-waves, "
+            "after-last) or a 1-based journal record number"
+        ),
+    )
+    recover.add_argument(
+        "--seed", type=int, default=0,
+        help="world seed (the same seed replays the same run)",
+    )
+    recover.add_argument(
+        "--sweep", action="store_true",
+        help="crash + resume at every named point, sharing one baseline",
+    )
+    recover.add_argument(
+        "--dump-dir", default="",
+        help="write baseline.txt and resumed-<point>.txt here for diffing",
+    )
+    recover.add_argument(
         "--no-telemetry", action="store_true",
         help="run without tracer/metrics (outputs are identical)",
     )

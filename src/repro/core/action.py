@@ -276,6 +276,7 @@ class CorrectAction:
             fault_seed=injector.plan.seed if injector.active else None,
             fault_profile=injector.plan.profile if injector.active else "",
             task_attempts=task.attempts,
+            task_replayed=getattr(task, "replayed", False),
         )
         store.add(record)
 

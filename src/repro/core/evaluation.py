@@ -218,6 +218,14 @@ def evaluate_across_sites(
     metrics = getattr(world, "metrics", None)
     if metrics is not None and len(metrics):
         crate.attach_metrics(metrics.summaries())
+    # recovery provenance: a run resumed from a crash journal says so in
+    # its crate, so a reviewer can audit which results were replayed
+    if getattr(world, "resumed_from", ""):
+        crate.mark_resumed(
+            world.resumed_from,
+            world.crash_point or 0,
+            len(getattr(world.faas, "replayed_keys", ())),
+        )
     return MultiSiteEvaluation(
         slug=slug, sha=run.sha, run_id=run.run_id, sites=sites, crate=crate
     )

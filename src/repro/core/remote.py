@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any, Dict
 
+from repro.durability.recovery import register_restorer
 from repro.faas.functions import FunctionContext
 from repro.provenance.record import EnvironmentSnapshot
 
@@ -48,6 +49,32 @@ def clone_repository(
     if not result.ok:
         raise RuntimeError(f"clone of {slug} failed: {result.stderr}")
     return {"path": dest, "sha": shell.env.get("GIT_HEAD", "")}
+
+
+def _restore_clone(
+    fctx: FunctionContext,
+    result: Dict[str, str],
+    slug: str,
+    branch: str = "",
+    dest_root: str = "",
+) -> None:
+    """Replay-time restorer for :func:`clone_repository`.
+
+    A journaled clone's *result* is just ``{path, sha}`` — the working
+    tree it produced on the remote filesystem is a side effect the
+    journal cannot carry. Re-materialise it from the hub at the recorded
+    SHA so downstream steps (test runs in the clone) find their files.
+    """
+    hub = fctx.shell_services.hub
+    dest = (result or {}).get("path", "")
+    sha = (result or {}).get("sha", "")
+    if hub is None or not dest or not sha:
+        return
+    files = hub.repo(slug).repository.files_at(sha)
+    fctx.handle.fs_write_tree(dest, files)
+
+
+register_restorer(FN_CLONE, _restore_clone)
 
 
 def run_shell_command(

@@ -1,0 +1,185 @@
+"""The write-ahead journal: hash-chained records over a pluggable store.
+
+A :class:`Journal` is an append-only sequence of :class:`JournalRecord`
+entries. Each record carries a SHA-256 over its own canonicalized content
+*and* the previous record's hash, so any tampering, truncation inside a
+record, or bit-rot breaks the chain and :meth:`Journal.verify` raises
+:class:`~repro.errors.JournalCorrupt` before recovery can replay garbage
+(truncating whole records from the tail — what a crash actually does —
+leaves a shorter but still valid chain).
+
+Two stores ship: :class:`MemoryJournalStore` for tests and crash-point
+experiments, :class:`JsonlJournalStore` persisting one JSON object per
+line so a journal survives the (simulated) coordinator process.
+
+Also home to :func:`task_key`, the idempotency key the FaaS layer stamps
+on every task: SHA-256 over the function *name*, the canonical payload,
+and a per-payload occurrence counter. Deliberately endpoint-independent —
+a task failed over to another endpoint keeps its key, so recovery still
+recognises its journaled completion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import JournalCorrupt
+from repro.util.serialization import serialize
+
+GENESIS_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled state transition.
+
+    ``data`` is canonical plain-JSON (no tuples/bytes — richer values are
+    stored pre-serialized as strings by the checkpointer), so a record
+    hashes and round-trips identically in memory and on disk.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    data: Dict[str, Any]
+    prev_hash: str
+    hash: str
+
+
+def record_hash(
+    seq: int, time: float, kind: str, data: Dict[str, Any], prev_hash: str
+) -> str:
+    """Chained content hash: covers the record *and* its predecessor."""
+    payload = serialize(
+        {"seq": seq, "time": time, "kind": kind, "data": data, "prev": prev_hash}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def task_key(
+    function_name: str, args: tuple, kwargs: dict, occurrence: int = 0
+) -> str:
+    """Idempotency key for one logical task submission.
+
+    ``occurrence`` disambiguates deliberate re-submissions of an identical
+    payload within a run (the Nth identical submit is a distinct logical
+    task; a *retry* of the same task is not).
+    """
+    payload = serialize({"args": list(args), "kwargs": dict(kwargs)})
+    material = "\x1f".join([function_name, payload, str(occurrence)])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class MemoryJournalStore:
+    """In-memory backing store (crash experiments hand the live journal
+    of the dead world straight to the resumed one)."""
+
+    def __init__(self, entries: Optional[List[Dict[str, Any]]] = None) -> None:
+        self._entries: List[Dict[str, Any]] = [dict(e) for e in entries or []]
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        self._entries.append(dict(entry))
+
+    def load(self) -> List[Dict[str, Any]]:
+        return [dict(e) for e in self._entries]
+
+
+class JsonlJournalStore:
+    """On-disk backing store: one JSON object per line, fsync-free but
+    opened/closed per append so every record is durable at crash time."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def load(self) -> List[Dict[str, Any]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = [line for line in fh if line.strip()]
+        except FileNotFoundError:
+            return []
+        return [json.loads(line) for line in lines]
+
+
+class Journal:
+    """Append/replay over a pluggable store, verified on load and demand."""
+
+    def __init__(self, store: Optional[Any] = None) -> None:
+        self.store = store if store is not None else MemoryJournalStore()
+        self._records: List[JournalRecord] = [
+            JournalRecord(**entry) for entry in self.store.load()
+        ]
+        if self._records:
+            self.verify()
+
+    @classmethod
+    def open(cls, path: str) -> "Journal":
+        return cls(JsonlJournalStore(path))
+
+    @property
+    def head_hash(self) -> str:
+        return self._records[-1].hash if self._records else GENESIS_HASH
+
+    @property
+    def records(self) -> List[JournalRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, kind: str, time: float, data: Dict[str, Any]) -> JournalRecord:
+        # Canonicalize to plain JSON so hashing and disk round-trips agree.
+        clean = json.loads(serialize(dict(data)))
+        seq = len(self._records)
+        prev = self.head_hash
+        record = JournalRecord(
+            seq=seq,
+            time=time,
+            kind=kind,
+            data=clean,
+            prev_hash=prev,
+            hash=record_hash(seq, time, kind, clean, prev),
+        )
+        self._records.append(record)
+        self.store.append(asdict(record))
+        return record
+
+    def verify(self) -> None:
+        """Walk the chain; raise :class:`JournalCorrupt` on any break."""
+        prev = GENESIS_HASH
+        for index, record in enumerate(self._records):
+            if record.seq != index:
+                raise JournalCorrupt(
+                    f"journal record {index}: sequence says {record.seq}"
+                )
+            if record.prev_hash != prev:
+                raise JournalCorrupt(
+                    f"journal record {index}: chain broken "
+                    f"(prev {record.prev_hash[:12]} != {prev[:12]})"
+                )
+            expected = record_hash(
+                record.seq, record.time, record.kind, record.data, record.prev_hash
+            )
+            if record.hash != expected:
+                raise JournalCorrupt(
+                    f"journal record {index} ({record.kind}): content hash "
+                    "mismatch — record was modified after being written"
+                )
+            prev = record.hash
+
+    def replay(self) -> List[JournalRecord]:
+        """Verified records, oldest first — the only safe read for recovery."""
+        self.verify()
+        return self.records
+
+    def truncated(self, count: int) -> "Journal":
+        """An in-memory journal holding only the first ``count`` records —
+        what survives a crash that struck after record ``count``."""
+        entries = [asdict(r) for r in self._records[:count]]
+        return Journal(MemoryJournalStore(entries))

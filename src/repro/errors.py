@@ -330,6 +330,34 @@ class FileSystemError(SiteError):
 
 
 # ---------------------------------------------------------------------------
+# Durability
+# ---------------------------------------------------------------------------
+
+
+class JournalCorrupt(ReproError):
+    """A write-ahead journal failed hash-chain verification.
+
+    Raised when a record's chained SHA-256 does not match its content or
+    its predecessor — a tampered, truncated-mid-record, or bit-rotted
+    journal must never be replayed into a recovery."""
+
+
+class CoordinatorCrashed(BaseException):
+    """The simulated coordinator process died at a planned crash point.
+
+    Deliberately *not* a :class:`ReproError` (nor even an ``Exception``):
+    step isolation, event-subscriber isolation, and dispatch-failure
+    handling all catch ``Exception``, so deriving from ``BaseException``
+    lets a crash unwind the whole run the way a killed process would
+    instead of being absorbed as one failed step or task.
+    """
+
+    def __init__(self, message: str, at_record: int = 0) -> None:
+        super().__init__(message)
+        self.at_record = at_record
+
+
+# ---------------------------------------------------------------------------
 # CORRECT
 # ---------------------------------------------------------------------------
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import (
+    CoordinatorCrashed,
     ExecutorError,
     NodePreempted,
     ReproError,
@@ -56,6 +57,12 @@ class PilotExecutor:
         self._block = block
         self.blocks_started += 1
         self.total_queue_wait += block.queue_wait
+        self.site.events.emit(
+            self.site.clock.now, "executor", "block.provisioned",
+            site=self.site.name, user=self.user,
+            node_class=block.node_class, job_id=block.job_id or "",
+            queue_wait=block.queue_wait,
+        )
         return block
 
     def _live_block(self) -> Optional[Block]:
@@ -204,6 +211,11 @@ class PilotExecutor:
                 with tracer.activate(node_span.context):
                     try:
                         result = fn(handle)
+                    except CoordinatorCrashed:
+                        # a crash planted in the journal fires while the
+                        # body drives the clock — it is the coordinator
+                        # dying, not this task failing; unwind everything
+                        raise
                     except BaseException as exc:  # noqa: BLE001 - remote user code
                         error = exc
                 # sealed *inside* the measure region, where now is still
@@ -235,6 +247,11 @@ class PilotExecutor:
         """Release the block (completes the pilot batch job)."""
         if self._block is not None and self._block.active:
             self.provider.release_block(self._block)
+            self.site.events.emit(
+                self.site.clock.now, "executor", "block.released",
+                site=self.site.name, user=self.user,
+                job_id=self._block.job_id or "",
+            )
         self._block = None
 
     @property

@@ -19,6 +19,13 @@ from repro.experiments.chaos import (
     run_fig5_chaos,
 )
 from repro.experiments.exp63_kamping import run_exp63, Exp63Result
+from repro.experiments.recovery import (
+    CRASH_POINT_NAMES,
+    Fig4RecoveryResult,
+    format_recovery_report,
+    run_fig4_recovery,
+    run_fig4_recovery_sweep,
+)
 from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.survey_tables import (
     table1_rows,
@@ -40,6 +47,11 @@ __all__ = [
     "run_fig5_chaos",
     "run_exp63",
     "Exp63Result",
+    "CRASH_POINT_NAMES",
+    "Fig4RecoveryResult",
+    "format_recovery_report",
+    "run_fig4_recovery",
+    "run_fig4_recovery_sweep",
     "run_fig1",
     "table1_rows",
     "table2_rows",

@@ -1,0 +1,334 @@
+"""Crash/recovery experiment: Fig. 4 under coordinator crashes.
+
+``run_fig4_recovery`` executes the §6.1 ParslDock run with a write-ahead
+journal attached and heartbeat leases on, kills the coordinator at a
+chosen journal offset (:class:`~repro.faults.plan.CoordinatorCrash`),
+then boots a **fresh** world that resumes from the crashed journal. The
+claim under test is exact recovery: the resumed run's rendered outputs —
+run status, per-site pytest artifacts, the summarize wave, the run log,
+and normalized provenance — are byte-identical to an uninterrupted run,
+and no journaled-complete task body ever executes twice (the idempotency
+-key audit).
+
+Crash points are *journal offsets*, not virtual times, so the same named
+point means the same lifecycle moment in every run:
+
+* ``mid-dispatch``  — the first ``task.dispatched`` record just landed;
+* ``mid-execute``   — the first ``task.completed`` record just landed;
+* ``between-waves`` — the last per-site job finished, the summarize wave
+  has not started;
+* ``after-last``    — the last ``task.completed`` record just landed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.parsldock import suite as parsldock_suite
+from repro.core.reporting import parse_pytest_stdout
+from repro.core.workflow_builder import WorkflowBuilder
+from repro.errors import CoordinatorCrashed
+from repro.experiments import common
+from repro.experiments.fig4_parsldock import REPO_SLUG, WORKFLOW_PATH
+from repro.faults.plan import CoordinatorCrash, FaultPlan
+from repro.world import World
+
+RECOVERY_SITES: Tuple[str, ...] = ("chameleon", "faster", "expanse")
+# generous TTL: leases are on to prove the machinery coexists with
+# recovery, but no lease may expire mid-run and perturb byte-identity
+LEASE_TTL = 100000.0
+CRASH_POINT_NAMES: Tuple[str, ...] = (
+    "mid-dispatch", "mid-execute", "between-waves", "after-last"
+)
+
+
+def _build_workflow(endpoints: Dict[str, str]) -> str:
+    """Per-site CORRECT jobs plus a dependent summarize wave.
+
+    The ``summarize`` job needs every test job, so with concurrent jobs
+    it forms a second wave — which is what makes the ``between-waves``
+    crash point meaningful.
+    """
+    builder = WorkflowBuilder("ParslDock crash-safe CI").on_push()
+    for site_name, endpoint_id in endpoints.items():
+        step = WorkflowBuilder.correct_step(
+            name=f"Run pytest on {site_name}",
+            step_id=f"pytest-{site_name}",
+            shell_cmd="pytest",
+            conda_env="docking",
+            artifact_prefix=f"correct-{site_name}",
+        )
+        builder.add_job(
+            f"test-{site_name}",
+            steps=[step],
+            env={"ENDPOINT_UUID": endpoint_id},
+        )
+    builder.add_job(
+        "summarize",
+        steps=[{"name": "Summarize", "run": "echo all sites done"}],
+        needs=[f"test-{site}" for site in endpoints],
+    )
+    return builder.render()
+
+
+def _execute(
+    crash_at: Optional[int] = None,
+    resume_journal=None,
+    telemetry: bool = True,
+    seed: int = 0,
+    journaled: bool = True,
+):
+    """One journaled ParslDock run; returns (world, run, journal, crashed).
+
+    ``crash_at`` arms a :class:`CoordinatorCrash` at that journal record;
+    ``resume_journal`` boots the world in recovery mode from a crashed
+    run's journal. Setup (users, sites, endpoints) is identical in every
+    mode, so journal offsets line up across baseline, crash, and resume.
+    """
+    world = World(concurrent_jobs=True, telemetry=telemetry)
+    accounts = {site: "x-vhayot" for site in RECOVERY_SITES}
+    user = world.register_user("vhayot", accounts)
+    endpoints: Dict[str, str] = {}
+    for site_name in RECOVERY_SITES:
+        common.provision_user_site(
+            world, user, site_name, accounts[site_name],
+            conda_env="docking", stack=common.DOCKING_STACK,
+        )
+        mep = common.deploy_site_mep(world, site_name)
+        endpoints[site_name] = mep.endpoint_id
+
+    journal = None
+    if journaled:
+        journal = world.attach_journal()
+        world.faas.enable_leases(ttl=LEASE_TTL)
+    if resume_journal is not None:
+        world.resume_from(resume_journal)
+    if crash_at is not None:
+        plan = FaultPlan(seed=seed, profile="coordinator-crash").add(
+            CoordinatorCrash(at_event_seq=crash_at)
+        )
+        world.install_faults(plan)
+        world.arm_faults()
+
+    hosted = world.hub.create_repo(REPO_SLUG, owner=user.login)
+    hosted.secrets.set("GLOBUS_ID", user.client_id, set_by=user.login)
+    hosted.secrets.set("GLOBUS_SECRET", user.client_secret, set_by=user.login)
+    all_files = dict(parsldock_suite.repo_files())
+    all_files[WORKFLOW_PATH] = _build_workflow(endpoints)
+    crashed = False
+    try:
+        world.hub.push_commit(
+            REPO_SLUG, author=user.login,
+            message="Initial commit with CI", files=all_files,
+        )
+    except CoordinatorCrashed:
+        crashed = True
+    run = world.engine.runs[-1] if world.engine.runs else None
+    return world, run, journal, crashed
+
+
+def crash_points_of(journal) -> Dict[str, int]:
+    """Map each named crash point to its 1-based journal record offset."""
+    dispatched: List[int] = []
+    completed: List[int] = []
+    jobs_finished: List[int] = []
+    for i, record in enumerate(journal.records, start=1):
+        if record.kind == "task.dispatched":
+            dispatched.append(i)
+        elif record.kind == "task.completed":
+            completed.append(i)
+        elif record.kind == "job.finished":
+            jobs_finished.append(i)
+    if not dispatched or not completed or len(jobs_finished) < len(
+        RECOVERY_SITES
+    ):
+        raise ValueError(
+            "baseline journal is missing lifecycle records; "
+            f"have {len(journal)} records"
+        )
+    return {
+        "mid-dispatch": dispatched[0],
+        "mid-execute": completed[0],
+        "between-waves": jobs_finished[len(RECOVERY_SITES) - 1],
+        "after-last": completed[-1],
+    }
+
+
+def _render_outputs(world, run) -> str:
+    """Deterministic text rendering of everything a run produced.
+
+    This is the byte-identity surface: run status, per-job status, the
+    per-site pytest artifacts (raw + parsed), the full run log, and every
+    provenance record with ``task_replayed`` normalized out (it is the
+    one field that *should* differ between a live and a resumed run).
+    """
+    lines = [f"run: {run.run_id} status={run.status} sha={run.sha}"]
+    for job_run in run.jobs.values():
+        lines.append(f"job: {job_run.job_id} status={job_run.status}")
+        for outcome in job_run.step_outcomes:
+            lines.append(
+                f"  step status={outcome.status} "
+                f"outputs={json.dumps(outcome.outputs, sort_keys=True)}"
+            )
+    for site_name in RECOVERY_SITES:
+        artifact = world.hub.artifacts.download(
+            run.run_id, f"correct-{site_name}-stdout"
+        )
+        parsed = parse_pytest_stdout(artifact.content)
+        lines.append(f"artifact: {artifact.name}")
+        lines.append(artifact.content)
+        for test_name, (outcome, duration) in sorted(parsed.items()):
+            lines.append(f"  {test_name}: {outcome} {duration:.6f}")
+    lines.append("log:")
+    lines.extend(run.log)
+    lines.append("provenance:")
+    for record in world.provenance.all():
+        data = asdict(record)
+        data["task_replayed"] = False
+        lines.append(json.dumps(data, sort_keys=True))
+    return "\n".join(lines)
+
+
+@dataclass
+class Fig4RecoveryResult:
+    """One crash-then-resume cycle measured against the baseline."""
+
+    crash_label: str
+    crash_record: int
+    journal_records: int  # records in the crashed journal
+    baseline_output: str
+    resumed_output: str
+    run_status: str
+    replayed_tasks: int
+    replayed_steps: int
+    double_executed: List[str] = field(default_factory=list)
+    resumed_world: object = None
+
+    @property
+    def identical(self) -> bool:
+        return self.baseline_output == self.resumed_output
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.identical
+            and not self.double_executed
+            and self.run_status == "success"
+        )
+
+
+def run_fig4_recovery(
+    crash_at="mid-execute", seed: int = 0, telemetry: bool = True
+) -> Fig4RecoveryResult:
+    """Crash Fig. 4 at one point, resume it, compare against the baseline.
+
+    ``crash_at`` is a named point (see :data:`CRASH_POINT_NAMES`) or a
+    raw 1-based journal record offset.
+    """
+    world_base, run_base, baseline_journal, _ = _execute(
+        telemetry=telemetry, seed=seed
+    )
+    baseline_output = _render_outputs(world_base, run_base)
+    return _recover_one(
+        crash_at, baseline_journal, baseline_output,
+        seed=seed, telemetry=telemetry,
+    )
+
+
+def _recover_one(
+    crash_at,
+    baseline_journal,
+    baseline_output: str,
+    seed: int,
+    telemetry: bool,
+) -> Fig4RecoveryResult:
+    """Crash + resume for one point, given the baseline journal."""
+    points = crash_points_of(baseline_journal)
+    if isinstance(crash_at, str) and not crash_at.isdigit():
+        if crash_at not in points:
+            raise ValueError(
+                f"unknown crash point {crash_at!r}; "
+                f"choices: {list(points)} or a record number"
+            )
+        label, crash_record = crash_at, points[crash_at]
+    else:
+        crash_record = int(crash_at)
+        label = f"record-{crash_record}"
+
+    _, _, crash_journal, crashed = _execute(
+        crash_at=crash_record, telemetry=telemetry, seed=seed
+    )
+    if not crashed:
+        raise RuntimeError(
+            f"crash at record {crash_record} never fired "
+            f"(journal has {len(crash_journal)} records)"
+        )
+
+    resumed_world, resumed_run, _, _ = _execute(
+        resume_journal=crash_journal, telemetry=telemetry, seed=seed
+    )
+    resumed_output = _render_outputs(resumed_world, resumed_run)
+
+    # the idempotency-key audit: no journaled-complete task re-executed
+    completed = set(resumed_world.faas.replay_index.completed_success())
+    double = sorted(completed & resumed_world.faas.executed_keys)
+
+    return Fig4RecoveryResult(
+        crash_label=label,
+        crash_record=crash_record,
+        journal_records=len(crash_journal),
+        baseline_output=baseline_output,
+        resumed_output=resumed_output,
+        run_status=resumed_run.status if resumed_run else "missing",
+        replayed_tasks=len(resumed_world.faas.replayed_keys),
+        replayed_steps=resumed_world.engine.replayed_steps,
+        double_executed=double,
+        resumed_world=resumed_world,
+    )
+
+
+def run_fig4_recovery_sweep(
+    seed: int = 0, telemetry: bool = True
+) -> List[Fig4RecoveryResult]:
+    """Crash + resume at every named point, sharing one baseline run."""
+    world_base, run_base, baseline_journal, _ = _execute(
+        telemetry=telemetry, seed=seed
+    )
+    baseline_output = _render_outputs(world_base, run_base)
+    return [
+        _recover_one(
+            name, baseline_journal, baseline_output,
+            seed=seed, telemetry=telemetry,
+        )
+        for name in CRASH_POINT_NAMES
+    ]
+
+
+def format_recovery_report(results: List[Fig4RecoveryResult]) -> str:
+    """Deterministic plain-text report over one or more crash points."""
+    lines = [
+        "Fig. 4 crash/recovery — write-ahead journal + resume",
+        f"crash points tested: {len(results)}",
+        "",
+    ]
+    for r in results:
+        verdict = "IDENTICAL" if r.identical else "DIVERGED"
+        audit = (
+            "clean" if not r.double_executed
+            else f"{len(r.double_executed)} double-executed"
+        )
+        lines.append(
+            f"  {r.crash_label:<14} crash@{r.crash_record:<4} "
+            f"journal={r.journal_records:<4} status={r.run_status:<8} "
+            f"replayed tasks={r.replayed_tasks} steps={r.replayed_steps}  "
+            f"{verdict}  audit={audit}"
+        )
+    all_ok = all(r.ok for r in results)
+    lines += [
+        "",
+        f"resumed outputs byte-identical to baseline: "
+        f"{'yes' if all_ok else 'NO'}",
+    ]
+    return "\n".join(lines)

@@ -69,6 +69,9 @@ class UserEndpoint:
             "endpoint", site.name, local_user, self.template.name
         )
         self.online = True
+        # liveness lease, held while the FaaS service's lease registry is
+        # on; task activity heartbeats it, expiry takes the endpoint down
+        self.lease = None
 
         self._login_executor = PilotExecutor(
             LocalProvider(site, local_user), user=local_user
@@ -174,6 +177,7 @@ class MultiUserEndpoint:
         self.policy = policy or HighAssurancePolicy.permissive()
         self.endpoint_id = deterministic_uuid("mep", site.name)
         self.online = True
+        self.lease = None  # see UserEndpoint.lease
         self.audit_log: List[dict] = audit_log if audit_log is not None else []
         self._ueps: Dict[tuple, UserEndpoint] = {}
 

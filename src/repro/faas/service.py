@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import traceback
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
+from repro.durability.journal import task_key
+from repro.durability.lease import LeaseRegistry
+from repro.durability.recovery import ReplayIndex, restorer_for
 from repro.errors import (
     CircuitOpen,
+    CoordinatorCrashed,
     EndpointNotFound,
     EndpointOffline,
     PayloadTooLarge,
@@ -45,7 +49,11 @@ from repro.telemetry import tracer_of
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
-from repro.util.serialization import DEFAULT_PAYLOAD_LIMIT, serialized_size
+from repro.util.serialization import (
+    DEFAULT_PAYLOAD_LIMIT,
+    deserialize,
+    serialized_size,
+)
 
 # Default cloud-side processing overhead per task (queueing, dispatch).
 # Constructor parameter ``cloud_overhead_seconds`` overrides it so the
@@ -139,6 +147,8 @@ class _EndpointDispatcher:
             task_id=task.task_id, endpoint=self.endpoint_id,
             attempt=entry.attempt,
         )
+        # dispatch is a heartbeat: the endpoint accepted work, so it lives
+        self.service._renew_lease(self.endpoint_id)
         tracer = tracer_of(self.service.clock)
         exec_span = tracer.start_span(
             "task.execute",
@@ -190,9 +200,12 @@ class _EndpointDispatcher:
                 )
                 if injected is not None:
                     raise injected
+                # journal recording or journaled-result replay wraps the
+                # function body; with durability off this is entry.spec
+                spec = self.service._dispatch_spec(entry)
                 if isinstance(endpoint, MultiUserEndpoint):
                     endpoint.execute_async(
-                        entry.token, entry.spec, task.args, task.kwargs,
+                        entry.token, spec, task.args, task.kwargs,
                         on_done, template_name=entry.template,
                     )
                 else:
@@ -205,8 +218,12 @@ class _EndpointDispatcher:
                             f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
                         )
                     endpoint.execute_async(
-                        entry.spec, task.args, task.kwargs, on_done
+                        spec, task.args, task.kwargs, on_done
                     )
+        except CoordinatorCrashed:
+            # a planned crash is the coordinator process dying, not a
+            # dispatch failure — let it unwind the whole run
+            raise
         except BaseException as exc:  # noqa: BLE001 - dispatch-time failure
             on_done(None, exc)
 
@@ -256,6 +273,20 @@ class FaaSService:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._fallbacks: Dict[str, str] = {}
         self._task_ids = IdFactory("task")
+        # durability — all off by default, preserving exact pre-journal
+        # behavior. A journal (attach_journal) turns on body-cost
+        # recording; a ReplayIndex (enable_replay) substitutes journaled
+        # results at dispatch; leases (enable_leases) track endpoint
+        # liveness with TTL heartbeats renewed by task activity.
+        self.journal = None
+        self.replay_index: Optional[ReplayIndex] = None
+        self.leases: Optional[LeaseRegistry] = None
+        # exactly-once audit: keys whose bodies actually ran vs. keys
+        # whose journaled results were replayed (disjoint by design)
+        self.executed_keys: Set[str] = set()
+        self.replayed_keys: Set[str] = set()
+        self._idem_occurrences: Dict[str, int] = {}
+        self._dead_leases: Set[str] = set()
 
     # -- registration ------------------------------------------------------------
     def register_endpoint(self, endpoint: Endpoint) -> str:
@@ -266,6 +297,12 @@ class FaaSService:
             site=endpoint.site.name,
             endpoint_kind=type(endpoint).__name__,
         )
+        if endpoint.endpoint_id in self._dead_leases:
+            # recovery learned from the journal that this endpoint's lease
+            # was already dead at the crash — never bring it up live
+            self._expire_recovered_endpoint(endpoint.endpoint_id)
+        elif self.leases is not None:
+            self._grant_lease(endpoint.endpoint_id)
         return endpoint.endpoint_id
 
     def register_function(
@@ -338,6 +375,205 @@ class FaaSService:
         dispatcher = self._dispatchers.get(endpoint_id)
         if dispatcher is not None:
             dispatcher.pump()
+
+    # -- durability --------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Switch dispatch into recording mode for ``journal``.
+
+        The journal itself is written by a
+        :class:`~repro.durability.checkpoint.RunCheckpointer` subscribed
+        to the event log; the service only needs to know recording is on
+        so every dispatched body is wrapped with cost capture (the
+        ``body_elapsed`` a later replay advances the clock by).
+        """
+        self.journal = journal
+
+    def enable_replay(self, index: ReplayIndex) -> None:
+        """Recovery mode: journaled-SUCCESS results replace re-execution.
+
+        Tasks whose idempotency key has a journaled successful completion
+        are never re-executed — their recorded results are replayed with
+        the recorded body cost, so timing, spans, and events match the
+        uninterrupted run exactly. Endpoints whose leases were dead at
+        the crash are marked offline (now, and on late registration).
+        """
+        self.replay_index = index
+        self._dead_leases |= set(index.dead_endpoints())
+        for endpoint_id in index.dead_endpoints():
+            self._expire_recovered_endpoint(endpoint_id)
+
+    @classmethod
+    def recover(
+        cls,
+        journal,
+        clock: SimClock,
+        auth: AuthService,
+        events: Optional[EventLog] = None,
+        **kwargs,
+    ) -> "FaaSService":
+        """Rebuild a service from a crashed coordinator's journal.
+
+        The recovered service starts empty — endpoints and functions
+        re-register exactly as at first boot — but carries the journal's
+        :class:`ReplayIndex`, so re-submissions deduplicate by
+        idempotency key (journaled completions replay; orphans re-run)
+        and dead-lease endpoints come back offline.
+        """
+        service = cls(clock, auth, events=events, **kwargs)
+        service.enable_replay(ReplayIndex(journal))
+        return service
+
+    def resubmit_orphans(self, token_value: str) -> List[TaskFuture]:
+        """Re-submit journaled-submitted-but-never-completed tasks.
+
+        The crashed coordinator accepted these tasks but never saw them
+        finish; their journaled payloads are re-submitted to their
+        recorded endpoints (an endpoint dead at the crash is offline
+        here, so the standard ``offline_policy`` / breaker / fallback
+        machinery routes around it). Returns the new futures in journal
+        order.
+        """
+        if self.replay_index is None:
+            raise ValueError(
+                "no replay index attached; call enable_replay or recover first"
+            )
+        futures: List[TaskFuture] = []
+        for data in self.replay_index.orphans().values():
+            payload = deserialize(
+                data.get("payload", '{"args": [], "kwargs": {}}')
+            )
+            futures.append(
+                self.submit(
+                    token_value,
+                    data["endpoint"],
+                    data["function_id"],
+                    args=tuple(payload.get("args", ())),
+                    kwargs=dict(payload.get("kwargs", {})),
+                )
+            )
+        return futures
+
+    def enable_leases(self, ttl: float = 3600.0) -> LeaseRegistry:
+        """Turn on heartbeat leases for endpoint liveness.
+
+        Every registered endpoint (present and future) gets a TTL lease,
+        renewed passively by task activity — dispatch and completion both
+        count as heartbeats. Expiry marks the endpoint offline and fails
+        its in-flight work with :class:`EndpointOffline` (retryable), so
+        the standard retry/breaker/failover path takes over.
+        """
+        if self.leases is None:
+            self.leases = LeaseRegistry(
+                self.clock, self.events, ttl=ttl,
+                on_expire=self._on_lease_expired,
+            )
+            for endpoint_id in sorted(self._endpoints):
+                self._grant_lease(endpoint_id)
+        return self.leases
+
+    def _grant_lease(self, endpoint_id: str) -> None:
+        if self.leases is None or endpoint_id in self._dead_leases:
+            return
+        lease = self.leases.grant(endpoint_id)
+        endpoint = self._endpoints.get(endpoint_id)
+        if endpoint is not None:
+            endpoint.lease = lease
+
+    def _renew_lease(self, endpoint_id: str) -> None:
+        if self.leases is not None:
+            self.leases.renew(endpoint_id)
+
+    def _on_lease_expired(self, endpoint_id: str) -> None:
+        endpoint = self._endpoints.get(endpoint_id)
+        if endpoint is not None:
+            endpoint.lease = None
+        if endpoint is None or not endpoint.online:
+            return
+        endpoint.online = False
+        self.fail_inflight(
+            endpoint_id,
+            EndpointOffline(
+                f"endpoint {endpoint_id[:8]} lease expired (missed heartbeats)"
+            ),
+        )
+
+    def _expire_recovered_endpoint(self, endpoint_id: str) -> None:
+        """Mark a journal-declared-dead endpoint offline in this world."""
+        endpoint = self._endpoints.get(endpoint_id)
+        if endpoint is None or not endpoint.online:
+            return
+        endpoint.online = False
+        endpoint.lease = None
+        self.events.emit(
+            self.clock.now, "durability", "lease.expired",
+            endpoint=endpoint_id, phase="recovery",
+        )
+        self.fail_inflight(
+            endpoint_id,
+            EndpointOffline(
+                f"endpoint {endpoint_id[:8]} lease was dead at the crash"
+            ),
+        )
+
+    def _dispatch_spec(self, entry: _PendingTask) -> FunctionSpec:
+        """The spec this dispatch should execute, possibly instrumented.
+
+        Replay mode substitutes a journaled-SUCCESS body: the recorded
+        result comes back after re-materialising remote side effects (the
+        function's registered restorer) and advancing the clock by the
+        journaled body cost, so every span and event the live path would
+        produce still appears — at identical virtual times — without the
+        body ever re-executing. Record mode wraps the body with plain
+        start/end cost capture. With durability off, the spec passes
+        through untouched.
+        """
+        task, spec = entry.task, entry.spec
+        record = None
+        if self.replay_index is not None:
+            record = self.replay_index.replay_record(task.idempotency_key)
+        if record is not None:
+            task.replayed = True
+            self.replayed_keys.add(task.idempotency_key)
+            self.events.emit(
+                self.clock.now, "durability", "task.replayed",
+                task_id=task.task_id, key=task.idempotency_key,
+                endpoint=task.endpoint_id, function=spec.name,
+            )
+            return replace(spec, fn=self._replay_body(task, spec, record))
+        if self.journal is None and self.replay_index is None:
+            return spec
+        return replace(spec, fn=self._recording_body(task, spec))
+
+    def _replay_body(self, task: Task, spec: FunctionSpec, record: dict):
+        def body(fctx, *args, **kwargs):
+            result = deserialize(record.get("result", "null"))
+            started = self.clock.now
+            restorer = restorer_for(spec.name)
+            if restorer is not None:
+                restorer(fctx, result, *args, **kwargs)
+            # whatever time the restorer consumed counts toward the
+            # journaled body cost — total advance equals the original
+            elapsed = float(record.get("body_elapsed") or 0.0)
+            remaining = elapsed - (self.clock.now - started)
+            if remaining > 1e-12:
+                self.clock.advance(remaining)
+            task.body_elapsed = elapsed
+            return result
+
+        return body
+
+    def _recording_body(self, task: Task, spec: FunctionSpec):
+        fn = spec.fn
+
+        def body(fctx, *args, **kwargs):
+            self.executed_keys.add(task.idempotency_key)
+            started = self.clock.now
+            try:
+                return fn(fctx, *args, **kwargs)
+            finally:
+                task.body_elapsed = self.clock.now - started
+
+        return body
 
     # -- task lifecycle -------------------------------------------------------------
     def submit(
@@ -422,6 +658,18 @@ class FaaSService:
                 f"(limit {self.payload_limit})"
             )
 
+        # exactly-once identity: function name + canonical payload + the
+        # Nth-identical-submission counter. Endpoint-independent, so a
+        # failed-over or re-routed task keeps its key.
+        first_key = task_key(spec.name, args, kwargs, 0)
+        occurrence = self._idem_occurrences.get(first_key, 0)
+        self._idem_occurrences[first_key] = occurrence + 1
+        idem_key = (
+            first_key
+            if occurrence == 0
+            else task_key(spec.name, args, kwargs, occurrence)
+        )
+
         task = Task(
             task_id=self._task_ids.uuid(),
             function_id=function_id,
@@ -430,6 +678,7 @@ class FaaSService:
             args=args,
             kwargs=kwargs,
             submitted_at=self.clock.now,
+            idempotency_key=idem_key,
         )
         self._tasks[task.task_id] = task
         future = TaskFuture(self.clock, task)
@@ -544,6 +793,8 @@ class FaaSService:
         now = self.clock.now
         breaker = self.breaker_for(task.endpoint_id)
         if error is None:
+            # a completed task is a heartbeat from its endpoint
+            self._renew_lease(task.endpoint_id)
             if breaker is not None:
                 before = breaker.state
                 breaker.record_success(now)

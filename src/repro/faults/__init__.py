@@ -27,6 +27,7 @@ from repro.faults.injector import (
     injector_of,
 )
 from repro.faults.plan import (
+    CoordinatorCrash,
     EndpointOutage,
     Fault,
     FaultPlan,
@@ -50,6 +51,7 @@ from repro.faults.resilience import (
 __all__ = [
     "BreakerPolicy",
     "CircuitBreaker",
+    "CoordinatorCrash",
     "EndpointOutage",
     "Fault",
     "FaultInjector",

@@ -40,6 +40,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.faults.plan import (
+    CoordinatorCrash,
     EndpointOutage,
     FaultPlan,
     NetworkDelay,
@@ -146,6 +147,20 @@ class FaultInjector:
             elif isinstance(fault, ProvisionFlake):
                 self.clock.call_after(
                     fault.at, lambda f=fault: self._arm_provision_flake(f)
+                )
+            elif isinstance(fault, CoordinatorCrash):
+                # journal-offset positioned, not time positioned: armed
+                # immediately against the checkpointer, which raises
+                # CoordinatorCrashed once record at_event_seq lands
+                checkpointer = getattr(self.world, "checkpointer", None)
+                if checkpointer is None:
+                    raise ValueError(
+                        "CoordinatorCrash requires a journal: call "
+                        "World.attach_journal() before arming the plan"
+                    )
+                checkpointer.arm_crash(fault.at_event_seq)
+                self._record(
+                    "coordinator_crash.armed", at_record=fault.at_event_seq
                 )
             else:
                 raise TypeError(f"unknown fault type {type(fault).__name__}")

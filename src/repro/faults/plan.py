@@ -148,6 +148,23 @@ class ProvisionFlake(Fault):
     count: int = 1
 
 
+@dataclass(frozen=True)
+class CoordinatorCrash(Fault):
+    """The coordinator process dies once journal record N has landed.
+
+    Unlike every other fault, this one is positioned by *journal offset*,
+    not virtual time: ``at_event_seq`` counts write-ahead journal records
+    (1-based), so "crash after record 7" survives timing changes that
+    would shift a wall-clock crash point. Requires a journal-attached
+    world (:meth:`repro.world.World.attach_journal`); the crash raises
+    :class:`~repro.errors.CoordinatorCrashed`, a ``BaseException`` that
+    unwinds the whole run. ``at`` is ignored.
+    """
+
+    at: float = 0.0
+    at_event_seq: int = 1
+
+
 @dataclass
 class FaultPlan:
     """A seeded, ordered collection of faults.

@@ -36,6 +36,11 @@ class ResearchCrate:
         self.artifacts: Dict[str, str] = {}  # name -> content
         self.trace: List[Dict] = []  # nested span tree of the CI run
         self.metrics: Dict[str, Dict] = {}  # metric summaries at capture
+        # recovery provenance: set by mark_resumed when the run that
+        # produced this crate was resumed from a write-ahead journal
+        self.resumed_from = ""  # head hash of the crash journal
+        self.crash_point = 0  # journal record count at the crash
+        self.replayed_tasks = 0  # tasks satisfied from the journal
 
     def add_record(self, record: ExecutionRecord) -> None:
         self.records.append(record)
@@ -50,6 +55,14 @@ class ResearchCrate:
     def attach_metrics(self, summaries: Dict[str, Dict]) -> None:
         """Embed metric summaries (``MetricsRegistry.summaries()``)."""
         self.metrics = dict(summaries)
+
+    def mark_resumed(
+        self, resumed_from: str, crash_point: int, replayed_tasks: int
+    ) -> None:
+        """Record that this crate's run recovered from a crashed one."""
+        self.resumed_from = resumed_from
+        self.crash_point = crash_point
+        self.replayed_tasks = replayed_tasks
 
     # -- reviewer-facing checks ------------------------------------------------
     def completeness_report(self) -> Dict[str, bool]:
@@ -86,6 +99,11 @@ class ResearchCrate:
                 "artifacts": self.artifacts,
                 "trace": self.trace,
                 "metrics": self.metrics,
+                "recovery": {
+                    "resumed_from": self.resumed_from,
+                    "crash_point": self.crash_point,
+                    "replayed_tasks": self.replayed_tasks,
+                },
             },
             indent=2,
             sort_keys=True,
@@ -113,4 +131,8 @@ class ResearchCrate:
         crate.artifacts = dict(data.get("artifacts", {}))
         crate.trace = list(data.get("trace", []))
         crate.metrics = dict(data.get("metrics", {}))
+        recovery = data.get("recovery", {})
+        crate.resumed_from = recovery.get("resumed_from", "")
+        crate.crash_point = recovery.get("crash_point", 0)
+        crate.replayed_tasks = recovery.get("replayed_tasks", 0)
         return crate

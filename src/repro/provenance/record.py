@@ -87,6 +87,9 @@ class ExecutionRecord:
     fault_seed: Optional[int] = None
     fault_profile: str = ""
     task_attempts: int = 1
+    # recovery provenance: True when the task's result came from a
+    # write-ahead journal replay rather than a live execution
+    task_replayed: bool = False
 
     @property
     def duration(self) -> float:

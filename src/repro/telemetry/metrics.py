@@ -191,6 +191,10 @@ class EventMetricsBridge:
     * ``task.gave_up``     → ``faas.task.give_ups{endpoint}`` counter
     * ``breaker.*``        → ``faas.breaker.transitions{endpoint,state}``
       counter (state = open/close/half_open)
+    * ``task.replayed``    → ``durability.tasks.replayed{endpoint}`` counter
+    * ``step.replayed``    → ``durability.steps.replayed`` counter
+    * ``run.resumed``      → ``durability.runs.resumed`` counter
+    * ``lease.*``          → ``durability.lease.events{transition}`` counter
     * any ``fault`` event  → ``faults.injected{kind}`` counter
     * ``subscriber_error`` → ``telemetry.subscriber_errors`` counter
 
@@ -276,6 +280,19 @@ class EventMetricsBridge:
                 "faas.breaker.transitions",
                 endpoint=data.get("endpoint", "?"),
                 state=kind.split(".", 1)[1],
+            ).inc()
+        elif kind == "task.replayed":
+            reg.counter(
+                "durability.tasks.replayed", endpoint=data.get("endpoint", "?")
+            ).inc()
+        elif kind == "step.replayed":
+            reg.counter("durability.steps.replayed").inc()
+        elif kind == "run.resumed":
+            reg.counter("durability.runs.resumed").inc()
+        elif kind.startswith("lease."):
+            reg.counter(
+                "durability.lease.events",
+                transition=kind.split(".", 1)[1],
             ).inc()
         elif event.source == "fault":
             reg.counter("faults.injected", kind=kind).inc()

@@ -1,7 +1,7 @@
 """Shared utilities: virtual clock, ids, hashing, event log, serialization,
 mini-YAML parsing, and plain-text table/series rendering."""
 
-from repro.util.clock import MeasuredRegion, SimClock, Span
+from repro.util.clock import MeasuredRegion, SimClock
 from repro.util.ids import IdFactory, deterministic_uuid
 from repro.util.events import EventLog, Event
 from repro.util.hashing import content_hash
@@ -20,3 +20,13 @@ __all__ = [
     "deserialize",
     "serialized_size",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy forward so importing repro.util does not itself trigger the
+    # DeprecationWarning that accessing the Span alias now emits.
+    if name == "Span":
+        from repro.util import clock
+
+        return clock.Span
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

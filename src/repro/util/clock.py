@@ -16,6 +16,7 @@ from __future__ import annotations
 import contextlib
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
@@ -65,8 +66,17 @@ class MeasuredRegion:
         self.elapsed = 0.0
 
 
-# Deprecated alias — the telemetry subsystem owns the name "Span" now.
-Span = MeasuredRegion
+def __getattr__(name: str):
+    # Deprecated alias — the telemetry subsystem owns the name "Span" now.
+    if name == "Span":
+        warnings.warn(
+            "repro.util.clock.Span was renamed to MeasuredRegion; "
+            "the Span alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return MeasuredRegion
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class SimClock:

@@ -90,21 +90,51 @@ class EventLog:
             except Exception as exc:  # noqa: BLE001 - subscriber isolation
                 if not record_errors:
                     continue
-                error_event = Event(
-                    time=event.time,
-                    source="telemetry",
-                    kind="subscriber_error",
-                    data={
-                        "subscriber": getattr(
-                            sub, "__qualname__", repr(sub)
-                        ),
-                        "error": f"{type(exc).__name__}: {exc}",
-                        "during": f"{event.source}/{event.kind}",
-                    },
-                    seq=next(self._seq),
-                )
-                self._events.append(error_event)
-                self._deliver(error_event, record_errors=False)
+                self._record_subscriber_error(sub, event, exc)
+
+    def _record_subscriber_error(
+        self, sub: Callable[[Event], None], event: Event, exc: Exception
+    ) -> None:
+        error_event = Event(
+            time=event.time,
+            source="telemetry",
+            kind="subscriber_error",
+            data={
+                "subscriber": getattr(sub, "__qualname__", repr(sub)),
+                "error": f"{type(exc).__name__}: {exc}",
+                "during": f"{event.source}/{event.kind}",
+            },
+            seq=next(self._seq),
+        )
+        self._events.append(error_event)
+        self._deliver(error_event, record_errors=False)
+
+    def replay_to(
+        self,
+        callback: Callable[[Event], None],
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Deliver already-recorded history to a late subscriber.
+
+        :meth:`subscribe` only sees *future* events; a subscriber that
+        also needs the past (the durability checkpointer attaching after
+        endpoints registered, a late metrics bridge) replays it
+        explicitly. Events are delivered in emission order with the same
+        error isolation as live delivery. Returns the number delivered.
+        """
+        delivered = 0
+        for event in list(self._events):
+            if source is not None and event.source != source:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            delivered += 1
+            try:
+                callback(event)
+            except Exception as exc:  # noqa: BLE001 - subscriber isolation
+                self._record_subscriber_error(callback, event, exc)
+        return delivered
 
     def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
         """Register ``callback`` for future events; returns an unsubscriber."""

@@ -114,8 +114,56 @@ class World:
         # it relative to *that* moment, so setup (site provisioning, CI
         # wiring) happens fault-free and fault times mean "into the run"
         self.fault_injector: Optional[FaultInjector] = None
+        # durability: populated by attach_journal / resume_from
+        self.journal = None
+        self.checkpointer = None
+        self.resumed_from = ""
+        self.crash_point: Optional[int] = None
         if faults is not None:
             self.install_faults(faults)
+
+    # -- durability ---------------------------------------------------------------
+    def attach_journal(self, journal=None):
+        """Start journaling this world's lifecycle events.
+
+        Returns the :class:`~repro.durability.journal.Journal` (a fresh
+        in-memory one unless provided). Attaching is opt-in and purely
+        observational: an unjournaled world is byte-identical.
+        """
+        from repro.durability import Journal, RunCheckpointer
+
+        if self.checkpointer is not None:
+            raise ValueError("a journal is already attached to this world")
+        self.journal = journal if journal is not None else Journal()
+        self.checkpointer = RunCheckpointer(
+            self.journal, self.events, faas=self.faas
+        )
+        self.faas.attach_journal(self.journal)
+        return self.journal
+
+    def resume_from(self, journal):
+        """Recover from a crashed run's journal.
+
+        The world must be *fresh* (same construction parameters as the
+        crashed one). Journaled-complete tasks and plain ``run:`` steps are
+        replayed from their records instead of re-executing; endpoints whose
+        lease had expired at the crash are marked dead on registration.
+        """
+        from repro.durability import ReplayIndex
+
+        index = ReplayIndex(journal)
+        self.faas.enable_replay(index)
+        self.engine.resume_run(journal)
+        self.resumed_from = index.head_hash
+        self.crash_point = index.crash_record
+        self.events.emit(
+            self.clock.now, "durability", "run.resumed",
+            journal_head=index.head_hash,
+            crash_record=index.crash_record,
+            completed_tasks=len(index.completed_success()),
+            orphans=len(index.orphans()),
+        )
+        return index
 
     # -- faults -------------------------------------------------------------------
     def install_faults(self, plan: FaultPlan) -> FaultInjector:
