@@ -165,6 +165,20 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Compare a placement policy against pinned on pooled endpoints."""
+    from repro.experiments import format_routing_report, run_fig4_pooled
+
+    comparison = run_fig4_pooled(
+        policy=args.policy,
+        pool_size=args.pool_size,
+        telemetry=_telemetry_enabled(args),
+    )
+    print(format_routing_report(comparison))
+    _maybe_print_metrics(args, comparison.routed.world)
+    return 0 if comparison.routed_is_faster else 1
+
+
 TRACEABLE_EXPERIMENTS = ("fig4", "fig5", "exp63")
 
 
@@ -283,6 +297,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "ablations": _cmd_ablations,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "route": _cmd_route,
     "recover": _cmd_recover,
 }
 
@@ -368,6 +383,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the telemetry metrics report after the run",
     )
     chaos.add_argument(
+        "--no-telemetry", action="store_true",
+        help="run without tracer/metrics (outputs are identical)",
+    )
+    route = sub.add_parser(
+        "route",
+        help=(
+            "run the sharded Fig. 4 on endpoint pools and compare a "
+            "placement policy against pinned"
+        ),
+    )
+    route.add_argument(
+        "experiment", choices=["fig4"],
+        help="which experiment to run pooled",
+    )
+    route.add_argument(
+        "--policy", default="least-loaded",
+        choices=["round-robin", "least-loaded", "weighted"],
+        help="placement policy to compare against pinned",
+    )
+    route.add_argument(
+        "--pool-size", type=int, default=2,
+        help="endpoints deployed per site (default 2)",
+    )
+    route.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry metrics report after the routed run",
+    )
+    route.add_argument(
         "--no-telemetry", action="store_true",
         help="run without tracer/metrics (outputs are identical)",
     )

@@ -260,7 +260,7 @@ class CorrectAction:
             repo_slug=inputs.repository or ctx.run.repo_slug,
             commit_sha=ctx.run.sha,
             site=snapshot.site if snapshot else "",
-            endpoint_id=inputs.endpoint_uuid,
+            endpoint_id=task.endpoint_id,
             identity_urn=task.identity_urn,
             function_name=FN_RUN_SHELL if inputs.shell_cmd else inputs.function_uuid,
             command=inputs.shell_cmd or f"function:{inputs.function_uuid}",
@@ -277,6 +277,9 @@ class CorrectAction:
             fault_profile=injector.plan.profile if injector.active else "",
             task_attempts=task.attempts,
             task_replayed=getattr(task, "replayed", False),
+            routed_by=task.routed_by,
+            pool=task.pool,
+            queue_depth_at_route=task.queue_depth_at_route,
         )
         store.add(record)
 

@@ -70,6 +70,10 @@ def execute_correct_async(
     client = ComputeClient(faas, inputs.client_id, inputs.client_secret)
     function_ids = register_helpers(client)
     done = Future(faas.clock)
+    # route affinity: resolve the target once so every call in this step
+    # (clone, then the payload) lands on the same endpoint even when the
+    # target is a pool or a pooled site
+    route = faas.resolve_route(inputs.endpoint_uuid)
     # the follow-up submit in on_clone fires from the event loop, where
     # the submitter's context is long gone — capture it here
     tracer = tracer_of(faas.clock)
@@ -90,6 +94,7 @@ def execute_correct_async(
                 cwd=inputs.cwd or clone_path,
                 conda_env=inputs.conda_env,
                 template=inputs.template,
+                route=route,
             )
 
             def on_shell(fut: TaskFuture) -> None:
@@ -124,6 +129,7 @@ def execute_correct_async(
             inputs.function_uuid,
             *inputs.function_args,
             template=inputs.template,
+            route=route,
         )
 
         def on_function(fut: TaskFuture) -> None:
@@ -159,6 +165,7 @@ def execute_correct_async(
             slug,
             branch,
             template=inputs.template,
+            route=route,
         )
 
         def on_clone(fut: TaskFuture) -> None:

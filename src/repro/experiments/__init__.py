@@ -26,6 +26,13 @@ from repro.experiments.recovery import (
     run_fig4_recovery,
     run_fig4_recovery_sweep,
 )
+from repro.experiments.routing import (
+    PooledRun,
+    RoutingComparison,
+    format_routing_report,
+    run_fig4_pooled,
+    run_pooled,
+)
 from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.survey_tables import (
     table1_rows,
@@ -52,6 +59,11 @@ __all__ = [
     "format_recovery_report",
     "run_fig4_recovery",
     "run_fig4_recovery_sweep",
+    "PooledRun",
+    "RoutingComparison",
+    "format_routing_report",
+    "run_fig4_pooled",
+    "run_pooled",
     "run_fig1",
     "table1_rows",
     "table2_rows",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.security import sole_reviewer_rules
 from repro.faas.endpoint import EndpointTemplate, MultiUserEndpoint
@@ -74,6 +74,32 @@ def deploy_site_mep(
         walltime=walltime,
     )
     return world.deploy_mep(site_name, templates={"default": template})
+
+
+def deploy_site_mep_pool(
+    world: World,
+    site_name: str,
+    size: int,
+    login_only: bool = False,
+    walltime: float = 7200.0,
+) -> List[MultiUserEndpoint]:
+    """Deploy ``size`` MEPs with the site's paper template as one pool.
+
+    Member 0 keeps the site's historical singleton endpoint id, so a
+    pool of one is indistinguishable from :func:`deploy_site_mep`.
+    Submissions targeting the site name route through the placement
+    policy of ``world.faas``.
+    """
+    partition = None if login_only else SITE_PARTITIONS[site_name]
+    template = EndpointTemplate(
+        name="default",
+        compute_partition=partition,
+        nodes_per_block=1,
+        walltime=walltime,
+    )
+    return world.deploy_mep_pool(
+        site_name, size, templates={"default": template}
+    )
 
 
 def create_repo_with_workflow(

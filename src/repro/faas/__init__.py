@@ -2,11 +2,18 @@
 
 The cloud service (:class:`FaaSService`) is the single contact point:
 functions are registered with it, tasks are submitted to it, and results
-are retrieved from it. Endpoints connect outbound from sites and execute
-tasks on resources provisioned through providers. Multi-user endpoints
-fork per-user endpoints via site identity mapping and enforce
-high-assurance policies and function allow-lists — the security machinery
-CORRECT builds on (§5.1–§5.2).
+are retrieved from it — but it is a thin control-plane core over three
+layers. The **placement plane** (:mod:`repro.faas.placement`) resolves
+pool/site targets to endpoints through pluggable deterministic policies;
+the **resilience plane** (:mod:`repro.faas.pipeline`) composes retry,
+circuit breaking, timeout, failover, replay substitution, and lease
+touching as ordered interceptor middleware; the **dispatch plane**
+(:mod:`repro.faas.dispatch`) does per-endpoint FIFO ordering and
+execution, nothing else. Endpoints connect outbound from sites and
+execute tasks on resources provisioned through providers. Multi-user
+endpoints fork per-user endpoints via site identity mapping and enforce
+high-assurance policies and function allow-lists — the security
+machinery CORRECT builds on (§5.1–§5.2).
 """
 
 from repro.faas.task import Task, TaskState
@@ -17,6 +24,15 @@ from repro.faas.endpoint import (
     EndpointTemplate,
 )
 from repro.faas.future import Future, TaskFuture
+from repro.faas.placement import (
+    EndpointPool,
+    PlacementPolicy,
+    POLICIES,
+    RouteDecision,
+    Router,
+)
+from repro.faas.pipeline import DEFAULT_ORDER, Interceptor, Pipeline
+from repro.faas.dispatch import EndpointDispatcher, PendingTask
 from repro.faas.service import BatchRequest, FaaSService
 from repro.faas.client import ComputeClient
 
@@ -32,6 +48,16 @@ __all__ = [
     "UserEndpoint",
     "MultiUserEndpoint",
     "EndpointTemplate",
+    "EndpointPool",
+    "EndpointDispatcher",
+    "PendingTask",
+    "PlacementPolicy",
+    "POLICIES",
+    "RouteDecision",
+    "Router",
+    "DEFAULT_ORDER",
+    "Interceptor",
+    "Pipeline",
     "FaaSService",
     "ComputeClient",
 ]

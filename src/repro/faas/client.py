@@ -13,6 +13,7 @@ from typing import Any, Callable, List, Sequence
 
 from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
 from repro.faas.future import TaskFuture
+from repro.faas.placement import RouteDecision
 from repro.faas.service import BatchRequest, FaaSService
 from repro.faas.task import Task
 
@@ -58,12 +59,16 @@ class ComputeClient:
         *args: Any,
         template: str = "default",
         timeout: "float | None" = None,
+        route: "RouteDecision | None" = None,
         **kwargs: Any,
     ) -> TaskFuture:
         """Submit a task; returns its future without advancing time.
 
-        ``timeout`` bounds the task's total virtual-time lifetime
-        (retries included); on expiry the future fails with
+        ``endpoint_id`` may also name a registered pool or a pooled site;
+        pass a pre-resolved ``route`` (from
+        :meth:`FaaSService.resolve_route`) to give several submissions
+        route affinity. ``timeout`` bounds the task's total virtual-time
+        lifetime (retries included); on expiry the future fails with
         :class:`~repro.errors.TaskTimeout`.
         """
         return self.service.submit(
@@ -74,6 +79,7 @@ class ComputeClient:
             kwargs=kwargs,
             template=template,
             timeout=timeout,
+            route=route,
         )
 
     def submit_batch(

@@ -1,0 +1,206 @@
+"""The dispatch plane: per-endpoint FIFO ordering + execution, nothing else.
+
+One :class:`EndpointDispatcher` per endpoint takes validated
+:class:`PendingTask` entries from scheduled dispatch events and runs them
+one at a time (the pilot holds one block). Resilience behavior — lease
+heartbeats, replay substitution, retry/breaker decisions — enters only
+through the service's :class:`~repro.faas.pipeline.Pipeline` hooks;
+placement has already happened by the time an entry arrives here.
+
+The queue is ordered by each entry's submission sequence number, not by
+arrival time: a retried or failed-over attempt re-enters the queue
+*where its original submission order puts it*, so per-endpoint FIFO
+holds even when backoff jitter makes attempts from different batches
+land out of order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.auth.oauth import Token
+from repro.errors import (
+    CoordinatorCrashed,
+    EndpointNotFound,
+    EndpointOffline,
+    PermissionDenied,
+)
+from repro.faas.endpoint import MultiUserEndpoint
+from repro.faas.functions import FunctionSpec
+from repro.faas.future import TaskFuture
+from repro.faas.task import Task, TaskState
+from repro.faults.injector import injector_of
+from repro.telemetry import tracer_of
+
+
+@dataclass
+class PendingTask:
+    """A validated task waiting on (or moving through) an endpoint queue."""
+
+    task: Task
+    future: TaskFuture
+    token: Token
+    spec: FunctionSpec
+    template: str
+    # global submission order; the dispatcher keeps its queue sorted by
+    # this, so re-arrivals (retry, failover) cannot jump or trail tasks
+    # submitted around them
+    seq: int = 0
+    # telemetry span opened at submit time; carries the submitter's trace
+    # context across the async dispatch boundary
+    span: object = None
+    # resilience bookkeeping: 1-based dispatch attempt, the abort flag an
+    # offline/timeout abort sets so a stale completion callback for the
+    # doomed attempt is discarded, and the absolute deadline when the
+    # caller set a per-task timeout
+    attempt: int = 1
+    aborted: bool = False
+    deadline: Optional[float] = None
+
+
+class EndpointDispatcher:
+    """FIFO dispatch loop for one endpoint.
+
+    Tasks arrive via scheduled dispatch events and run one at a time per
+    endpoint (the pilot holds one block); completion hands the loop to
+    the next queued task. Separate endpoints have separate dispatchers,
+    so their queues drain concurrently in virtual time.
+    """
+
+    def __init__(self, service, endpoint_id: str) -> None:
+        self.service = service
+        self.endpoint_id = endpoint_id
+        self.queue: Deque[PendingTask] = deque()
+        self.busy = False
+        self.inflight: Optional[PendingTask] = None
+
+    def arrive(self, entry: PendingTask) -> None:
+        """Queue an entry in submission order and try to dispatch.
+
+        Entries normally arrive in ``seq`` order (dispatch events for one
+        endpoint fire in submit order), making this an append. A
+        failed-over or retried attempt can arrive *behind* tasks that
+        were submitted after it; the ordered insert restores its place.
+        """
+        if not self.queue or entry.seq >= self.queue[-1].seq:
+            self.queue.append(entry)
+        else:
+            index = 0
+            for index, queued in enumerate(self.queue):  # noqa: B007
+                if queued.seq > entry.seq:
+                    break
+            self.queue.insert(index, entry)
+        self.pump()
+
+    def abort_inflight(self, error: BaseException) -> Optional[PendingTask]:
+        """Fail the in-flight task with ``error`` and free the lane.
+
+        Used when the endpoint drops offline (or a deadline fires) while
+        work is on the wire: the eventual completion callback for the
+        doomed attempt is discarded via the entry's ``aborted`` flag, and
+        the typed error goes through the normal completion path — so it
+        is retryable like any other failure.
+        """
+        entry = self.inflight
+        if entry is None:
+            return None
+        entry.aborted = True
+        self.inflight = None
+        self.busy = False
+        self.service._complete(entry, None, error)
+        return entry
+
+    def pump(self) -> None:
+        if self.busy or not self.queue:
+            return
+        entry = self.queue.popleft()
+        self.busy = True
+        self.inflight = entry
+        task = entry.task
+        task.state = TaskState.RUNNING
+        task.started_at = self.service.clock.now
+        self.service.events.emit(
+            self.service.clock.now, "faas", "task.dispatched",
+            task_id=task.task_id, endpoint=self.endpoint_id,
+            attempt=entry.attempt,
+        )
+        self.service.pipeline.dispatched(entry, self.endpoint_id)
+        tracer = tracer_of(self.service.clock)
+        exec_span = tracer.start_span(
+            "task.execute",
+            parent=entry.span.context if entry.span is not None else None,
+            kind="execute", task_id=task.task_id, endpoint=self.endpoint_id,
+            dispatch_wait=self.service.clock.now - (task.submitted_at or 0.0),
+            attempt=entry.attempt,
+        )
+        # an abort (offline, deadline) may re-queue this entry as a new
+        # attempt before this attempt's completion event fires; the
+        # generation stamp lets the doomed callback recognise itself even
+        # after the retry has cleared the aborted flag
+        attempt_at_dispatch = entry.attempt
+
+        def on_done(result, error) -> None:
+            tracer.end_span(
+                exec_span,
+                status="ok" if error is None else "error",
+                error="" if error is None else f"{type(error).__name__}: {error}",
+            )
+            if entry.aborted or entry.attempt != attempt_at_dispatch:
+                # the abort already completed (and possibly re-queued)
+                # this entry; this is the doomed attempt reporting in late
+                return
+            # free the lane *before* resolving: done-callbacks may submit
+            # follow-up tasks to this endpoint and drive the clock.
+            self.busy = False
+            self.inflight = None
+            self.service._complete(entry, result, error)
+            self.pump()
+
+        try:
+            # the execute span is active for the whole dispatch chain, so
+            # pilot provisioning and Slurm submissions parent under it
+            with tracer.activate(exec_span.context):
+                endpoint = self.service._endpoints.get(self.endpoint_id)
+                if endpoint is None:
+                    raise EndpointNotFound(
+                        f"endpoint {self.endpoint_id!r} disappeared before dispatch"
+                    )
+                if not endpoint.online:
+                    raise EndpointOffline(
+                        f"endpoint {self.endpoint_id!r} went offline before dispatch"
+                    )
+                injector = injector_of(self.service.clock)
+                injector.check_dispatch(endpoint.site.name)
+                injected = injector.task_error_for(
+                    endpoint.site.name, entry.spec.name
+                )
+                if injected is not None:
+                    raise injected
+                # journal recording or journaled-result replay wraps the
+                # function body; with durability off this is entry.spec
+                spec = self.service.pipeline.wrap_spec(entry)
+                if isinstance(endpoint, MultiUserEndpoint):
+                    endpoint.execute_async(
+                        entry.token, spec, task.args, task.kwargs,
+                        on_done, template_name=entry.template,
+                    )
+                else:
+                    if (
+                        endpoint.owner is not None
+                        and endpoint.owner != entry.token.identity
+                    ):
+                        raise PermissionDenied(
+                            f"endpoint {self.endpoint_id[:8]} belongs to "
+                            f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
+                        )
+                    endpoint.execute_async(
+                        spec, task.args, task.kwargs, on_done
+                    )
+        except CoordinatorCrashed:
+            # a planned crash is the coordinator process dying, not a
+            # dispatch failure — let it unwind the whole run
+            raise
+        except BaseException as exc:  # noqa: BLE001 - dispatch-time failure
+            on_done(None, exc)

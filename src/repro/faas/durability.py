@@ -1,0 +1,109 @@
+"""The service's durability facade: journal, replay, leases, recovery.
+
+:class:`ServiceDurability` is mixed into
+:class:`~repro.faas.service.FaaSService` and keeps the crash-safety API
+(`attach_journal`, `enable_replay`, `recover`, `resubmit_orphans`,
+`enable_leases`, and the audit accessors) in one place. All state lives
+in the pipeline's replay and lease interceptors — the facade only
+delegates, so retry/breaker/timeout/failover/replay/lease *logic* stays
+in :mod:`repro.faas.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.durability.lease import LeaseRegistry
+from repro.durability.recovery import ReplayIndex
+from repro.util.serialization import deserialize
+
+
+class ServiceDurability:
+    """Crash-safety API of the FaaS service, delegating to the pipeline."""
+
+    @property
+    def journal(self):
+        return self.pipeline.replay.journal
+
+    @property
+    def replay_index(self) -> Optional[ReplayIndex]:
+        return self.pipeline.replay.index
+
+    @property
+    def leases(self) -> Optional[LeaseRegistry]:
+        return self.pipeline.lease.registry
+
+    @property
+    def executed_keys(self) -> Set[str]:
+        return self.pipeline.replay.executed_keys
+
+    @property
+    def replayed_keys(self) -> Set[str]:
+        return self.pipeline.replay.replayed_keys
+
+    def attach_journal(self, journal) -> None:
+        """Switch dispatch into recording mode for ``journal``.
+
+        The journal itself is written by the checkpointer subscribed to
+        the event log; the service only wraps every dispatched body with
+        cost capture (the ``body_elapsed`` a later replay advances by).
+        """
+        self.pipeline.replay.journal = journal
+
+    def enable_replay(self, index: ReplayIndex) -> None:
+        """Recovery mode: journaled-SUCCESS results replace re-execution.
+
+        Replayed bodies advance the clock by the recorded cost, so
+        timing, spans, and events match the uninterrupted run exactly.
+        Dead-lease endpoints come back offline (now and on registration).
+        """
+        self.pipeline.replay.index = index
+        self.pipeline.lease.mark_dead(index.dead_endpoints())
+
+    @classmethod
+    def recover(cls, journal, clock, auth, events=None, **kwargs):
+        """Rebuild a service from a crashed coordinator's journal.
+
+        The recovered service starts empty but carries the journal's
+        :class:`ReplayIndex`: re-submissions deduplicate by idempotency
+        key and dead-lease endpoints come back offline.
+        """
+        service = cls(clock, auth, events=events, **kwargs)
+        service.enable_replay(ReplayIndex(journal))
+        return service
+
+    def resubmit_orphans(self, token_value: str) -> List:
+        """Re-submit journaled-submitted-but-never-completed tasks.
+
+        Journaled payloads go back to their recorded endpoints (one dead
+        at the crash is offline here, so the standard offline/breaker/
+        fallback machinery routes around it). Futures in journal order.
+        """
+        if self.replay_index is None:
+            raise ValueError(
+                "no replay index attached; call enable_replay or recover first"
+            )
+        futures = []
+        for data in self.replay_index.orphans().values():
+            payload = deserialize(
+                data.get("payload", '{"args": [], "kwargs": {}}')
+            )
+            futures.append(
+                self.submit(
+                    token_value,
+                    data["endpoint"],
+                    data["function_id"],
+                    args=tuple(payload.get("args", ())),
+                    kwargs=dict(payload.get("kwargs", {})),
+                )
+            )
+        return futures
+
+    def enable_leases(self, ttl: float = 3600.0) -> LeaseRegistry:
+        """Turn on heartbeat leases for endpoint liveness.
+
+        Every endpoint (present and future) gets a TTL lease renewed by
+        task activity; expiry marks it offline and fails in-flight work
+        retryably, so the retry/breaker/failover path takes over.
+        """
+        return self.pipeline.lease.enable(ttl)

@@ -170,12 +170,19 @@ class MultiUserEndpoint:
         templates: Optional[Dict[str, EndpointTemplate]] = None,
         policy: Optional[HighAssurancePolicy] = None,
         audit_log: Optional[List[dict]] = None,
+        instance: str = "",
     ) -> None:
         self.site = site
         self.shell_services = shell_services
         self.templates = templates or {"default": EndpointTemplate()}
         self.policy = policy or HighAssurancePolicy.permissive()
-        self.endpoint_id = deterministic_uuid("mep", site.name)
+        # ``instance`` distinguishes pool members on one site; the empty
+        # default preserves the historical singleton id
+        self.endpoint_id = (
+            deterministic_uuid("mep", site.name, instance)
+            if instance
+            else deterministic_uuid("mep", site.name)
+        )
         self.online = True
         self.lease = None  # see UserEndpoint.lease
         self.audit_log: List[dict] = audit_log if audit_log is not None else []

@@ -1,0 +1,563 @@
+"""The resilience plane: composable interceptors around bare dispatch.
+
+Retry, circuit breaking, timeout, failover, replay substitution, and
+lease touching used to be branches inside ``FaaSService.submit`` /
+``_complete`` / ``_EndpointDispatcher.pump``. Here each is an
+:class:`Interceptor` with narrow hooks, and the :class:`Pipeline` runs
+them in an explicit order:
+
+``DEFAULT_ORDER = ("replay", "lease", "breaker", "failover", "timeout",
+"retry")``
+
+The order is semantic, not cosmetic. On a completion outcome the lease
+must be touched before the breaker records (a completed task is a
+heartbeat *first*, so ``lease.renewed`` precedes ``breaker.close``), and
+the breaker must record before the retry interceptor decides (so
+``breaker.open`` precedes ``task.retry`` in the event log — the order
+the chaos reports and journal offsets depend on). At submit time the
+breaker gate runs before failover, which reroutes only what the breaker
+blocked.
+
+Hook map (an interceptor implements only what it needs):
+
+=============  =============================================================
+hook           called
+=============  =============================================================
+on_register    when an endpoint registers with the service
+admit          at submit, before the task exists (may retarget or raise)
+on_submitted   after the task is created (events that need a task id)
+on_accepted    after the task is accepted (deadline scheduling)
+wrap_spec      at dispatch, to substitute/instrument the function body
+on_dispatched  when the dispatcher takes the task (heartbeats)
+on_outcome     on every dispatch outcome; return ``True`` = handled
+               (re-queued) — the service must not finalize
+=============  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.durability.lease import LeaseRegistry
+from repro.durability.recovery import ReplayIndex, restorer_for
+from repro.errors import (
+    CircuitOpen,
+    EndpointOffline,
+    TaskTimeout,
+    is_retryable,
+)
+from repro.faas.functions import FunctionSpec
+from repro.faas.task import Task, TaskState
+from repro.faults.resilience import CircuitBreaker
+from repro.util.serialization import deserialize
+
+DEFAULT_ORDER: Tuple[str, ...] = (
+    "replay",
+    "lease",
+    "breaker",
+    "failover",
+    "timeout",
+    "retry",
+)
+
+
+@dataclass
+class SubmitContext:
+    """Mutable admission state threaded through the submit-time chain."""
+
+    requested: str  # the endpoint the caller targeted
+    endpoint_id: str  # where the task is actually going
+    blocked: str = ""  # non-empty = an interceptor vetoed this endpoint
+    failed_over: bool = False
+
+
+class Interceptor:
+    """Base interceptor: every hook is a no-op."""
+
+    name = "interceptor"
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def on_register(self, endpoint_id: str) -> None:
+        pass
+
+    def admit(self, sub: SubmitContext) -> None:
+        pass
+
+    def on_submitted(self, entry, sub: SubmitContext) -> None:
+        pass
+
+    def on_accepted(self, entry, timeout: Optional[float]) -> None:
+        pass
+
+    def wrap_spec(self, entry, spec: FunctionSpec) -> FunctionSpec:
+        return spec
+
+    def on_dispatched(self, entry, endpoint_id: str) -> None:
+        pass
+
+    def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
+        return False
+
+
+class BreakerInterceptor(Interceptor):
+    """Per-endpoint circuit breakers: gate admission, record outcomes."""
+
+    name = "breaker"
+
+    def __init__(self, service) -> None:
+        super().__init__(service)
+        self.breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, endpoint_id: str) -> Optional[CircuitBreaker]:
+        if self.service.breaker_policy is None:
+            return None
+        breaker = self.breakers.get(endpoint_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.service.breaker_policy)
+            self.breakers[endpoint_id] = breaker
+        return breaker
+
+    def is_open(self, endpoint_id: str) -> bool:
+        """Read-only probe for routing-time exclusion (never transitions)."""
+        breaker = self.breakers.get(endpoint_id)
+        return breaker is not None and breaker.state == CircuitBreaker.OPEN
+
+    def admit(self, sub: SubmitContext) -> None:
+        breaker = self.breaker_for(sub.endpoint_id)
+        if breaker is None:
+            return
+        now = self.service.clock.now
+        before = breaker.state
+        allowed = breaker.allow(now)
+        if breaker.state != before:
+            self.service.events.emit(
+                now, "faas", "breaker.half_open", endpoint=sub.endpoint_id
+            )
+        if not allowed:
+            sub.blocked = "breaker_open"
+
+    def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
+        task = entry.task
+        now = self.service.clock.now
+        breaker = self.breaker_for(task.endpoint_id)
+        if breaker is None:
+            return False
+        if error is None:
+            before = breaker.state
+            breaker.record_success(now)
+            if before != breaker.state:
+                self.service.events.emit(
+                    now, "faas", "breaker.close", endpoint=task.endpoint_id
+                )
+        elif breaker.record_failure(now):
+            self.service.resilience.breaker_trips += 1
+            self.service.events.emit(
+                now, "faas", "breaker.open",
+                endpoint=task.endpoint_id,
+                consecutive_failures=breaker.consecutive_failures,
+                trips=breaker.trips,
+            )
+        return False
+
+
+class FailoverInterceptor(Interceptor):
+    """Reroute breaker-blocked work to a declared fallback endpoint."""
+
+    name = "failover"
+
+    def __init__(self, service) -> None:
+        super().__init__(service)
+        self.fallbacks: Dict[str, str] = {}
+
+    def declare(self, endpoint_id: str, fallback_id: str) -> None:
+        self.fallbacks[endpoint_id] = fallback_id
+
+    def healthy_fallback(self, endpoint_id: str) -> Optional[str]:
+        """The declared fallback, if it exists and its breaker admits work."""
+        fallback_id = self.fallbacks.get(endpoint_id)
+        if not fallback_id or fallback_id == endpoint_id:
+            return None
+        fb_breaker = self.service.breaker_for(fallback_id)
+        if fb_breaker is None or fb_breaker.allow(self.service.clock.now):
+            return fallback_id
+        return None
+
+    def admit(self, sub: SubmitContext) -> None:
+        if not sub.blocked:
+            return
+        fallback_id = self.healthy_fallback(sub.endpoint_id)
+        if fallback_id is not None:
+            sub.endpoint_id = fallback_id
+            sub.failed_over = True
+            sub.blocked = ""
+        else:
+            raise CircuitOpen(
+                f"circuit open for endpoint {sub.requested[:8]} "
+                f"and no healthy fallback declared"
+            )
+
+    def on_submitted(self, entry, sub: SubmitContext) -> None:
+        if not sub.failed_over:
+            return
+        task = entry.task
+        task.original_endpoint_id = sub.requested
+        self.service.resilience.failovers += 1
+        self.service.events.emit(
+            self.service.clock.now, "faas", "task.failover",
+            task_id=task.task_id, from_endpoint=sub.requested,
+            to_endpoint=task.endpoint_id, reason="breaker_open",
+        )
+
+
+class TimeoutInterceptor(Interceptor):
+    """Per-task deadlines over the whole lifetime, retries included."""
+
+    name = "timeout"
+
+    def on_accepted(self, entry, timeout: Optional[float]) -> None:
+        if timeout is None:
+            return
+        entry.deadline = self.service.clock.now + timeout
+        self.service.clock.call_after(
+            timeout, lambda: self._deadline_fired(entry, timeout)
+        )
+
+    def _deadline_fired(self, entry, timeout: float) -> None:
+        """A per-task deadline event: fail the task if it is still alive."""
+        task = entry.task
+        if task.state.is_terminal:
+            return
+        error = TaskTimeout(
+            f"task {task.task_id} exceeded its {timeout:g}s deadline "
+            f"(attempt {entry.attempt})"
+        )
+        self.service.resilience.timeouts += 1
+        self.service.events.emit(
+            self.service.clock.now, "faas", "task.timeout",
+            task_id=task.task_id, endpoint=task.endpoint_id,
+            timeout=timeout, attempt=entry.attempt,
+        )
+        dispatcher = self.service._dispatchers.get(task.endpoint_id)
+        if dispatcher is not None:
+            if dispatcher.inflight is entry:
+                dispatcher.abort_inflight(error)
+                dispatcher.pump()
+                return
+            if entry in dispatcher.queue:
+                dispatcher.queue.remove(entry)
+        # waiting on its dispatch/backoff event, or queued: fail in place
+        self.service._complete(entry, None, error)
+
+
+class RetryInterceptor(Interceptor):
+    """Re-queue retryable failures with deterministic backoff."""
+
+    name = "retry"
+
+    def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
+        if error is None:
+            return False
+        service = self.service
+        task = entry.task
+        now = service.clock.now
+        policy = service.retry_policy
+        if policy is not None and policy.should_retry(error, entry.attempt):
+            delay = policy.delay(entry.attempt, task.task_id)
+            entry.attempt += 1
+            entry.aborted = False  # the retry's own callback must land
+            task.attempts = entry.attempt
+            task.state = TaskState.PENDING
+            service.resilience.retries += 1
+            target = task.endpoint_id
+            breaker = service.breaker_for(target)
+            if breaker is not None and breaker.state == CircuitBreaker.OPEN:
+                fallback_id = service.pipeline.failover.healthy_fallback(target)
+                if fallback_id is not None:
+                    if not task.original_endpoint_id:
+                        task.original_endpoint_id = target
+                    service._retarget(task, fallback_id)
+                    target = fallback_id
+                    service.resilience.failovers += 1
+                    service.events.emit(
+                        now, "faas", "task.failover",
+                        task_id=task.task_id,
+                        from_endpoint=task.original_endpoint_id,
+                        to_endpoint=target, reason="breaker_open",
+                    )
+            service.events.emit(
+                now, "faas", "task.retry",
+                task_id=task.task_id, endpoint=target,
+                attempt=entry.attempt, delay=round(delay, 6),
+                error=type(error).__name__,
+            )
+            dispatcher = service._dispatcher(target)
+            service.clock.call_after(delay, lambda: dispatcher.arrive(entry))
+            return True
+
+        if policy is not None and is_retryable(error):
+            service.resilience.give_ups += 1
+            service.events.emit(
+                now, "faas", "task.gave_up",
+                task_id=task.task_id, endpoint=task.endpoint_id,
+                attempts=entry.attempt, error=type(error).__name__,
+            )
+        return False
+
+
+class LeaseInterceptor(Interceptor):
+    """Heartbeat leases: task activity keeps an endpoint's lease alive."""
+
+    name = "lease"
+
+    def __init__(self, service) -> None:
+        super().__init__(service)
+        self.registry: Optional[LeaseRegistry] = None
+        self.dead: Set[str] = set()
+
+    def enable(self, ttl: float) -> LeaseRegistry:
+        if self.registry is None:
+            self.registry = LeaseRegistry(
+                self.service.clock, self.service.events, ttl=ttl,
+                on_expire=self._on_expired,
+            )
+            for endpoint_id in sorted(self.service._endpoints):
+                self.grant(endpoint_id)
+        return self.registry
+
+    def grant(self, endpoint_id: str) -> None:
+        if self.registry is None or endpoint_id in self.dead:
+            return
+        lease = self.registry.grant(endpoint_id)
+        endpoint = self.service._endpoints.get(endpoint_id)
+        if endpoint is not None:
+            endpoint.lease = lease
+
+    def renew(self, endpoint_id: str) -> None:
+        if self.registry is not None:
+            self.registry.renew(endpoint_id)
+
+    def mark_dead(self, endpoint_ids) -> None:
+        """Recovery learned these leases were dead at the crash."""
+        self.dead |= set(endpoint_ids)
+        for endpoint_id in endpoint_ids:
+            self.expire_recovered(endpoint_id)
+
+    def _on_expired(self, endpoint_id: str) -> None:
+        endpoint = self.service._endpoints.get(endpoint_id)
+        if endpoint is not None:
+            endpoint.lease = None
+        if endpoint is None or not endpoint.online:
+            return
+        endpoint.online = False
+        self.service.fail_inflight(
+            endpoint_id,
+            EndpointOffline(
+                f"endpoint {endpoint_id[:8]} lease expired (missed heartbeats)"
+            ),
+        )
+
+    def expire_recovered(self, endpoint_id: str) -> None:
+        """Mark a journal-declared-dead endpoint offline in this world."""
+        endpoint = self.service._endpoints.get(endpoint_id)
+        if endpoint is None or not endpoint.online:
+            return
+        endpoint.online = False
+        endpoint.lease = None
+        self.service.events.emit(
+            self.service.clock.now, "durability", "lease.expired",
+            endpoint=endpoint_id, phase="recovery",
+        )
+        self.service.fail_inflight(
+            endpoint_id,
+            EndpointOffline(
+                f"endpoint {endpoint_id[:8]} lease was dead at the crash"
+            ),
+        )
+
+    def on_register(self, endpoint_id: str) -> None:
+        if endpoint_id in self.dead:
+            # recovery learned from the journal that this endpoint's lease
+            # was already dead at the crash — never bring it up live
+            self.expire_recovered(endpoint_id)
+        else:
+            self.grant(endpoint_id)
+
+    def on_dispatched(self, entry, endpoint_id: str) -> None:
+        # dispatch is a heartbeat: the endpoint accepted work, so it lives
+        self.renew(endpoint_id)
+
+    def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
+        if error is None:
+            # a completed task is a heartbeat from its endpoint
+            self.renew(entry.task.endpoint_id)
+        return False
+
+
+class ReplayInterceptor(Interceptor):
+    """Write-ahead journal recording and journaled-result replay."""
+
+    name = "replay"
+
+    def __init__(self, service) -> None:
+        super().__init__(service)
+        self.journal = None
+        self.index: Optional[ReplayIndex] = None
+        # exactly-once audit: keys whose bodies actually ran vs. keys
+        # whose journaled results were replayed (disjoint by design)
+        self.executed_keys: Set[str] = set()
+        self.replayed_keys: Set[str] = set()
+
+    def wrap_spec(self, entry, spec: FunctionSpec) -> FunctionSpec:
+        """The spec this dispatch should execute, possibly instrumented.
+
+        Replay mode substitutes a journaled-SUCCESS body: the recorded
+        result comes back after re-materialising remote side effects (the
+        function's registered restorer) and advancing the clock by the
+        journaled body cost, so every span and event the live path would
+        produce still appears — at identical virtual times — without the
+        body ever re-executing. Record mode wraps the body with plain
+        start/end cost capture. With durability off, the spec passes
+        through untouched.
+        """
+        task = entry.task
+        record = None
+        if self.index is not None:
+            record = self.index.replay_record(task.idempotency_key)
+        if record is not None:
+            task.replayed = True
+            self.replayed_keys.add(task.idempotency_key)
+            self.service.events.emit(
+                self.service.clock.now, "durability", "task.replayed",
+                task_id=task.task_id, key=task.idempotency_key,
+                endpoint=task.endpoint_id, function=spec.name,
+            )
+            return replace(spec, fn=self._replay_body(task, spec, record))
+        if self.journal is None and self.index is None:
+            return spec
+        return replace(spec, fn=self._recording_body(task, spec))
+
+    def _replay_body(self, task: Task, spec: FunctionSpec, record: dict):
+        clock = self.service.clock
+
+        def body(fctx, *args, **kwargs):
+            result = deserialize(record.get("result", "null"))
+            started = clock.now
+            restorer = restorer_for(spec.name)
+            if restorer is not None:
+                restorer(fctx, result, *args, **kwargs)
+            # whatever time the restorer consumed counts toward the
+            # journaled body cost — total advance equals the original
+            elapsed = float(record.get("body_elapsed") or 0.0)
+            remaining = elapsed - (clock.now - started)
+            if remaining > 1e-12:
+                clock.advance(remaining)
+            task.body_elapsed = elapsed
+            return result
+
+        return body
+
+    def _recording_body(self, task: Task, spec: FunctionSpec):
+        fn = spec.fn
+        clock = self.service.clock
+
+        def body(fctx, *args, **kwargs):
+            self.executed_keys.add(task.idempotency_key)
+            started = clock.now
+            try:
+                return fn(fctx, *args, **kwargs)
+            finally:
+                task.body_elapsed = clock.now - started
+
+        return body
+
+
+INTERCEPTORS = {
+    cls.name: cls
+    for cls in (
+        ReplayInterceptor,
+        LeaseInterceptor,
+        BreakerInterceptor,
+        FailoverInterceptor,
+        TimeoutInterceptor,
+        RetryInterceptor,
+    )
+}
+
+
+class Pipeline:
+    """An ordered interceptor chain wrapping the bare dispatch core."""
+
+    def __init__(self, service, order: Tuple[str, ...] = DEFAULT_ORDER) -> None:
+        unknown = [name for name in order if name not in INTERCEPTORS]
+        if unknown:
+            raise ValueError(
+                f"unknown interceptor(s) {unknown}; choices: {sorted(INTERCEPTORS)}"
+            )
+        self.service = service
+        self.order = tuple(order)
+        self.stages = [INTERCEPTORS[name](service) for name in order]
+        self._by_name: Dict[str, Interceptor] = {s.name: s for s in self.stages}
+
+    def __getitem__(self, name: str) -> Interceptor:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # named accessors for the stages the service itself must reach
+    @property
+    def breaker(self) -> BreakerInterceptor:
+        return self._by_name["breaker"]
+
+    @property
+    def failover(self) -> FailoverInterceptor:
+        return self._by_name["failover"]
+
+    @property
+    def lease(self) -> LeaseInterceptor:
+        return self._by_name["lease"]
+
+    @property
+    def replay(self) -> ReplayInterceptor:
+        return self._by_name["replay"]
+
+    # -- chain drivers -------------------------------------------------------
+    def register(self, endpoint_id: str) -> None:
+        for stage in self.stages:
+            stage.on_register(endpoint_id)
+
+    def admit(self, sub: SubmitContext) -> SubmitContext:
+        for stage in self.stages:
+            stage.admit(sub)
+        return sub
+
+    def submitted(self, entry, sub: SubmitContext) -> None:
+        for stage in self.stages:
+            stage.on_submitted(entry, sub)
+
+    def accepted(self, entry, timeout: Optional[float]) -> None:
+        for stage in self.stages:
+            stage.on_accepted(entry, timeout)
+
+    def wrap_spec(self, entry) -> FunctionSpec:
+        spec = entry.spec
+        for stage in self.stages:
+            spec = stage.wrap_spec(entry, spec)
+        return spec
+
+    def dispatched(self, entry, endpoint_id: str) -> None:
+        for stage in self.stages:
+            stage.on_dispatched(entry, endpoint_id)
+
+    def outcome(self, entry, result: Any, error: Optional[BaseException]) -> bool:
+        """Run the outcome chain; ``True`` means an interceptor re-queued
+        the task and the service must not finalize it."""
+        if error is not None:
+            self.service.resilience.count_error(error)
+        for stage in self.stages:
+            if stage.on_outcome(entry, result, error):
+                return True
+        return False

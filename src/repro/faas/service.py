@@ -1,44 +1,46 @@
-"""The FaaS cloud service: registry, submission, dispatch, results.
+"""The FaaS cloud service: the thin control-plane core.
 
-The submit→result path is deferred: :meth:`FaaSService.submit` validates
-the request, enqueues the task on a **per-endpoint dispatcher**, and
-returns a :class:`~repro.faas.future.TaskFuture` immediately — no virtual
-time passes. Control-plane cost (cloud overhead plus the runner↔cloud
-round trip) becomes a scheduled *dispatch event*; execution is driven by
-the shared :class:`~repro.util.clock.SimClock`. Tasks bound for different
-endpoints therefore interleave in virtual time: a pilot queue wait on one
-site overlaps with compute on another, which is the FaaS amortization
-argument of §6.1/§7.3 made concrete.
+After the layered split the service only validates, routes, and wires:
+the **placement plane** (:mod:`repro.faas.placement`) resolves pool/site
+targets through pluggable deterministic policies, the **resilience
+plane** (:mod:`repro.faas.pipeline`) composes retry/breaker/timeout/
+failover/replay/lease as ordered interceptors, and the **dispatch
+plane** (:mod:`repro.faas.dispatch`) does per-endpoint FIFO execution.
+
+:meth:`FaaSService.submit` returns a
+:class:`~repro.faas.future.TaskFuture` immediately — no virtual time
+passes. Control-plane cost (cloud overhead plus the runner↔cloud round
+trip) becomes a scheduled *dispatch event* on the shared
+:class:`~repro.util.clock.SimClock`, so tasks bound for different
+endpoints interleave in virtual time — the FaaS amortization argument of
+§6.1/§7.3 made concrete.
 """
 
 from __future__ import annotations
 
+import itertools
 import traceback
-from collections import deque
-from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.auth.oauth import AuthService, SCOPE_COMPUTE, Token
+from repro.auth.oauth import AuthService, SCOPE_COMPUTE
 from repro.durability.journal import task_key
-from repro.durability.lease import LeaseRegistry
-from repro.durability.recovery import ReplayIndex, restorer_for
 from repro.errors import (
-    CircuitOpen,
-    CoordinatorCrashed,
     EndpointNotFound,
     EndpointOffline,
     PayloadTooLarge,
-    PermissionDenied,
     ReproError,
     TaskFailed,
-    TaskTimeout,
     is_retryable,
 )
+from repro.faas.dispatch import EndpointDispatcher, PendingTask
+from repro.faas.durability import ServiceDurability
 from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
-from repro.faas.functions import FunctionRegistry, FunctionSpec
+from repro.faas.functions import FunctionRegistry
 from repro.faas.future import TaskFuture
+from repro.faas.pipeline import DEFAULT_ORDER, Pipeline, SubmitContext
+from repro.faas.placement import EndpointPool, RouteDecision, Router
 from repro.faas.task import Task, TaskState
-from repro.faults.injector import injector_of
 from repro.faults.resilience import (
     BreakerPolicy,
     CircuitBreaker,
@@ -49,11 +51,7 @@ from repro.telemetry import tracer_of
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
-from repro.util.serialization import (
-    DEFAULT_PAYLOAD_LIMIT,
-    deserialize,
-    serialized_size,
-)
+from repro.util.serialization import DEFAULT_PAYLOAD_LIMIT, serialized_size
 
 # Default cloud-side processing overhead per task (queueing, dispatch).
 # Constructor parameter ``cloud_overhead_seconds`` overrides it so the
@@ -65,7 +63,11 @@ Endpoint = Union[UserEndpoint, MultiUserEndpoint]
 
 @dataclass
 class BatchRequest:
-    """One entry of a :meth:`FaaSService.submit_batch` submission."""
+    """One entry of a :meth:`FaaSService.submit_batch` submission.
+
+    ``endpoint_id`` may be an endpoint id, a pool name, or a site name
+    served by a registered pool.
+    """
 
     endpoint_id: str
     function_id: str
@@ -74,168 +76,12 @@ class BatchRequest:
     template: str = "default"
 
 
-@dataclass
-class _PendingTask:
-    """A validated task waiting on (or moving through) an endpoint queue."""
-
-    task: Task
-    future: TaskFuture
-    token: Token
-    spec: FunctionSpec
-    template: str
-    # telemetry span opened at submit time; carries the submitter's trace
-    # context across the async dispatch boundary
-    span: object = None
-    # resilience bookkeeping: 1-based dispatch attempt, the abort flag an
-    # offline/timeout abort sets so a stale completion callback for the
-    # doomed attempt is discarded, and the absolute deadline when the
-    # caller set a per-task timeout
-    attempt: int = 1
-    aborted: bool = False
-    deadline: Optional[float] = None
-
-
-class _EndpointDispatcher:
-    """FIFO dispatch loop for one endpoint.
-
-    Tasks arrive via scheduled dispatch events and run one at a time per
-    endpoint (the pilot holds one block); completion hands the loop to
-    the next queued task. Separate endpoints have separate dispatchers,
-    so their queues drain concurrently in virtual time.
-    """
-
-    def __init__(self, service: "FaaSService", endpoint_id: str) -> None:
-        self.service = service
-        self.endpoint_id = endpoint_id
-        self.queue: Deque[_PendingTask] = deque()
-        self.busy = False
-        self.inflight: Optional[_PendingTask] = None
-
-    def arrive(self, entry: _PendingTask) -> None:
-        self.queue.append(entry)
-        self.pump()
-
-    def abort_inflight(self, error: BaseException) -> Optional[_PendingTask]:
-        """Fail the in-flight task with ``error`` and free the lane.
-
-        Used when the endpoint drops offline (or a deadline fires) while
-        work is on the wire: the eventual completion callback for the
-        doomed attempt is discarded via the entry's ``aborted`` flag, and
-        the typed error goes through the normal completion path — so it
-        is retryable like any other failure.
-        """
-        entry = self.inflight
-        if entry is None:
-            return None
-        entry.aborted = True
-        self.inflight = None
-        self.busy = False
-        self.service._complete(entry, None, error)
-        return entry
-
-    def pump(self) -> None:
-        if self.busy or not self.queue:
-            return
-        entry = self.queue.popleft()
-        self.busy = True
-        self.inflight = entry
-        task = entry.task
-        task.state = TaskState.RUNNING
-        task.started_at = self.service.clock.now
-        self.service.events.emit(
-            self.service.clock.now, "faas", "task.dispatched",
-            task_id=task.task_id, endpoint=self.endpoint_id,
-            attempt=entry.attempt,
-        )
-        # dispatch is a heartbeat: the endpoint accepted work, so it lives
-        self.service._renew_lease(self.endpoint_id)
-        tracer = tracer_of(self.service.clock)
-        exec_span = tracer.start_span(
-            "task.execute",
-            parent=entry.span.context if entry.span is not None else None,
-            kind="execute", task_id=task.task_id, endpoint=self.endpoint_id,
-            dispatch_wait=self.service.clock.now - (task.submitted_at or 0.0),
-            attempt=entry.attempt,
-        )
-        # an abort (offline, deadline) may re-queue this entry as a new
-        # attempt before this attempt's completion event fires; the
-        # generation stamp lets the doomed callback recognise itself even
-        # after the retry has cleared the aborted flag
-        attempt_at_dispatch = entry.attempt
-
-        def on_done(result, error) -> None:
-            tracer.end_span(
-                exec_span,
-                status="ok" if error is None else "error",
-                error="" if error is None else f"{type(error).__name__}: {error}",
-            )
-            if entry.aborted or entry.attempt != attempt_at_dispatch:
-                # the abort already completed (and possibly re-queued)
-                # this entry; this is the doomed attempt reporting in late
-                return
-            # free the lane *before* resolving: done-callbacks may submit
-            # follow-up tasks to this endpoint and drive the clock.
-            self.busy = False
-            self.inflight = None
-            self.service._complete(entry, result, error)
-            self.pump()
-
-        try:
-            # the execute span is active for the whole dispatch chain, so
-            # pilot provisioning and Slurm submissions parent under it
-            with tracer.activate(exec_span.context):
-                endpoint = self.service._endpoints.get(self.endpoint_id)
-                if endpoint is None:
-                    raise EndpointNotFound(
-                        f"endpoint {self.endpoint_id!r} disappeared before dispatch"
-                    )
-                if not endpoint.online:
-                    raise EndpointOffline(
-                        f"endpoint {self.endpoint_id!r} went offline before dispatch"
-                    )
-                injector = injector_of(self.service.clock)
-                injector.check_dispatch(endpoint.site.name)
-                injected = injector.task_error_for(
-                    endpoint.site.name, entry.spec.name
-                )
-                if injected is not None:
-                    raise injected
-                # journal recording or journaled-result replay wraps the
-                # function body; with durability off this is entry.spec
-                spec = self.service._dispatch_spec(entry)
-                if isinstance(endpoint, MultiUserEndpoint):
-                    endpoint.execute_async(
-                        entry.token, spec, task.args, task.kwargs,
-                        on_done, template_name=entry.template,
-                    )
-                else:
-                    if (
-                        endpoint.owner is not None
-                        and endpoint.owner != entry.token.identity
-                    ):
-                        raise PermissionDenied(
-                            f"endpoint {self.endpoint_id[:8]} belongs to "
-                            f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
-                        )
-                    endpoint.execute_async(
-                        spec, task.args, task.kwargs, on_done
-                    )
-        except CoordinatorCrashed:
-            # a planned crash is the coordinator process dying, not a
-            # dispatch failure — let it unwind the whole run
-            raise
-        except BaseException as exc:  # noqa: BLE001 - dispatch-time failure
-            on_done(None, exc)
-
-
-class FaaSService:
+class FaaSService(ServiceDurability):
     """The hybrid cloud service endpoints register with.
 
-    :meth:`submit` enqueues and returns a :class:`TaskFuture`; the task
-    executes as the clock is driven past its dispatch, provisioning, and
-    completion events. ``future.result()`` (and the blocking client
-    wrapper built on it) drives the clock on the caller's behalf, so
-    code written against the old synchronous API behaves identically.
+    :meth:`submit` enqueues and returns a :class:`TaskFuture`;
+    ``future.result()`` drives the clock on the caller's behalf, so
+    synchronous-style callers behave identically.
     """
 
     def __init__(
@@ -248,6 +94,8 @@ class FaaSService:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
         offline_policy: str = "raise",
+        placement_policy: str = "pinned",
+        pipeline_order: Sequence[str] = DEFAULT_ORDER,
     ) -> None:
         self.clock = clock
         self.auth = auth
@@ -255,9 +103,7 @@ class FaaSService:
         self.functions = FunctionRegistry()
         self.payload_limit = payload_limit
         self.cloud_overhead_seconds = cloud_overhead_seconds
-        # resilience knobs — all default to off, preserving the exact
-        # fault-free behavior (tasks fail on first error, offline
-        # endpoints reject submissions synchronously, no breakers)
+        # resilience knobs default to off, preserving exact fault-free behavior
         self.retry_policy = retry_policy
         self.breaker_policy = breaker
         if offline_policy not in ("raise", "queue", "fail"):
@@ -266,51 +112,36 @@ class FaaSService:
             )
         self.offline_policy = offline_policy
         self.resilience = ResilienceStats()
+        self.pipeline = Pipeline(self, order=tuple(pipeline_order))
         self._endpoints: Dict[str, Endpoint] = {}
         self._tasks: Dict[str, Task] = {}
         self._futures: Dict[str, TaskFuture] = {}
-        self._dispatchers: Dict[str, _EndpointDispatcher] = {}
-        self._breakers: Dict[str, CircuitBreaker] = {}
-        self._fallbacks: Dict[str, str] = {}
+        self._dispatchers: Dict[str, EndpointDispatcher] = {}
         self._task_ids = IdFactory("task")
-        # durability — all off by default, preserving exact pre-journal
-        # behavior. A journal (attach_journal) turns on body-cost
-        # recording; a ReplayIndex (enable_replay) substitutes journaled
-        # results at dispatch; leases (enable_leases) track endpoint
-        # liveness with TTL heartbeats renewed by task activity.
-        self.journal = None
-        self.replay_index: Optional[ReplayIndex] = None
-        self.leases: Optional[LeaseRegistry] = None
-        # exactly-once audit: keys whose bodies actually ran vs. keys
-        # whose journaled results were replayed (disjoint by design)
-        self.executed_keys: Set[str] = set()
-        self.replayed_keys: Set[str] = set()
         self._idem_occurrences: Dict[str, int] = {}
-        self._dead_leases: Set[str] = set()
+        # live per-endpoint assigned-task counts feed least-loaded routing
+        self.router = Router(
+            queue_depth=self.load,
+            admissible=self._admissible,
+            weight_of=self._weight_of,
+            policy=placement_policy,
+        )
+        self._load: Dict[str, int] = {}
+        self._submit_seq = itertools.count()
 
     # -- registration ------------------------------------------------------------
     def register_endpoint(self, endpoint: Endpoint) -> str:
         self._endpoints[endpoint.endpoint_id] = endpoint
         self.events.emit(
             self.clock.now, "faas", "endpoint.registered",
-            endpoint_id=endpoint.endpoint_id,
-            site=endpoint.site.name,
+            endpoint_id=endpoint.endpoint_id, site=endpoint.site.name,
             endpoint_kind=type(endpoint).__name__,
         )
-        if endpoint.endpoint_id in self._dead_leases:
-            # recovery learned from the journal that this endpoint's lease
-            # was already dead at the crash — never bring it up live
-            self._expire_recovered_endpoint(endpoint.endpoint_id)
-        elif self.leases is not None:
-            self._grant_lease(endpoint.endpoint_id)
+        self.pipeline.register(endpoint.endpoint_id)
         return endpoint.endpoint_id
 
     def register_function(
-        self,
-        token_value: str,
-        fn,
-        name: str,
-        needs_outbound: bool = False,
+        self, token_value: str, fn, name: str, needs_outbound: bool = False
     ) -> str:
         token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
         function_id = self.functions.register(
@@ -332,38 +163,79 @@ class FaaSService:
     def endpoints(self) -> List[str]:
         return sorted(self._endpoints)
 
-    def _dispatcher(self, endpoint_id: str) -> _EndpointDispatcher:
+    def _dispatcher(self, endpoint_id: str) -> EndpointDispatcher:
         dispatcher = self._dispatchers.get(endpoint_id)
         if dispatcher is None:
-            dispatcher = _EndpointDispatcher(self, endpoint_id)
+            dispatcher = EndpointDispatcher(self, endpoint_id)
             self._dispatchers[endpoint_id] = dispatcher
         return dispatcher
 
-    # -- resilience --------------------------------------------------------------
+    # -- placement ---------------------------------------------------------------
+    def register_pool(
+        self, name: str, site: str = "", members: Iterable[str] = ()
+    ) -> EndpointPool:
+        """Register (or extend) a named pool of endpoints."""
+        pool = self.router.pools.get(name) or EndpointPool(name=name, site=site)
+        for endpoint_id in members:
+            self.endpoint(endpoint_id)  # must exist
+            pool.add(endpoint_id)
+        return self.router.register_pool(pool)
+
+    def resolve_route(self, target: str) -> RouteDecision:
+        """Resolve a submission target once, before any task exists.
+
+        A registered endpoint id is pinned placement (router bypassed,
+        nothing recorded); pool/site targets go through the active
+        policy. Callers needing route affinity across tasks resolve once
+        and pass the decision to every :meth:`submit`.
+        """
+        if target in self._endpoints:
+            return RouteDecision(endpoint_id=target)
+        return self.router.resolve(target)
+
+    def load(self, endpoint_id: str) -> int:
+        """Live queue depth: tasks assigned to the endpoint, not yet final."""
+        return self._load.get(endpoint_id, 0)
+
+    def _bind_load(self, endpoint_id: str) -> None:
+        self._load[endpoint_id] = self._load.get(endpoint_id, 0) + 1
+
+    def _unbind_load(self, endpoint_id: str) -> None:
+        self._load[endpoint_id] = max(0, self._load.get(endpoint_id, 0) - 1)
+
+    def _retarget(self, task: Task, endpoint_id: str) -> None:
+        """Move a task's assignment (and its load) to another endpoint."""
+        self._unbind_load(task.endpoint_id)
+        task.endpoint_id = endpoint_id
+        self._bind_load(endpoint_id)
+
+    def _admissible(self, endpoint_id: str) -> bool:
+        """Routable now: registered, online, and breaker not open."""
+        endpoint = self._endpoints.get(endpoint_id)
+        if endpoint is None or not endpoint.online:
+            return False
+        return not self.pipeline.breaker.is_open(endpoint_id)
+
+    def _weight_of(self, endpoint_id: str) -> float:
+        """Relative hardware speed of the endpoint's execution nodes."""
+        profiles = self.endpoint(endpoint_id).site.profiles
+        profile = profiles.get("compute", profiles["login"])
+        return profile.cpu_speed
+
+    # -- resilience (thin delegation to the pipeline) ----------------------------
     def declare_fallback(self, endpoint_id: str, fallback_id: str) -> None:
         """Declare where tasks reroute when ``endpoint_id``'s breaker opens."""
-        self._fallbacks[endpoint_id] = fallback_id
+        self.pipeline.failover.declare(endpoint_id, fallback_id)
 
     def breaker_for(self, endpoint_id: str) -> Optional[CircuitBreaker]:
         """The endpoint's circuit breaker (``None`` when breakers are off)."""
-        if self.breaker_policy is None:
-            return None
-        breaker = self._breakers.get(endpoint_id)
-        if breaker is None:
-            breaker = CircuitBreaker(self.breaker_policy)
-            self._breakers[endpoint_id] = breaker
-        return breaker
+        return self.pipeline.breaker.breaker_for(endpoint_id)
 
     def fail_inflight(
         self, endpoint_id: str, error: BaseException
     ) -> Optional[str]:
-        """Abort the task currently executing on ``endpoint_id``.
-
-        Called by the fault injector when an endpoint drops offline with
-        work on the wire. The task fails with the given typed error
-        through the normal completion path (so retry policy applies);
-        returns the aborted task id, or ``None`` if the lane was idle.
-        """
+        """Abort the in-flight task with ``error`` via the normal
+        completion path (so retry applies); task id, or ``None`` if idle."""
         dispatcher = self._dispatchers.get(endpoint_id)
         if dispatcher is None:
             return None
@@ -376,206 +248,7 @@ class FaaSService:
         if dispatcher is not None:
             dispatcher.pump()
 
-    # -- durability --------------------------------------------------------------
-    def attach_journal(self, journal) -> None:
-        """Switch dispatch into recording mode for ``journal``.
-
-        The journal itself is written by a
-        :class:`~repro.durability.checkpoint.RunCheckpointer` subscribed
-        to the event log; the service only needs to know recording is on
-        so every dispatched body is wrapped with cost capture (the
-        ``body_elapsed`` a later replay advances the clock by).
-        """
-        self.journal = journal
-
-    def enable_replay(self, index: ReplayIndex) -> None:
-        """Recovery mode: journaled-SUCCESS results replace re-execution.
-
-        Tasks whose idempotency key has a journaled successful completion
-        are never re-executed — their recorded results are replayed with
-        the recorded body cost, so timing, spans, and events match the
-        uninterrupted run exactly. Endpoints whose leases were dead at
-        the crash are marked offline (now, and on late registration).
-        """
-        self.replay_index = index
-        self._dead_leases |= set(index.dead_endpoints())
-        for endpoint_id in index.dead_endpoints():
-            self._expire_recovered_endpoint(endpoint_id)
-
-    @classmethod
-    def recover(
-        cls,
-        journal,
-        clock: SimClock,
-        auth: AuthService,
-        events: Optional[EventLog] = None,
-        **kwargs,
-    ) -> "FaaSService":
-        """Rebuild a service from a crashed coordinator's journal.
-
-        The recovered service starts empty — endpoints and functions
-        re-register exactly as at first boot — but carries the journal's
-        :class:`ReplayIndex`, so re-submissions deduplicate by
-        idempotency key (journaled completions replay; orphans re-run)
-        and dead-lease endpoints come back offline.
-        """
-        service = cls(clock, auth, events=events, **kwargs)
-        service.enable_replay(ReplayIndex(journal))
-        return service
-
-    def resubmit_orphans(self, token_value: str) -> List[TaskFuture]:
-        """Re-submit journaled-submitted-but-never-completed tasks.
-
-        The crashed coordinator accepted these tasks but never saw them
-        finish; their journaled payloads are re-submitted to their
-        recorded endpoints (an endpoint dead at the crash is offline
-        here, so the standard ``offline_policy`` / breaker / fallback
-        machinery routes around it). Returns the new futures in journal
-        order.
-        """
-        if self.replay_index is None:
-            raise ValueError(
-                "no replay index attached; call enable_replay or recover first"
-            )
-        futures: List[TaskFuture] = []
-        for data in self.replay_index.orphans().values():
-            payload = deserialize(
-                data.get("payload", '{"args": [], "kwargs": {}}')
-            )
-            futures.append(
-                self.submit(
-                    token_value,
-                    data["endpoint"],
-                    data["function_id"],
-                    args=tuple(payload.get("args", ())),
-                    kwargs=dict(payload.get("kwargs", {})),
-                )
-            )
-        return futures
-
-    def enable_leases(self, ttl: float = 3600.0) -> LeaseRegistry:
-        """Turn on heartbeat leases for endpoint liveness.
-
-        Every registered endpoint (present and future) gets a TTL lease,
-        renewed passively by task activity — dispatch and completion both
-        count as heartbeats. Expiry marks the endpoint offline and fails
-        its in-flight work with :class:`EndpointOffline` (retryable), so
-        the standard retry/breaker/failover path takes over.
-        """
-        if self.leases is None:
-            self.leases = LeaseRegistry(
-                self.clock, self.events, ttl=ttl,
-                on_expire=self._on_lease_expired,
-            )
-            for endpoint_id in sorted(self._endpoints):
-                self._grant_lease(endpoint_id)
-        return self.leases
-
-    def _grant_lease(self, endpoint_id: str) -> None:
-        if self.leases is None or endpoint_id in self._dead_leases:
-            return
-        lease = self.leases.grant(endpoint_id)
-        endpoint = self._endpoints.get(endpoint_id)
-        if endpoint is not None:
-            endpoint.lease = lease
-
-    def _renew_lease(self, endpoint_id: str) -> None:
-        if self.leases is not None:
-            self.leases.renew(endpoint_id)
-
-    def _on_lease_expired(self, endpoint_id: str) -> None:
-        endpoint = self._endpoints.get(endpoint_id)
-        if endpoint is not None:
-            endpoint.lease = None
-        if endpoint is None or not endpoint.online:
-            return
-        endpoint.online = False
-        self.fail_inflight(
-            endpoint_id,
-            EndpointOffline(
-                f"endpoint {endpoint_id[:8]} lease expired (missed heartbeats)"
-            ),
-        )
-
-    def _expire_recovered_endpoint(self, endpoint_id: str) -> None:
-        """Mark a journal-declared-dead endpoint offline in this world."""
-        endpoint = self._endpoints.get(endpoint_id)
-        if endpoint is None or not endpoint.online:
-            return
-        endpoint.online = False
-        endpoint.lease = None
-        self.events.emit(
-            self.clock.now, "durability", "lease.expired",
-            endpoint=endpoint_id, phase="recovery",
-        )
-        self.fail_inflight(
-            endpoint_id,
-            EndpointOffline(
-                f"endpoint {endpoint_id[:8]} lease was dead at the crash"
-            ),
-        )
-
-    def _dispatch_spec(self, entry: _PendingTask) -> FunctionSpec:
-        """The spec this dispatch should execute, possibly instrumented.
-
-        Replay mode substitutes a journaled-SUCCESS body: the recorded
-        result comes back after re-materialising remote side effects (the
-        function's registered restorer) and advancing the clock by the
-        journaled body cost, so every span and event the live path would
-        produce still appears — at identical virtual times — without the
-        body ever re-executing. Record mode wraps the body with plain
-        start/end cost capture. With durability off, the spec passes
-        through untouched.
-        """
-        task, spec = entry.task, entry.spec
-        record = None
-        if self.replay_index is not None:
-            record = self.replay_index.replay_record(task.idempotency_key)
-        if record is not None:
-            task.replayed = True
-            self.replayed_keys.add(task.idempotency_key)
-            self.events.emit(
-                self.clock.now, "durability", "task.replayed",
-                task_id=task.task_id, key=task.idempotency_key,
-                endpoint=task.endpoint_id, function=spec.name,
-            )
-            return replace(spec, fn=self._replay_body(task, spec, record))
-        if self.journal is None and self.replay_index is None:
-            return spec
-        return replace(spec, fn=self._recording_body(task, spec))
-
-    def _replay_body(self, task: Task, spec: FunctionSpec, record: dict):
-        def body(fctx, *args, **kwargs):
-            result = deserialize(record.get("result", "null"))
-            started = self.clock.now
-            restorer = restorer_for(spec.name)
-            if restorer is not None:
-                restorer(fctx, result, *args, **kwargs)
-            # whatever time the restorer consumed counts toward the
-            # journaled body cost — total advance equals the original
-            elapsed = float(record.get("body_elapsed") or 0.0)
-            remaining = elapsed - (self.clock.now - started)
-            if remaining > 1e-12:
-                self.clock.advance(remaining)
-            task.body_elapsed = elapsed
-            return result
-
-        return body
-
-    def _recording_body(self, task: Task, spec: FunctionSpec):
-        fn = spec.fn
-
-        def body(fctx, *args, **kwargs):
-            self.executed_keys.add(task.idempotency_key)
-            started = self.clock.now
-            try:
-                return fn(fctx, *args, **kwargs)
-            finally:
-                task.body_elapsed = self.clock.now - started
-
-        return body
-
-    # -- task lifecycle -------------------------------------------------------------
+    # -- task lifecycle ----------------------------------------------------------
     def submit(
         self,
         token_value: str,
@@ -585,60 +258,29 @@ class FaaSService:
         kwargs: Optional[dict] = None,
         template: str = "default",
         timeout: Optional[float] = None,
+        route: Optional[RouteDecision] = None,
     ) -> TaskFuture:
         """Enqueue one task; returns its future immediately.
 
-        Validation (credentials, endpoint existence, payload size)
-        happens eagerly and raises, mirroring the SDK rejecting a request
-        at the cloud's front door. An offline endpoint is handled per
-        ``offline_policy``: ``raise`` (default) rejects synchronously,
-        ``queue`` accepts and lets the dispatch fail (retryably) if the
-        endpoint is still down, ``fail`` returns an already-failed
-        future. An open circuit breaker reroutes to the declared fallback
-        endpoint or raises :class:`CircuitOpen`. ``timeout`` bounds the
-        task's total virtual-time lifetime, retries included; on expiry
-        the future fails with :class:`TaskTimeout` (not retried).
-        Everything downstream — dispatch, policy checks, provisioning,
-        execution — happens as clock events and surfaces through the
-        future.
+        ``endpoint_id`` may name an endpoint (pinned), a pool, or a site
+        served by a pool; pool/site targets go through the active
+        placement policy unless a pre-resolved ``route`` is supplied.
+        Validation raises eagerly; offline endpoints follow
+        ``offline_policy``; an open breaker reroutes to the declared
+        fallback or raises :class:`CircuitOpen`; ``timeout`` bounds the
+        task's total virtual-time lifetime, retries included.
         """
         kwargs = kwargs or {}
         token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
         spec = self.functions.get(function_id)
-        endpoint = self.endpoint(endpoint_id)
+        if route is None:
+            route = self.resolve_route(endpoint_id)
 
-        requested_endpoint = endpoint_id
-        failed_over = False
-        breaker = self.breaker_for(endpoint_id)
-        if breaker is not None:
-            before = breaker.state
-            allowed = breaker.allow(self.clock.now)
-            if breaker.state != before:
-                self.events.emit(
-                    self.clock.now, "faas", "breaker.half_open",
-                    endpoint=endpoint_id,
-                )
-            if not allowed:
-                fallback_id = self._fallbacks.get(endpoint_id)
-                fb_breaker = (
-                    self.breaker_for(fallback_id) if fallback_id else None
-                )
-                if (
-                    fallback_id
-                    and fallback_id != endpoint_id
-                    and (
-                        fb_breaker is None
-                        or fb_breaker.allow(self.clock.now)
-                    )
-                ):
-                    endpoint_id = fallback_id
-                    endpoint = self.endpoint(endpoint_id)
-                    failed_over = True
-                else:
-                    raise CircuitOpen(
-                        f"circuit open for endpoint {requested_endpoint[:8]} "
-                        f"and no healthy fallback declared"
-                    )
+        sub = self.pipeline.admit(
+            SubmitContext(requested=route.endpoint_id, endpoint_id=route.endpoint_id)
+        )
+        endpoint_id = sub.endpoint_id
+        endpoint = self.endpoint(endpoint_id)
 
         offline_error: Optional[EndpointOffline] = None
         if not endpoint.online:
@@ -648,8 +290,7 @@ class FaaSService:
                 offline_error = EndpointOffline(
                     f"endpoint {endpoint_id!r} was offline at submit"
                 )
-            # "queue": accept; the dispatch event re-checks liveness and
-            # fails retryably if the endpoint is still down
+            # "queue": accept; the dispatch event re-checks liveness
 
         payload_size = serialized_size({"args": list(args), "kwargs": kwargs})
         if payload_size > self.payload_limit:
@@ -658,9 +299,9 @@ class FaaSService:
                 f"(limit {self.payload_limit})"
             )
 
-        # exactly-once identity: function name + canonical payload + the
-        # Nth-identical-submission counter. Endpoint-independent, so a
-        # failed-over or re-routed task keeps its key.
+        # exactly-once identity: function + canonical payload + the Nth-
+        # identical-submission counter; endpoint-independent, so a failed-
+        # over or re-routed task keeps its key
         first_key = task_key(spec.name, args, kwargs, 0)
         occurrence = self._idem_occurrences.get(first_key, 0)
         self._idem_occurrences[first_key] = occurrence + 1
@@ -679,8 +320,12 @@ class FaaSService:
             kwargs=kwargs,
             submitted_at=self.clock.now,
             idempotency_key=idem_key,
+            routed_by=route.routed_by,
+            pool=route.pool,
+            queue_depth_at_route=route.queue_depth_at_route,
         )
         self._tasks[task.task_id] = task
+        self._bind_load(endpoint_id)
         future = TaskFuture(self.clock, task)
         self._futures[task.task_id] = future
         self.events.emit(
@@ -688,37 +333,38 @@ class FaaSService:
             task_id=task.task_id, function=spec.name,
             endpoint=endpoint_id, identity=token.identity.urn,
         )
-        if failed_over:
-            task.original_endpoint_id = requested_endpoint
-            self.resilience.failovers += 1
+        if not route.explicit:
             self.events.emit(
-                self.clock.now, "faas", "task.failover",
-                task_id=task.task_id, from_endpoint=requested_endpoint,
-                to_endpoint=endpoint_id, reason="breaker_open",
+                self.clock.now, "faas", "task.routed",
+                task_id=task.task_id, endpoint=endpoint_id,
+                policy=route.routed_by, pool=route.pool,
+                queue_depth=route.queue_depth_at_route,
             )
 
-        # task span parents under whatever is active at the submit site
-        # (a CI step, a CORRECT action...) and is carried on the pending
-        # entry so dispatch/execution can hang below it.
+        # the task span parents under whatever is active at the submit site
         span = tracer_of(self.clock).start_span(
             f"task:{spec.name}", kind="task",
             task_id=task.task_id, function=spec.name,
             endpoint=endpoint_id, site=endpoint.site.name,
         )
+        if not route.explicit:
+            span.attributes.update(
+                routed_by=route.routed_by, pool=route.pool,
+                queue_depth_at_route=route.queue_depth_at_route,
+            )
         future.span = span
-        entry = _PendingTask(task, future, token, spec, template, span=span)
+        entry = PendingTask(
+            task, future, token, spec, template,
+            seq=next(self._submit_seq), span=span,
+        )
+        self.pipeline.submitted(entry, sub)
 
         if offline_error is not None:
-            # offline_policy="fail": a typed, already-failed future —
-            # callers see EndpointOffline when they wait, never a raise
+            # offline_policy="fail": a typed, already-failed future
             self._finalize(entry, None, offline_error)
             return future
 
-        if timeout is not None:
-            entry.deadline = self.clock.now + timeout
-            self.clock.call_after(
-                timeout, lambda: self._deadline_fired(entry, timeout)
-            )
+        self.pipeline.accepted(entry, timeout)
 
         dispatcher = self._dispatcher(endpoint_id)
         # control-plane cost: runner -> cloud -> endpoint, as an event
@@ -730,146 +376,32 @@ class FaaSService:
         return future
 
     def submit_batch(
-        self,
-        token_value: str,
-        requests: Sequence[BatchRequest],
+        self, token_value: str, requests: Sequence[BatchRequest]
     ) -> List[TaskFuture]:
-        """Enqueue many tasks at once; futures come back in request order.
-
-        One authentication round covers the whole batch, and tasks fan
-        out to their endpoint dispatchers immediately — the bulk path the
-        ROADMAP's heavy-traffic goal calls for.
-        """
+        """Enqueue many tasks at once; futures come back in request order."""
         return [
             self.submit(
-                token_value,
-                request.endpoint_id,
-                request.function_id,
-                args=request.args,
-                kwargs=request.kwargs,
+                token_value, request.endpoint_id, request.function_id,
+                args=request.args, kwargs=request.kwargs,
                 template=request.template,
             )
             for request in requests
         ]
 
-    def _deadline_fired(self, entry: _PendingTask, timeout: float) -> None:
-        """A per-task deadline event: fail the task if it is still alive."""
-        task = entry.task
-        if task.state.is_terminal:
-            return
-        error = TaskTimeout(
-            f"task {task.task_id} exceeded its {timeout:g}s deadline "
-            f"(attempt {entry.attempt})"
-        )
-        self.resilience.timeouts += 1
-        self.events.emit(
-            self.clock.now, "faas", "task.timeout",
-            task_id=task.task_id, endpoint=task.endpoint_id,
-            timeout=timeout, attempt=entry.attempt,
-        )
-        dispatcher = self._dispatchers.get(task.endpoint_id)
-        if dispatcher is not None:
-            if dispatcher.inflight is entry:
-                dispatcher.abort_inflight(error)
-                dispatcher.pump()
-                return
-            if entry in dispatcher.queue:
-                dispatcher.queue.remove(entry)
-        # waiting on its dispatch/backoff event, or queued: fail in place
-        self._complete(entry, None, error)
-
     def _complete(
-        self, entry: _PendingTask, result, error: Optional[BaseException]
+        self, entry: PendingTask, result, error: Optional[BaseException]
     ) -> None:
-        """Absorb one dispatch outcome: retry, fail over, or finalize.
+        """Absorb one dispatch outcome through the resilience pipeline.
 
-        Success and permanent errors finalize immediately. Retryable
-        errors consult the retry policy; while attempts remain the task
-        is re-queued after a deterministic backoff (rerouted to the
-        declared fallback if this endpoint's breaker has opened), and the
-        future stays pending. The breaker sees every outcome.
+        An interceptor that re-queues the task reports it handled and
+        the future stays pending; otherwise the task finalizes here.
         """
-        task = entry.task
-        now = self.clock.now
-        breaker = self.breaker_for(task.endpoint_id)
-        if error is None:
-            # a completed task is a heartbeat from its endpoint
-            self._renew_lease(task.endpoint_id)
-            if breaker is not None:
-                before = breaker.state
-                breaker.record_success(now)
-                if before != breaker.state:
-                    self.events.emit(
-                        now, "faas", "breaker.close",
-                        endpoint=task.endpoint_id,
-                    )
-            self._finalize(entry, result, None)
+        if self.pipeline.outcome(entry, result, error):
             return
-
-        self.resilience.count_error(error)
-        if breaker is not None and breaker.record_failure(now):
-            self.resilience.breaker_trips += 1
-            self.events.emit(
-                now, "faas", "breaker.open",
-                endpoint=task.endpoint_id,
-                consecutive_failures=breaker.consecutive_failures,
-                trips=breaker.trips,
-            )
-
-        policy = self.retry_policy
-        if policy is not None and policy.should_retry(error, entry.attempt):
-            delay = policy.delay(entry.attempt, task.task_id)
-            entry.attempt += 1
-            entry.aborted = False  # the retry's own callback must land
-            task.attempts = entry.attempt
-            task.state = TaskState.PENDING
-            self.resilience.retries += 1
-            target = task.endpoint_id
-            if (
-                breaker is not None
-                and breaker.state == CircuitBreaker.OPEN
-            ):
-                fallback_id = self._fallbacks.get(target)
-                fb_breaker = (
-                    self.breaker_for(fallback_id) if fallback_id else None
-                )
-                if (
-                    fallback_id
-                    and fallback_id != target
-                    and (fb_breaker is None or fb_breaker.allow(now))
-                ):
-                    if not task.original_endpoint_id:
-                        task.original_endpoint_id = target
-                    task.endpoint_id = fallback_id
-                    target = fallback_id
-                    self.resilience.failovers += 1
-                    self.events.emit(
-                        now, "faas", "task.failover",
-                        task_id=task.task_id,
-                        from_endpoint=task.original_endpoint_id,
-                        to_endpoint=target, reason="breaker_open",
-                    )
-            self.events.emit(
-                now, "faas", "task.retry",
-                task_id=task.task_id, endpoint=target,
-                attempt=entry.attempt, delay=round(delay, 6),
-                error=type(error).__name__,
-            )
-            dispatcher = self._dispatcher(target)
-            self.clock.call_after(delay, lambda: dispatcher.arrive(entry))
-            return
-
-        if policy is not None and is_retryable(error):
-            self.resilience.give_ups += 1
-            self.events.emit(
-                now, "faas", "task.gave_up",
-                task_id=task.task_id, endpoint=task.endpoint_id,
-                attempts=entry.attempt, error=type(error).__name__,
-            )
         self._finalize(entry, result, error)
 
     def _finalize(
-        self, entry: _PendingTask, result, error: Optional[BaseException]
+        self, entry: PendingTask, result, error: Optional[BaseException]
     ) -> None:
         """Record a finished dispatch and resolve its future."""
         task = entry.task
@@ -898,6 +430,7 @@ class FaaSService:
                     )
                 )
         task.completed_at = self.clock.now
+        self._unbind_load(task.endpoint_id)
         tracer_of(self.clock).end_span(
             entry.span,
             status="ok" if task.state is TaskState.SUCCESS else "error",
@@ -939,11 +472,8 @@ class FaaSService:
             raise TaskFailed(f"unknown task {task_id!r}") from None
 
     def get_result(self, task_id: str):
-        """Result of a task; raises :class:`TaskFailed` with the remote error.
-
-        Blocking wrapper over the future: a task still in flight is
-        driven to completion in virtual time first.
-        """
+        """Result of a task, driven to completion in virtual time first;
+        raises :class:`TaskFailed` carrying the remote error."""
         task = self.drive_until_complete(task_id)
         if task.state is TaskState.FAILED:
             raise TaskFailed(
@@ -955,6 +485,4 @@ class FaaSService:
         return task.result
 
     def tasks_for(self, identity_urn: str) -> List[Task]:
-        return [
-            t for t in self._tasks.values() if t.identity_urn == identity_urn
-        ]
+        return [t for t in self._tasks.values() if t.identity_urn == identity_urn]

@@ -52,6 +52,12 @@ class Task:
     idempotency_key: str = ""
     body_elapsed: Optional[float] = None
     replayed: bool = False
+    # placement: which policy routed this task, through which pool, and
+    # the chosen endpoint's live queue depth at routing time — all empty
+    # or zero when the caller pinned an explicit endpoint
+    routed_by: str = ""
+    pool: str = ""
+    queue_depth_at_route: int = 0
 
     @property
     def queue_latency(self) -> Optional[float]:

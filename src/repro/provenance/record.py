@@ -90,6 +90,12 @@ class ExecutionRecord:
     # recovery provenance: True when the task's result came from a
     # write-ahead journal replay rather than a live execution
     task_replayed: bool = False
+    # placement provenance: which policy routed the task, through which
+    # pool, and the chosen endpoint's queue depth at routing time — all
+    # empty/zero for explicitly pinned submissions
+    routed_by: str = ""
+    pool: str = ""
+    queue_depth_at_route: int = 0
 
     @property
     def duration(self) -> float:

@@ -151,9 +151,18 @@ class TestSuite:
         self.cases.append(TestCase(name, work, fn, threads=threads, markers=markers))
 
     def select(self, keyword: Optional[str] = None) -> List[TestCase]:
+        """Cases matching a pytest-style ``-k`` expression.
+
+        A bare keyword is a substring match; ``"a or b"`` selects cases
+        matching any alternative. Case order is preserved either way.
+        """
         if keyword is None:
             return list(self.cases)
-        return [c for c in self.cases if keyword in c.name]
+        alternatives = [k.strip() for k in keyword.split(" or ") if k.strip()]
+        return [
+            c for c in self.cases
+            if any(alt in c.name for alt in alternatives)
+        ]
 
     def run(self, ctx: SuiteContext, keyword: Optional[str] = None) -> TestReport:
         """Execute test cases against ``ctx``, charging virtual time."""

@@ -10,7 +10,6 @@ from repro.util.serialization import serialize, deserialize, serialized_size
 __all__ = [
     "MeasuredRegion",
     "SimClock",
-    "Span",  # deprecated alias of MeasuredRegion
     "IdFactory",
     "deterministic_uuid",
     "EventLog",
@@ -20,13 +19,3 @@ __all__ = [
     "deserialize",
     "serialized_size",
 ]
-
-
-def __getattr__(name: str):
-    # Lazy forward so importing repro.util does not itself trigger the
-    # DeprecationWarning that accessing the Span alias now emits.
-    if name == "Span":
-        from repro.util import clock
-
-        return clock.Span
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

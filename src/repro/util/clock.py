@@ -16,7 +16,6 @@ from __future__ import annotations
 import contextlib
 import heapq
 import itertools
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
@@ -56,27 +55,12 @@ class MeasuredRegion:
 
     Not to be confused with :class:`repro.telemetry.Span`: a measured
     region is a nameless cost-accounting device (no end time, no parent,
-    no status), while a telemetry span is a node in a trace tree. This
-    class was previously named ``Span``; the old name remains as a
-    deprecated alias.
+    no status), while a telemetry span is a node in a trace tree.
     """
 
     def __init__(self, start: float) -> None:
         self.start = start
         self.elapsed = 0.0
-
-
-def __getattr__(name: str):
-    # Deprecated alias — the telemetry subsystem owns the name "Span" now.
-    if name == "Span":
-        warnings.warn(
-            "repro.util.clock.Span was renamed to MeasuredRegion; "
-            "the Span alias will be removed in a future release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return MeasuredRegion
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class SimClock:

@@ -10,7 +10,7 @@ it — the equivalent of "the internet plus four allocations" in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.actions.engine import Engine, EngineServices
 from repro.actions.runner import RunnerPool
@@ -64,6 +64,7 @@ class World:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
         offline_policy: str = "raise",
+        placement_policy: str = "pinned",
     ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
@@ -89,6 +90,7 @@ class World:
             self.clock, self.auth, events=self.events,
             retry_policy=retry_policy, breaker=breaker,
             offline_policy=offline_policy,
+            placement_policy=placement_policy,
         )
         self.provenance = ProvenanceStore()
         self.archive = PermanentArchive(self.clock)
@@ -246,16 +248,50 @@ class World:
         site_name: str,
         templates: Optional[Dict[str, EndpointTemplate]] = None,
         policy: Optional[HighAssurancePolicy] = None,
+        instance: str = "",
     ) -> MultiUserEndpoint:
-        """Deploy and register a multi-user endpoint at a site."""
+        """Deploy and register a multi-user endpoint at a site.
+
+        ``instance`` names one member of a multi-endpoint pool; the empty
+        default keeps the site's historical singleton endpoint id.
+        """
         mep = MultiUserEndpoint(
             site=self.site(site_name),
             shell_services=self.shell_services(),
             templates=templates,
             policy=policy,
+            instance=instance,
         )
         self.faas.register_endpoint(mep)
         return mep
+
+    def deploy_mep_pool(
+        self,
+        site_name: str,
+        size: int,
+        templates: Optional[Dict[str, EndpointTemplate]] = None,
+        policy: Optional[HighAssurancePolicy] = None,
+        pool_name: str = "",
+    ) -> List[MultiUserEndpoint]:
+        """Deploy ``size`` MEPs at a site and register them as a pool.
+
+        The first member keeps the site's historical singleton endpoint
+        id (instance ""), so a pool of one is byte-identical to a plain
+        :meth:`deploy_mep`. Tasks submitted to the pool name — or to the
+        site name — are routed by the FaaS service's placement policy.
+        """
+        meps = [
+            self.deploy_mep(
+                site_name, templates=templates, policy=policy,
+                instance="" if i == 0 else f"pool-{i}",
+            )
+            for i in range(size)
+        ]
+        self.faas.register_pool(
+            pool_name or site_name, site=site_name,
+            members=[mep.endpoint_id for mep in meps],
+        )
+        return meps
 
     def deploy_user_endpoint(
         self,

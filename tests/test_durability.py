@@ -3,7 +3,7 @@
 Covers the write-ahead journal (hash chain, stores, tampering), the
 idempotency key, heartbeat leases, the run checkpointer and its crash
 point, service-level recovery (replay + dedup), and the satellite items
-riding in the same PR: ``EventLog.replay_to``, the deprecated
+riding in the same PR: ``EventLog.replay_to``, the removal of the old
 ``util.clock.Span`` alias, golden retry-jitter vectors, and the crate's
 recovery provenance fields.
 """
@@ -170,29 +170,31 @@ class TestEventLogReplayTo:
         assert [e.kind for e in seen] == ["task.submitted", "task.completed"]
 
 
-class TestSpanDeprecation:
-    def test_clock_span_alias_warns(self):
+class TestSpanAliasRemoved:
+    """The deprecated ``util.clock.Span`` alias (warned since PR 4) is gone;
+    only the telemetry subsystem owns the name ``Span`` now."""
+
+    def test_clock_span_alias_is_gone(self):
         import repro.util.clock as clock_mod
 
-        with pytest.warns(DeprecationWarning, match="MeasuredRegion"):
-            alias = clock_mod.Span
-        assert alias is clock_mod.MeasuredRegion
+        with pytest.raises(AttributeError):
+            clock_mod.Span
 
-    def test_package_level_alias_warns(self):
+    def test_package_level_alias_is_gone(self):
         import repro.util as util_pkg
 
-        with pytest.warns(DeprecationWarning):
-            alias = util_pkg.Span
-        assert alias is util_pkg.MeasuredRegion
+        with pytest.raises(AttributeError):
+            util_pkg.Span
+        assert "Span" not in util_pkg.__all__
 
-    def test_other_attributes_do_not_warn(self):
+    def test_measured_region_remains(self):
+        import repro.util as util_pkg
         import repro.util.clock as clock_mod
 
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert clock_mod.SimClock is SimClock
-        with pytest.raises(AttributeError):
-            clock_mod.NoSuchThing
+            assert util_pkg.MeasuredRegion is clock_mod.MeasuredRegion
 
 
 class TestGoldenJitterVectors:

@@ -12,6 +12,7 @@ from repro.faas.client import ComputeClient
 from repro.faas.future import Future
 from repro.faas.task import TaskState
 from repro.scheduler.jobs import Job
+from repro.world import World
 
 
 @pytest.fixture
@@ -111,6 +112,58 @@ class TestTaskFuture:
         future = Future(world.clock)
         with pytest.raises(TaskFailed, match="deadlock"):
             future.result()
+
+
+class TestFifoAcrossRetry:
+    def test_retried_task_keeps_submission_order_on_endpoint(self):
+        """A re-enqueued attempt may not jump behind a later batch.
+
+        Batch 1's task fails once and re-arrives on the endpoint after its
+        backoff, while batch 2's tasks are already queued there. The
+        dispatcher must re-insert the retried attempt by submission
+        sequence — batch 1 still runs before batch 2's trailing task —
+        instead of appending it at the tail (the old interleaving bug).
+        """
+        from repro.faults.plan import FaultPlan, TaskError
+        from repro.faults.resilience import RetryPolicy
+
+        world = World(
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=2.0, seed=1)
+        )
+        original = world.site
+        world.site = (  # quiet site: no background queue load
+            lambda name, background_load=False: original(name, background_load)
+        )
+        plan = FaultPlan(seed=1).add(
+            TaskError(at=0.0, site="chameleon", count=1, transient=True)
+        )
+        world.install_faults(plan)
+        user = world.register_user("alice", {"chameleon": "cc"})
+        mep = common.deploy_site_mep(world, "chameleon")
+        client = ComputeClient(world.faas, user.client_id, user.client_secret)
+        world.arm_faults()
+
+        fid = client.register_function(_work, "work")
+        # batch 1: one quick task that the armed fault fails once
+        (first,) = client.submit_batch([BatchRequest(mep.endpoint_id, fid, (1.0,))])
+        # batch 2: a long task (in flight while batch 1 backs off) and a
+        # short one queued behind it
+        second, third = client.submit_batch(
+            [
+                BatchRequest(mep.endpoint_id, fid, (30.0,)),
+                BatchRequest(mep.endpoint_id, fid, (1.0,)),
+            ]
+        )
+        assert [f.result() for f in (first, second, third)] == [1.0, 30.0, 1.0]
+
+        t1 = world.faas.get_task(first.task_id)
+        t2 = world.faas.get_task(second.task_id)
+        t3 = world.faas.get_task(third.task_id)
+        assert t1.attempts == 2
+        # the retried attempt re-entered the queue *ahead* of batch 2's
+        # trailing task: completion order matches submission order
+        assert t1.completed_at <= t3.started_at
+        assert t2.completed_at <= t3.started_at
 
 
 class TestPilotQueueWaitAccounting:
