@@ -1,0 +1,37 @@
+"""Run the standard microbenchmark set and write BENCH_*.json.
+
+Usage: PYTHONPATH=src python benchmarks/perf/run_all.py [output_dir]
+
+Runs the scenarios CI and the PR workflow care about (the 1M-task
+stress scenario is opt-in: pass ``--with-1m``). Output defaults to the
+repository root so the BENCH_*.json files land next to README.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.bench import SCENARIOS, format_bench_report  # noqa: E402
+
+DEFAULT_SET = ("dispatch_10k", "dispatch_100k", "fig4_pooled")
+
+
+def main(argv: list) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    with_1m = "--with-1m" in argv
+    out_dir = args[0] if args else str(REPO_ROOT)
+    names = DEFAULT_SET + (("dispatch_1m",) if with_1m else ())
+    for name in names:
+        result = SCENARIOS[name]()
+        print(format_bench_report(result))
+        path = result.write(out_dir)
+        print(f"wrote {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,8 +21,10 @@ def test_exp63_all_artifacts_reproduce(benchmark, emit, result):
     benchmark.pedantic(run_exp63, rounds=1, iterations=1)
 
     sections = [f"run status: {result.run.status}"]
-    for name, output in sorted(result.artifact_outputs.items()):
-        sections.append(f"\n--- {name} ---\n{output}")
+    sections.extend(
+        f"\n--- {name} ---\n{output}"
+        for name, output in sorted(result.artifact_outputs.items())
+    )
     emit("exp63_kamping", "\n".join(sections))
 
     assert result.run.status == "success"

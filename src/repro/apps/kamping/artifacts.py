@@ -48,8 +48,10 @@ def _layers(comm: SimMPI):
 
 def _overhead_table(rows: List[Tuple[str, float, float]]) -> List[str]:
     lines = [f"{'layer':<20} {'wrapper(s)':>12} {'wire(s)':>12}"]
-    for name, wrapper, wire in rows:
-        lines.append(f"{name:<20} {wrapper:>12.6f} {wire:>12.6f}")
+    lines.extend(
+        f"{name:<20} {wrapper:>12.6f} {wire:>12.6f}"
+        for name, wrapper, wire in rows
+    )
     return lines
 
 

@@ -98,9 +98,9 @@ class CronCI:
     def tick(self) -> List[CronRun]:
         """One cron firing: pull + test each policy-allowed branch."""
         self.last_tick = self.handle.site.clock.now
-        results: List[CronRun] = []
-        for branch in self.branches_to_test():
-            results.append(self._run_branch(branch))
+        results: List[CronRun] = [
+            self._run_branch(branch) for branch in self.branches_to_test()
+        ]
         self.runs.extend(results)
         return results
 

@@ -139,10 +139,11 @@ def render_batch_attributes(spec: JobSpec) -> List[str]:
     test that exercises batch attributes fails with exactly this error,
     which is the failure CORRECT surfaces in Fig. 5.
     """
-    directives = []
-    for key, value in spec.attributes.items():  # BUG: should be custom_attributes
-        directives.append(f"#SBATCH --{key}={value}")
-    return directives
+    return [
+        # BUG: should be custom_attributes
+        f"#SBATCH --{key}={value}"
+        for key, value in spec.attributes.items()
+    ]
 
 
 def render_batch_attributes_fixed(spec: JobSpec) -> List[str]:
@@ -152,10 +153,10 @@ def render_batch_attributes_fixed(spec: JobSpec) -> List[str]:
     reproduce Fig. 5's failing artifact *without* the library bug: the
     identical ``AttributeError`` is injected by the fault layer instead.
     """
-    directives = []
-    for key, value in spec.custom_attributes.items():
-        directives.append(f"#SBATCH --{key}={value}")
-    return directives
+    return [
+        f"#SBATCH --{key}={value}"
+        for key, value in spec.custom_attributes.items()
+    ]
 
 
 def get_executor(name: str, handle: NodeHandle, partition: str = "") -> JobExecutor:

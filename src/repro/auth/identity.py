@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -11,16 +12,21 @@ from repro.util.ids import deterministic_uuid
 
 @dataclass(frozen=True)
 class Identity:
-    """A federated identity: ``user@provider`` with a stable UUID."""
+    """A federated identity: ``user@provider`` with a stable UUID.
+
+    ``urn`` and ``uuid`` are cached: identity resolution sits on the
+    per-task dispatch path (MEP identity mapping, audit records), and the
+    values are pure functions of the frozen fields.
+    """
 
     username: str
     provider: str
 
-    @property
+    @functools.cached_property
     def urn(self) -> str:
         return f"{self.username}@{self.provider}"
 
-    @property
+    @functools.cached_property
     def uuid(self) -> str:
         return deterministic_uuid("identity", self.urn)
 

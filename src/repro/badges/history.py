@@ -98,17 +98,17 @@ class BadgeHistoryModel:
         ]
         n_experiments = rng.randint(1, 3)
         remaining = max(1.0, cohort.mean_ae_hours - 3.0)
-        for i in range(n_experiments):
-            steps.append(
-                EvaluationStep(
-                    name=f"experiment-{i + 1}",
-                    kind="experiment",
-                    hours=max(
-                        0.5, rng.gauss(remaining / n_experiments, 1.0)
-                    ),
-                    defects=self._draw_defects(rng, cohort.defect_rate),
-                )
+        steps.extend(
+            EvaluationStep(
+                name=f"experiment-{i + 1}",
+                kind="experiment",
+                hours=max(
+                    0.5, rng.gauss(remaining / n_experiments, 1.0)
+                ),
+                defects=self._draw_defects(rng, cohort.defect_rate),
             )
+            for i in range(n_experiments)
+        )
         return ArtifactSubmission(
             repo_public=available,
             has_open_license=available or rng.random() < 0.3,

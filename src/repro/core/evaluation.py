@@ -132,8 +132,10 @@ class MultiSiteEvaluation:
             lines.append(f"| {test} | " + " | ".join(cells) + " |")
         checklist = self.crate.completeness_report()
         lines += ["", "## Evidence completeness", ""]
-        for check, ok in checklist.items():
-            lines.append(f"- [{'x' if ok else ' '}] {check.replace('_', ' ')}")
+        lines.extend(
+            f"- [{'x' if ok else ' '}] {check.replace('_', ' ')}"
+            for check, ok in checklist.items()
+        )
         return "\n".join(lines) + "\n"
 
 

@@ -67,8 +67,9 @@ def render_yaml(data: Any, indent: int = 0) -> str:
                 lines.append(render_yaml(value, indent + 2))
             elif isinstance(value, str) and "\n" in value:
                 lines.append(f"{pad}{key}: |")
-                for body_line in value.splitlines():
-                    lines.append(f"{pad}  {body_line}")
+                lines.extend(
+                    f"{pad}  {body_line}" for body_line in value.splitlines()
+                )
             else:
                 if isinstance(value, (dict, list)):
                     value = "{}" if isinstance(value, dict) else "[]"
@@ -89,8 +90,10 @@ def render_yaml(data: Any, indent: int = 0) -> str:
                         lines.append(render_yaml(value, indent + 4))
                     elif isinstance(value, str) and "\n" in value:
                         lines.append(f"{prefix}{key}: |")
-                        for body_line in value.splitlines():
-                            lines.append(f"{pad}    {body_line}")
+                        lines.extend(
+                            f"{pad}    {body_line}"
+                            for body_line in value.splitlines()
+                        )
                     else:
                         if isinstance(value, (dict, list)):
                             lines.append(f"{prefix}{key}: {_flow(value)}")

@@ -24,7 +24,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import CoordinatorCrashed
 from repro.util.events import Event, EventLog
-from repro.util.serialization import serialize
+from repro.util.serialization import serialize, serialize_call
 
 # Task-lifecycle kinds enriched with the idempotency key.
 _TASK_KINDS = {
@@ -77,6 +77,11 @@ class RunCheckpointer:
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+        # A batched journal buffers store writes; closing the run is a
+        # durability boundary, so drain whatever is pending.
+        flush = getattr(self.journal, "flush", None)
+        if flush is not None:
+            flush()
 
     def arm_crash(self, at_record: int) -> None:
         """Die the moment journal record ``at_record`` (1-based) lands."""
@@ -119,9 +124,7 @@ class RunCheckpointer:
         if event.kind == "task.submitted":
             # Enough to re-submit an orphan after recovery.
             data["function_id"] = task.function_id
-            data["payload"] = serialize(
-                {"args": list(task.args), "kwargs": dict(task.kwargs)}
-            )
+            data["payload"] = serialize_call(task.args, task.kwargs)
         if terminal:
             state = getattr(task.state, "value", str(task.state))
             data["result"] = serialize(task.result) if state == "SUCCESS" else ""

@@ -1,0 +1,315 @@
+"""Microbenchmark harness: the engine's performance trajectory.
+
+Every future PR needs a number to beat. This module drives the FaaS
+stack with seeded synthetic workloads (10k–1M tasks) and distills each
+run into a :class:`BenchResult` that serializes to ``BENCH_<scenario>.json``
+— wall time, tasks/sec, peak event counts, and p50/p95 dispatch latency
+in *virtual* time. The JSON schema (``repro-bench/1``) is documented in
+DESIGN.md §12.
+
+Two scenario families ship:
+
+* ``dispatch_*`` — N zero-dependency synthetic tasks with seeded
+  virtual durations, spread round-robin over M single-site endpoints.
+  This is a pure spine benchmark: submit validation, event emission,
+  dispatch scheduling, pilot execution, and completion fan-out, with
+  no workflow engine in the loop.
+* ``fig4_pooled`` — the full pooled Fig. 4 routing experiment, timed.
+  A macro-benchmark: CI engine, CORRECT action, placement, telemetry.
+
+``python -m repro bench <scenario>`` runs one and writes its JSON;
+``--baseline`` turns the run into a regression gate (used by the
+``bench-smoke`` CI job).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.telemetry import percentile
+
+SCHEMA = "repro-bench/1"
+
+# tasks are submitted (and peak-pending sampled) in slices of this size
+SUBMIT_SLICE = 1000
+
+
+@dataclass
+class BenchResult:
+    """One scenario's measurements, ready to serialize.
+
+    ``dispatch_latency_*`` are virtual-time seconds from ``task.submitted``
+    to ``task.dispatched``; wall-clock figures measure the simulator
+    itself, virtual figures measure the simulated system.
+    """
+
+    scenario: str
+    params: Dict[str, Any]
+    tasks: int
+    wall_seconds: float
+    tasks_per_second: float
+    virtual_makespan: float
+    events_emitted: int
+    peak_pending_events: int
+    dispatch_latency_p50: float
+    dispatch_latency_p95: float
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "results": {
+                "tasks": self.tasks,
+                "wall_seconds": round(self.wall_seconds, 4),
+                "tasks_per_second": round(self.tasks_per_second, 1),
+                "virtual_makespan": round(self.virtual_makespan, 3),
+                "events_emitted": self.events_emitted,
+                "peak_pending_events": self.peak_pending_events,
+                "dispatch_latency": {
+                    "p50": round(self.dispatch_latency_p50, 4),
+                    "p95": round(self.dispatch_latency_p95, 4),
+                },
+                **{k: v for k, v in sorted(self.extras.items())},
+            },
+            "meta": {
+                "python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+            },
+        }
+
+    def write(self, directory: str = ".") -> str:
+        path = f"{directory.rstrip('/')}/BENCH_{self.scenario}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return path
+
+
+def _bench_work(fctx, seconds: float) -> float:
+    """The synthetic task body: burn ``seconds`` of virtual compute."""
+    fctx.handle.compute(seconds)
+    return seconds
+
+
+def run_dispatch_bench(
+    tasks: int = 100_000,
+    endpoints: int = 8,
+    seed: int = 0,
+    mean_seconds: float = 2.0,
+    telemetry: bool = False,
+    span_sample_rate: Optional[float] = None,
+    journal_batch: int = 0,
+) -> BenchResult:
+    """N seeded synthetic tasks round-robin over M cloud endpoints.
+
+    Virtual task durations are uniform in ``[0.5, 1.5] * mean_seconds``
+    from ``random.Random(seed)``, so the same seed replays the same
+    workload. ``telemetry=True`` attaches the tracer/metrics bridge
+    (optionally with a span sampling rate); ``journal_batch > 0``
+    additionally journals the run with that store-flush batch size.
+    """
+    from repro.experiments import common
+    from repro.faas.client import ComputeClient
+    from repro.world import World
+
+    world_kwargs: Dict[str, Any] = {"telemetry": telemetry}
+    if span_sample_rate is not None:
+        from repro.telemetry.sampling import RatioSampler
+
+        world_kwargs["span_sampler"] = RatioSampler(span_sample_rate, seed=seed)
+    world = World(**world_kwargs)
+    if journal_batch:
+        from repro.durability.journal import Journal
+
+        world.attach_journal(Journal(batch_size=journal_batch))
+    user = world.register_user("bench", {"chameleon": "bench"})
+    pool = common.deploy_site_mep_pool(world, "chameleon", size=endpoints)
+    endpoint_ids = [mep.endpoint_id for mep in pool]
+    client = ComputeClient(world.faas, user.client_id, user.client_secret)
+    function_id = client.register_function(_bench_work, "bench-work")
+
+    rng = random.Random(seed)
+    durations = [
+        mean_seconds * (0.5 + rng.random()) for _ in range(tasks)
+    ]
+
+    clock = world.clock
+    peak_pending = 0
+    started = time.perf_counter()
+    futures = []
+    for base in range(0, tasks, SUBMIT_SLICE):
+        futures.extend(
+            client.submit(
+                endpoint_ids[index % endpoints],
+                function_id,
+                durations[index],
+            )
+            for index in range(base, min(base + SUBMIT_SLICE, tasks))
+        )
+        peak_pending = max(peak_pending, clock.pending_events())
+    clock.run_until_idle()
+    wall = time.perf_counter() - started
+
+    unresolved = [f for f in futures if not f.done()]
+    if unresolved:
+        raise RuntimeError(
+            f"dispatch bench: {len(unresolved)} of {tasks} futures unresolved"
+        )
+    if world.journal is not None:
+        world.journal.flush()
+
+    events = world.events
+    submitted = {
+        e.data["task_id"]: e.time for e in events.query("faas", "task.submitted")
+    }
+    latencies = [
+        e.time - submitted[e.data["task_id"]]
+        for e in events.query("faas", "task.dispatched")
+        if e.data["task_id"] in submitted
+    ]
+    params: Dict[str, Any] = {
+        "tasks": tasks,
+        "endpoints": endpoints,
+        "seed": seed,
+        "mean_seconds": mean_seconds,
+        "telemetry": telemetry,
+    }
+    if span_sample_rate is not None:
+        params["span_sample_rate"] = span_sample_rate
+    if journal_batch:
+        params["journal_batch"] = journal_batch
+    extras: Dict[str, Any] = {
+        "spans_recorded": len(world.tracer.spans),
+    }
+    if world.journal is not None:
+        extras["journal_records"] = len(world.journal)
+    return BenchResult(
+        scenario=f"dispatch_{_format_count(tasks)}",
+        params=params,
+        tasks=tasks,
+        wall_seconds=wall,
+        tasks_per_second=tasks / wall if wall > 0 else 0.0,
+        virtual_makespan=clock.now,
+        events_emitted=len(events),
+        peak_pending_events=peak_pending,
+        dispatch_latency_p50=percentile(latencies, 50),
+        dispatch_latency_p95=percentile(latencies, 95),
+        extras=extras,
+    )
+
+
+def run_fig4_pooled_bench(pool_size: int = 2) -> BenchResult:
+    """Time the full pooled Fig. 4 routing experiment (macro-benchmark)."""
+    from repro.experiments.routing import run_fig4_pooled
+
+    started = time.perf_counter()
+    comparison = run_fig4_pooled(pool_size=pool_size)
+    wall = time.perf_counter() - started
+
+    routed = comparison.routed
+    events = routed.world.events
+    submitted = {
+        e.data["task_id"]: e.time for e in events.query("faas", "task.submitted")
+    }
+    latencies = [
+        e.time - submitted[e.data["task_id"]]
+        for e in events.query("faas", "task.dispatched")
+        if e.data["task_id"] in submitted
+    ]
+    tasks = len(submitted)
+    return BenchResult(
+        scenario="fig4_pooled",
+        params={"pool_size": pool_size, "policy": routed.policy},
+        tasks=tasks,
+        wall_seconds=wall,
+        tasks_per_second=tasks / wall if wall > 0 else 0.0,
+        virtual_makespan=routed.makespan,
+        events_emitted=len(events),
+        peak_pending_events=routed.world.clock.pending_events(),
+        dispatch_latency_p50=percentile(latencies, 50),
+        dispatch_latency_p95=percentile(latencies, 95),
+        extras={
+            "pinned_makespan": round(comparison.pinned.makespan, 3),
+            "makespan_cut": round(comparison.improvement, 4),
+            "spans_recorded": len(routed.world.tracer.spans),
+        },
+    )
+
+
+def _format_count(count: int) -> str:
+    if count % 1_000_000 == 0 and count >= 1_000_000:
+        return f"{count // 1_000_000}m"
+    if count % 1000 == 0 and count >= 1000:
+        return f"{count // 1000}k"
+    return str(count)
+
+
+# named scenario -> zero-argument runner; CLI flags override via lambdas
+SCENARIOS: Dict[str, Callable[..., BenchResult]] = {
+    "dispatch_10k": lambda **kw: run_dispatch_bench(
+        tasks=kw.pop("tasks", 10_000), **kw
+    ),
+    "dispatch_100k": lambda **kw: run_dispatch_bench(
+        tasks=kw.pop("tasks", 100_000), **kw
+    ),
+    "dispatch_1m": lambda **kw: run_dispatch_bench(
+        tasks=kw.pop("tasks", 1_000_000), **kw
+    ),
+    "fig4_pooled": lambda **kw: run_fig4_pooled_bench(
+        pool_size=kw.pop("pool_size", 2)
+    ),
+}
+
+
+def check_against_baseline(
+    result: BenchResult, baseline_path: str, tolerance: float = 0.2
+) -> List[str]:
+    """Compare throughput against a committed baseline JSON.
+
+    Returns a list of human-readable failures (empty = within budget).
+    Only throughput is gated: wall time scales with machine speed in the
+    same direction, and virtual-time figures are deterministic anyway.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    base_tps = float(baseline["results"]["tasks_per_second"])
+    floor = base_tps * (1.0 - tolerance)
+    failures: List[str] = []
+    if result.tasks_per_second < floor:
+        failures.append(
+            f"throughput regression: {result.tasks_per_second:.1f} tasks/s "
+            f"< {floor:.1f} (baseline {base_tps:.1f} - {tolerance:.0%})"
+        )
+    base_scenario = baseline.get("scenario", "")
+    if base_scenario and base_scenario != result.scenario:
+        failures.append(
+            f"scenario mismatch: ran {result.scenario!r}, "
+            f"baseline is {base_scenario!r}"
+        )
+    return failures
+
+
+def format_bench_report(result: BenchResult) -> str:
+    lines = [
+        f"bench {result.scenario} — {result.tasks} tasks",
+        "",
+        f"  wall time:            {result.wall_seconds:10.2f} s",
+        f"  throughput:           {result.tasks_per_second:10.1f} tasks/s",
+        f"  virtual makespan:     {result.virtual_makespan:10.1f} s",
+        f"  events emitted:       {result.events_emitted:10d}",
+        f"  peak pending events:  {result.peak_pending_events:10d}",
+        f"  dispatch latency p50: {result.dispatch_latency_p50:10.2f} s (virtual)",
+        f"  dispatch latency p95: {result.dispatch_latency_p95:10.2f} s (virtual)",
+    ]
+    lines.extend(
+        f"  {key + ':':<22}{value:>10}"
+        for key, value in sorted(result.extras.items())
+    )
+    return "\n".join(lines)

@@ -227,10 +227,10 @@ def format_chaos_report(result: ChaosFig4Result) -> str:
         "",
         "breakers:",
     ]
-    for site, snap in result.breakers.items():
-        lines.append(
-            f"  {site:<12} state={snap['state']:<9} trips={snap['trips']}"
-        )
+    lines.extend(
+        f"  {site:<12} state={snap['state']:<9} trips={snap['trips']}"
+        for site, snap in result.breakers.items()
+    )
     lines += ["", f"injected faults fired: {len(result.injected)}"]
     for entry in result.injected:
         extra = {

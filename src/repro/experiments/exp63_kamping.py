@@ -74,17 +74,16 @@ def run_exp63(telemetry: bool = True) -> Exp63Result:
 
     mep = common.deploy_site_mep(world, SITE)
 
-    steps: List[dict] = []
-    for name in sorted(ARTIFACT_COMMANDS):
-        steps.append(
-            WorkflowBuilder.correct_step(
-                name=f"Artifact {name}",
-                step_id=name,
-                shell_cmd=f"docker run {KAMPING_IMAGE_REFERENCE} {name}",
-                artifact_prefix=f"ae-{name}",
-                clone="false",
-            )
+    steps: List[dict] = [
+        WorkflowBuilder.correct_step(
+            name=f"Artifact {name}",
+            step_id=name,
+            shell_cmd=f"docker run {KAMPING_IMAGE_REFERENCE} {name}",
+            artifact_prefix=f"ae-{name}",
+            clone="false",
         )
+        for name in sorted(ARTIFACT_COMMANDS)
+    ]
     builder = WorkflowBuilder("KaMPIng artifact evaluation").on_push()
     builder.add_job(
         "reproduce",

@@ -59,10 +59,12 @@ class Fig4Result:
 
 
 def build_world(
-    sites: Tuple[str, ...] = FIG4_SITES, telemetry: bool = True
+    sites: Tuple[str, ...] = FIG4_SITES,
+    telemetry: bool = True,
+    span_sampler=None,
 ) -> Tuple[World, object, Dict[str, str]]:
     """Set up the §6.1 testbed; returns (world, user, endpoint ids)."""
-    world = World(telemetry=telemetry)
+    world = World(telemetry=telemetry, span_sampler=span_sampler)
     accounts = {site: "x-vhayot" for site in sites}
     user = world.register_user("vhayot", accounts)
     endpoints: Dict[str, str] = {}
@@ -215,10 +217,14 @@ def run_fig4_overlap(
 
 
 def run_fig4(
-    sites: Tuple[str, ...] = FIG4_SITES, telemetry: bool = True
+    sites: Tuple[str, ...] = FIG4_SITES,
+    telemetry: bool = True,
+    span_sampler=None,
 ) -> Fig4Result:
     """Execute the full §6.1 experiment; returns the Fig. 4 series."""
-    world, user, endpoints = build_world(sites, telemetry=telemetry)
+    world, user, endpoints = build_world(
+        sites, telemetry=telemetry, span_sampler=span_sampler
+    )
     workflow_text = build_workflow(endpoints)
     environments = {
         f"hpc-{site}": {

@@ -167,11 +167,11 @@ def _render_outputs(world, run) -> str:
     lines = [f"run: {run.run_id} status={run.status} sha={run.sha}"]
     for job_run in run.jobs.values():
         lines.append(f"job: {job_run.job_id} status={job_run.status}")
-        for outcome in job_run.step_outcomes:
-            lines.append(
-                f"  step status={outcome.status} "
-                f"outputs={json.dumps(outcome.outputs, sort_keys=True)}"
-            )
+        lines.extend(
+            f"  step status={outcome.status} "
+            f"outputs={json.dumps(outcome.outputs, sort_keys=True)}"
+            for outcome in job_run.step_outcomes
+        )
     for site_name in RECOVERY_SITES:
         artifact = world.hub.artifacts.download(
             run.run_id, f"correct-{site_name}-stdout"
@@ -179,8 +179,10 @@ def _render_outputs(world, run) -> str:
         parsed = parse_pytest_stdout(artifact.content)
         lines.append(f"artifact: {artifact.name}")
         lines.append(artifact.content)
-        for test_name, (outcome, duration) in sorted(parsed.items()):
-            lines.append(f"  {test_name}: {outcome} {duration:.6f}")
+        lines.extend(
+            f"  {test_name}: {outcome} {duration:.6f}"
+            for test_name, (outcome, duration) in sorted(parsed.items())
+        )
     lines.append("log:")
     lines.extend(run.log)
     lines.append("provenance:")

@@ -206,19 +206,19 @@ def format_routing_report(comparison: RoutingComparison) -> str:
         "",
         "shard placement (routed run):",
     ]
-    for site_name, shards in sorted(routed.placements.items()):
-        for shard_name, endpoint_id in sorted(shards.items()):
-            lines.append(
-                f"  {site_name:<12} {shard_name:<8} -> {endpoint_id[:8]}"
-            )
+    lines.extend(
+        f"  {site_name:<12} {shard_name:<8} -> {endpoint_id[:8]}"
+        for site_name, shards in sorted(routed.placements.items())
+        for shard_name, endpoint_id in sorted(shards.items())
+    )
     lines.append("")
     lines.append(
         f"routing decisions recorded: {len(routed.decisions)} "
         f"(policy={routed.policy})"
     )
-    for decision in routed.decisions:
-        lines.append(
-            f"  pool={decision.pool:<12} -> {decision.endpoint_id[:8]}  "
-            f"depth_at_route={decision.queue_depth_at_route}"
-        )
+    lines.extend(
+        f"  pool={decision.pool:<12} -> {decision.endpoint_id[:8]}  "
+        f"depth_at_route={decision.queue_depth_at_route}"
+        for decision in routed.decisions
+    )
     return "\n".join(lines)

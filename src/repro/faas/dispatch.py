@@ -35,9 +35,13 @@ from repro.faults.injector import injector_of
 from repro.telemetry import tracer_of
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingTask:
-    """A validated task waiting on (or moving through) an endpoint queue."""
+    """A validated task waiting on (or moving through) an endpoint queue.
+
+    Slotted: one instance exists per live task, and at a million tasks
+    the per-instance ``__dict__`` is real memory.
+    """
 
     task: Task
     future: TaskFuture
@@ -128,13 +132,18 @@ class EndpointDispatcher:
         )
         self.service.pipeline.dispatched(entry, self.endpoint_id)
         tracer = tracer_of(self.service.clock)
-        exec_span = tracer.start_span(
-            "task.execute",
-            parent=entry.span.context if entry.span is not None else None,
-            kind="execute", task_id=task.task_id, endpoint=self.endpoint_id,
-            dispatch_wait=self.service.clock.now - (task.submitted_at or 0.0),
-            attempt=entry.attempt,
-        )
+        if tracer.enabled:
+            exec_span = tracer.start_span(
+                "task.execute",
+                parent=entry.span.context if entry.span is not None else None,
+                kind="execute", task_id=task.task_id, endpoint=self.endpoint_id,
+                dispatch_wait=(
+                    self.service.clock.now - (task.submitted_at or 0.0)
+                ),
+                attempt=entry.attempt,
+            )
+        else:
+            exec_span = tracer.start_span("task.execute")
         # an abort (offline, deadline) may re-queue this entry as a new
         # attempt before this attempt's completion event fires; the
         # generation stamp lets the doomed callback recognise itself even

@@ -136,10 +136,14 @@ class UserEndpoint:
         immediately — no code runs, so no time passes (§5.2)."""
         self.check_function_allowed(spec)
         executor = self._executor_for(spec)
-        tracer_of(self.site.clock).annotate(
-            local_user=self.local_user,
-            executor="compute" if executor is self._compute_executor else "login",
-        )
+        tracer = tracer_of(self.site.clock)
+        if tracer.enabled:
+            tracer.annotate(
+                local_user=self.local_user,
+                executor=(
+                    "compute" if executor is self._compute_executor else "login"
+                ),
+            )
         executor.submit_async(self._task_body(spec, args, kwargs), on_done)
 
     def stats(self) -> Dict[str, float]:
@@ -263,9 +267,9 @@ class MultiUserEndpoint:
         policy-violating identity never reaches a local account."""
         uep = self.user_endpoint(token, template_name)
         self._audit_task(token, spec)
-        tracer_of(self.site.clock).annotate(
-            template=template_name, identity=token.identity.urn
-        )
+        tracer = tracer_of(self.site.clock)
+        if tracer.enabled:
+            tracer.annotate(template=template_name, identity=token.identity.urn)
         uep.execute_async(spec, args, kwargs, on_done)
 
     def shutdown(self) -> None:

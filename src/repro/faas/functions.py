@@ -11,7 +11,7 @@ from repro.sites.site import NodeHandle
 from repro.util.ids import deterministic_uuid
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionContext:
     """What a remote function sees: the node it landed on plus a shell.
 

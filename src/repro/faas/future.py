@@ -34,6 +34,8 @@ class Future:
     a deadlock.
     """
 
+    __slots__ = ("_clock", "_resolved", "_result", "_exception", "_callbacks")
+
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self._clock = clock
         self._resolved = False
@@ -105,6 +107,8 @@ class TaskFuture(Future):
     until the task completes, returning the remote value or raising
     :class:`~repro.errors.TaskFailed` carrying the remote traceback.
     """
+
+    __slots__ = ("task", "span")
 
     def __init__(self, clock: SimClock, task: "Task") -> None:
         super().__init__(clock)

@@ -62,7 +62,7 @@ DEFAULT_ORDER: Tuple[str, ...] = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class SubmitContext:
     """Mutable admission state threaded through the submit-time chain."""
 
@@ -500,6 +500,22 @@ class Pipeline:
         self.order = tuple(order)
         self.stages = [INTERCEPTORS[name](service) for name in order]
         self._by_name: Dict[str, Interceptor] = {s.name: s for s in self.stages}
+        # Per-hook chains holding only the stages that actually override
+        # the hook: every chain driver runs per task, and walking six
+        # no-op stages per hook is pure overhead at scale. Computed from
+        # the classes, so behavior is identical by construction.
+        self._admit = self._overriding("admit")
+        self._on_submitted = self._overriding("on_submitted")
+        self._on_accepted = self._overriding("on_accepted")
+        self._wrap_spec = self._overriding("wrap_spec")
+        self._on_dispatched = self._overriding("on_dispatched")
+        self._on_outcome = self._overriding("on_outcome")
+
+    def _overriding(self, hook: str) -> Tuple[Interceptor, ...]:
+        base = getattr(Interceptor, hook)
+        return tuple(
+            s for s in self.stages if getattr(type(s), hook) is not base
+        )
 
     def __getitem__(self, name: str) -> Interceptor:
         return self._by_name[name]
@@ -530,26 +546,26 @@ class Pipeline:
             stage.on_register(endpoint_id)
 
     def admit(self, sub: SubmitContext) -> SubmitContext:
-        for stage in self.stages:
+        for stage in self._admit:
             stage.admit(sub)
         return sub
 
     def submitted(self, entry, sub: SubmitContext) -> None:
-        for stage in self.stages:
+        for stage in self._on_submitted:
             stage.on_submitted(entry, sub)
 
     def accepted(self, entry, timeout: Optional[float]) -> None:
-        for stage in self.stages:
+        for stage in self._on_accepted:
             stage.on_accepted(entry, timeout)
 
     def wrap_spec(self, entry) -> FunctionSpec:
         spec = entry.spec
-        for stage in self.stages:
+        for stage in self._wrap_spec:
             spec = stage.wrap_spec(entry, spec)
         return spec
 
     def dispatched(self, entry, endpoint_id: str) -> None:
-        for stage in self.stages:
+        for stage in self._on_dispatched:
             stage.on_dispatched(entry, endpoint_id)
 
     def outcome(self, entry, result: Any, error: Optional[BaseException]) -> bool:
@@ -557,7 +573,7 @@ class Pipeline:
         the task and the service must not finalize it."""
         if error is not None:
             self.service.resilience.count_error(error)
-        for stage in self.stages:
+        for stage in self._on_outcome:
             if stage.on_outcome(entry, result, error):
                 return True
         return False

@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import EndpointNotFound
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteDecision:
     """The outcome of one target resolution."""
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.auth.oauth import AuthService, SCOPE_COMPUTE
-from repro.durability.journal import task_key
+from repro.durability.journal import task_key_for_payload
 from repro.errors import (
     EndpointNotFound,
     EndpointOffline,
@@ -51,7 +51,11 @@ from repro.telemetry import tracer_of
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 from repro.util.ids import IdFactory
-from repro.util.serialization import DEFAULT_PAYLOAD_LIMIT, serialized_size
+from repro.util.serialization import (
+    DEFAULT_PAYLOAD_LIMIT,
+    serialize_call,
+    serialized_size,
+)
 
 # Default cloud-side processing overhead per task (queueing, dispatch).
 # Constructor parameter ``cloud_overhead_seconds`` overrides it so the
@@ -128,6 +132,9 @@ class FaaSService(ServiceDurability):
         )
         self._load: Dict[str, int] = {}
         self._submit_seq = itertools.count()
+        # pinned targets resolve to an immutable decision; reuse one per
+        # endpoint instead of rebuilding a frozen dataclass every submit
+        self._pinned_routes: Dict[str, RouteDecision] = {}
 
     # -- registration ------------------------------------------------------------
     def register_endpoint(self, endpoint: Endpoint) -> str:
@@ -190,7 +197,11 @@ class FaaSService(ServiceDurability):
         and pass the decision to every :meth:`submit`.
         """
         if target in self._endpoints:
-            return RouteDecision(endpoint_id=target)
+            decision = self._pinned_routes.get(target)
+            if decision is None:
+                decision = RouteDecision(endpoint_id=target)
+                self._pinned_routes[target] = decision
+            return decision
         return self.router.resolve(target)
 
     def load(self, endpoint_id: str) -> int:
@@ -292,23 +303,30 @@ class FaaSService(ServiceDurability):
                 )
             # "queue": accept; the dispatch event re-checks liveness
 
-        payload_size = serialized_size({"args": list(args), "kwargs": kwargs})
-        if payload_size > self.payload_limit:
-            raise PayloadTooLarge(
-                f"arguments serialize to {payload_size} bytes "
-                f"(limit {self.payload_limit})"
-            )
+        # one canonical serialization serves both the size limit and the
+        # idempotency key — serializing the payload is the single most
+        # expensive step of submit, so it happens exactly once
+        payload = serialize_call(args, kwargs)
+        # UTF-8 spends at most 4 bytes per character, so payloads short
+        # enough that 4x their length fits need no exact byte count
+        if len(payload) * 4 > self.payload_limit:
+            payload_size = len(payload.encode("utf-8"))
+            if payload_size > self.payload_limit:
+                raise PayloadTooLarge(
+                    f"arguments serialize to {payload_size} bytes "
+                    f"(limit {self.payload_limit})"
+                )
 
         # exactly-once identity: function + canonical payload + the Nth-
         # identical-submission counter; endpoint-independent, so a failed-
         # over or re-routed task keeps its key
-        first_key = task_key(spec.name, args, kwargs, 0)
+        first_key = task_key_for_payload(spec.name, payload, 0)
         occurrence = self._idem_occurrences.get(first_key, 0)
         self._idem_occurrences[first_key] = occurrence + 1
         idem_key = (
             first_key
             if occurrence == 0
-            else task_key(spec.name, args, kwargs, occurrence)
+            else task_key_for_payload(spec.name, payload, occurrence)
         )
 
         task = Task(
@@ -341,17 +359,23 @@ class FaaSService(ServiceDurability):
                 queue_depth=route.queue_depth_at_route,
             )
 
-        # the task span parents under whatever is active at the submit site
-        span = tracer_of(self.clock).start_span(
-            f"task:{spec.name}", kind="task",
-            task_id=task.task_id, function=spec.name,
-            endpoint=endpoint_id, site=endpoint.site.name,
-        )
-        if not route.explicit:
-            span.attributes.update(
-                routed_by=route.routed_by, pool=route.pool,
-                queue_depth_at_route=route.queue_depth_at_route,
+        # the task span parents under whatever is active at the submit site;
+        # the enabled guard keeps span-name/attribute building off the
+        # telemetry-disabled hot path entirely
+        tracer = tracer_of(self.clock)
+        if tracer.enabled:
+            span = tracer.start_span(
+                f"task:{spec.name}", kind="task",
+                task_id=task.task_id, function=spec.name,
+                endpoint=endpoint_id, site=endpoint.site.name,
             )
+            if not route.explicit:
+                span.attributes.update(
+                    routed_by=route.routed_by, pool=route.pool,
+                    queue_depth_at_route=route.queue_depth_at_route,
+                )
+        else:
+            span = tracer.start_span("task")
         future.span = span
         entry = PendingTask(
             task, future, token, spec, template,

@@ -18,13 +18,14 @@ class TaskState(enum.Enum):
         return self in (TaskState.SUCCESS, TaskState.FAILED)
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """Cloud-side record of one function invocation.
 
     ``result`` holds the deserialized return value on success;
     ``exception_text`` holds the remote traceback text on failure — the
-    text CORRECT surfaces in the Action log (Fig. 5).
+    text CORRECT surfaces in the Action log (Fig. 5). Slotted: one
+    record lives per submitted task for the life of the world.
     """
 
     task_id: str

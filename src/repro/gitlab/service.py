@@ -186,11 +186,11 @@ class GitLabService:
         project.schedules.append(branch or project.repository.default_branch)
 
     def scheduled_tick(self) -> List[PipelineRun]:
-        runs = []
-        for path, project in self.projects.items():
-            for branch in project.schedules:
-                runs.append(self.run_pipeline(path, branch, source="schedule"))
-        return runs
+        return [
+            self.run_pipeline(path, branch, source="schedule")
+            for path, project in self.projects.items()
+            for branch in project.schedules
+        ]
 
     # -- execution ---------------------------------------------------------------
     def run_pipeline(self, path: str, branch: str, source: str) -> PipelineRun:

@@ -119,15 +119,15 @@ class TestReport:
     def from_json(cls, text: str) -> "TestReport":
         data = json.loads(text)
         report = cls(suite=data["suite"])
-        for r in data["results"]:
-            report.results.append(
-                TestResult(
-                    name=r["name"],
-                    outcome=TestOutcome(r["outcome"]),
-                    duration=r["duration"],
-                    message=r.get("message", ""),
-                )
+        report.results.extend(
+            TestResult(
+                name=r["name"],
+                outcome=TestOutcome(r["outcome"]),
+                duration=r["duration"],
+                message=r.get("message", ""),
             )
+            for r in data["results"]
+        )
         return report
 
 
@@ -223,8 +223,10 @@ def format_pytest_output(report: TestReport) -> str:
         f"collected {len(report.results)} items",
         "",
     ]
-    for r in report.results:
-        lines.append(f"{report.suite}::{r.name} {r.outcome.value} [{r.duration:.2f}s]")
+    lines.extend(
+        f"{report.suite}::{r.name} {r.outcome.value} [{r.duration:.2f}s]"
+        for r in report.results
+    )
     failures = [
         r for r in report.results
         if r.outcome in (TestOutcome.FAILED, TestOutcome.ERROR)
@@ -232,8 +234,9 @@ def format_pytest_output(report: TestReport) -> str:
     if failures:
         lines.append("")
         lines.append("=================================== FAILURES ===================================")
-        for r in failures:
-            lines.append(f"FAILED {report.suite}::{r.name} - {r.message}")
+        lines.extend(
+            f"FAILED {report.suite}::{r.name} - {r.message}" for r in failures
+        )
     summary = []
     if report.passed:
         summary.append(f"{report.passed} passed")

@@ -30,17 +30,30 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     percentile,
 )
-from repro.telemetry.span import Span, SpanContext
+from repro.telemetry.sampling import (
+    ALWAYS_SAMPLER,
+    NEVER_SAMPLER,
+    AlwaysSampler,
+    NeverSampler,
+    RatioSampler,
+)
+from repro.telemetry.span import DROPPED_CONTEXT, Span, SpanContext
 from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer, tracer_of
 
 __all__ = [
+    "ALWAYS_SAMPLER",
+    "AlwaysSampler",
     "Counter",
+    "DROPPED_CONTEXT",
     "EventMetricsBridge",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NEVER_SAMPLER",
+    "NeverSampler",
     "NULL_TRACER",
     "NullTracer",
+    "RatioSampler",
     "Span",
     "SpanContext",
     "Tracer",

@@ -111,13 +111,15 @@ def chrome_trace(
             "args": args,
         })
     # name each trace's process after its root span
-    for span in spans:
-        if not span.parent_id:
-            events.append({
-                "name": "process_name", "ph": "M",
-                "pid": pids[span.trace_id], "tid": 0,
-                "args": {"name": f"{span.trace_id} {span.name}"},
-            })
+    events.extend(
+        {
+            "name": "process_name", "ph": "M",
+            "pid": pids[span.trace_id], "tid": 0,
+            "args": {"name": f"{span.trace_id} {span.name}"},
+        }
+        for span in spans
+        if not span.parent_id
+    )
 
     doc: Dict[str, Any] = {
         "traceEvents": events,

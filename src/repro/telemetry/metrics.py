@@ -205,6 +205,17 @@ class EventMetricsBridge:
     def __init__(self, registry: MetricsRegistry, events: EventLog) -> None:
         self.registry = registry
         self._submits: Dict[str, Tuple[float, str]] = {}
+        # Per-endpoint instrument caches for the three task-lifecycle
+        # kinds that dominate event volume: resolving an instrument
+        # through the registry rebuilds its sorted label key every time,
+        # which is measurable at a million tasks. Instruments are still
+        # created lazily at exactly the same point as before, so the
+        # registry's contents (and report output) are unchanged.
+        self._c_submitted: Dict[str, Counter] = {}
+        self._g_depth: Dict[str, Gauge] = {}
+        self._h_queue_wait: Dict[str, Histogram] = {}
+        self._h_latency: Dict[str, Histogram] = {}
+        self._c_completed: Dict[Tuple[str, str], Counter] = {}
         self._unsubscribe: Optional[Callable[[], None]] = events.subscribe(
             self.on_event
         )
@@ -221,27 +232,51 @@ class EventMetricsBridge:
         if kind == "task.submitted":
             endpoint = data.get("endpoint", "?")
             self._submits[data.get("task_id", "")] = (event.time, endpoint)
-            reg.counter("faas.tasks.submitted", endpoint=endpoint).inc()
-            reg.gauge("faas.dispatch.depth", endpoint=endpoint).inc()
+            counter = self._c_submitted.get(endpoint)
+            if counter is None:
+                counter = self._c_submitted[endpoint] = reg.counter(
+                    "faas.tasks.submitted", endpoint=endpoint
+                )
+            counter.inc()
+            gauge = self._g_depth.get(endpoint)
+            if gauge is None:
+                gauge = self._g_depth[endpoint] = reg.gauge(
+                    "faas.dispatch.depth", endpoint=endpoint
+                )
+            gauge.inc()
         elif kind == "task.dispatched":
             submitted = self._submits.get(data.get("task_id", ""))
             endpoint = data.get("endpoint", "?")
-            reg.gauge("faas.dispatch.depth", endpoint=endpoint).dec()
+            gauge = self._g_depth.get(endpoint)
+            if gauge is None:
+                gauge = self._g_depth[endpoint] = reg.gauge(
+                    "faas.dispatch.depth", endpoint=endpoint
+                )
+            gauge.dec()
             if submitted is not None:
-                reg.histogram(
-                    "faas.task.queue_wait", endpoint=endpoint
-                ).observe(event.time - submitted[0])
+                hist = self._h_queue_wait.get(endpoint)
+                if hist is None:
+                    hist = self._h_queue_wait[endpoint] = reg.histogram(
+                        "faas.task.queue_wait", endpoint=endpoint
+                    )
+                hist.observe(event.time - submitted[0])
         elif kind == "task.completed":
             submitted = self._submits.pop(data.get("task_id", ""), None)
             state = data.get("state", "?")
             if submitted is not None:
                 submit_time, endpoint = submitted
-                reg.histogram(
-                    "faas.task.latency", endpoint=endpoint
-                ).observe(event.time - submit_time)
-                reg.counter(
-                    "faas.tasks.completed", endpoint=endpoint, state=state
-                ).inc()
+                hist = self._h_latency.get(endpoint)
+                if hist is None:
+                    hist = self._h_latency[endpoint] = reg.histogram(
+                        "faas.task.latency", endpoint=endpoint
+                    )
+                hist.observe(event.time - submit_time)
+                counter = self._c_completed.get((endpoint, state))
+                if counter is None:
+                    counter = self._c_completed[(endpoint, state)] = reg.counter(
+                        "faas.tasks.completed", endpoint=endpoint, state=state
+                    )
+                counter.inc()
                 if str(state).upper() != "SUCCESS":
                     reg.counter("faas.tasks.failed", endpoint=endpoint).inc()
         elif kind == "job.submitted" and "job_id" in data:

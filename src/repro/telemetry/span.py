@@ -26,6 +26,13 @@ class SpanContext(NamedTuple):
     span_id: str
 
 
+# The context a sampled-out trace root hands to its would-be children:
+# any span started under it is dropped too, so an unsampled trace costs
+# zero span allocations end to end. Distinct from ``None`` (= "no parent,
+# start a fresh root"), which triggers a *new* sampling decision.
+DROPPED_CONTEXT = SpanContext("", "")
+
+
 class Span:
     """One named interval in a trace tree.
 
@@ -37,7 +44,7 @@ class Span:
 
     __slots__ = (
         "trace_id", "span_id", "parent_id", "name", "kind",
-        "start", "end", "attributes", "status", "error",
+        "start", "end", "_attributes", "status", "error",
     )
 
     def __init__(
@@ -57,9 +64,19 @@ class Span:
         self.kind = kind
         self.start = start
         self.end: Optional[float] = None
-        self.attributes: Dict[str, Any] = dict(attributes or {})
+        # Lazily materialized: the tracer hands over a fresh kwargs dict
+        # (adopted, not copied), and attribute-less spans never allocate
+        # one at all until someone actually reads or writes attributes.
+        self._attributes: Optional[Dict[str, Any]] = attributes or None
         self.status = STATUS_OK
         self.error = ""
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        attrs = self._attributes
+        if attrs is None:
+            attrs = self._attributes = {}
+        return attrs
 
     @property
     def context(self) -> SpanContext:
@@ -89,7 +106,7 @@ class Span:
             "end": self.end,
             "status": self.status,
             "error": self.error,
-            "attributes": dict(self.attributes),
+            "attributes": dict(self._attributes or {}),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -24,7 +24,9 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.telemetry.sampling import ALWAYS_SAMPLER
 from repro.telemetry.span import (
+    DROPPED_CONTEXT,
     STATUS_ERROR,
     STATUS_OK,
     Span,
@@ -40,18 +42,55 @@ ParentLike = Union[None, str, Span, SpanContext]
 CURRENT = "current"
 
 
+class _Activation:
+    """Slotted context manager for :meth:`Tracer.activate`.
+
+    Activation brackets every task dispatch and every span body; the
+    generator-based ``@contextmanager`` protocol costs three extra calls
+    per entry, which is real money at a million tasks.
+    """
+
+    __slots__ = ("_stack", "_context")
+
+    def __init__(
+        self, stack: List[Optional[SpanContext]], context: Optional[SpanContext]
+    ) -> None:
+        self._stack = stack
+        self._context = context
+
+    def __enter__(self) -> None:
+        self._stack.append(self._context)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stack.pop()
+
+
 class Tracer:
-    """Produces hierarchical spans stamped with virtual time."""
+    """Produces hierarchical spans stamped with virtual time.
+
+    ``sampler`` decides, once per trace *root*, whether the whole trace
+    materializes (see :mod:`repro.telemetry.sampling`). A sampled-out
+    root — and every descendant started under its context — resolves to
+    one shared inert span: attach-but-sample-out costs no allocations.
+    """
 
     enabled = True
 
-    def __init__(self, clock: SimClock, register: bool = True) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        register: bool = True,
+        sampler=None,
+    ) -> None:
         self.clock = clock
+        self.sampler = sampler if sampler is not None else ALWAYS_SAMPLER
         self.spans: List[Span] = []
         self._by_id: Dict[str, Span] = {}
         self._stack: List[Optional[SpanContext]] = []
         self._trace_ids = IdFactory("trace")
         self._span_ids = IdFactory("span")
+        self._dropped = _NullSpan()
+        self._dropped.context = DROPPED_CONTEXT
         if register:
             clock.tracer = self
 
@@ -70,15 +109,19 @@ class Tracer:
         :class:`Span` to parent across an async boundary.
         """
         if isinstance(parent, str):  # the CURRENT sentinel
-            parent_ctx = self.current()
+            parent_ctx = self._stack[-1] if self._stack else None
         elif isinstance(parent, Span):
             parent_ctx = parent.context
         else:
             parent_ctx = parent  # SpanContext or None
         if parent_ctx is None:
+            if not self.sampler.sample(name):
+                return self._dropped
             trace_id = self._trace_ids.next_id()
             parent_id = ""
         else:
+            if parent_ctx == DROPPED_CONTEXT:
+                return self._dropped
             trace_id = parent_ctx.trace_id
             parent_id = parent_ctx.span_id
         span = Span(
@@ -138,19 +181,14 @@ class Tracer:
         """The active context, or ``None`` outside any activation."""
         return self._stack[-1] if self._stack else None
 
-    @contextlib.contextmanager
-    def activate(self, context: Optional[SpanContext]) -> Iterator[None]:
+    def activate(self, context: Optional[SpanContext]) -> _Activation:
         """Make ``context`` the active parent for the dynamic extent.
 
         ``activate(None)`` deliberately detaches: spans started inside
         become new trace roots (used to keep synthetic background work
         out of CI traces).
         """
-        self._stack.append(context)
-        try:
-            yield
-        finally:
-            self._stack.pop()
+        return _Activation(self._stack, context)
 
     def annotate(self, **attributes: Any) -> None:
         """Merge attributes into the currently active span, if any."""
@@ -222,6 +260,21 @@ class Tracer:
         return [node(s) for s in by_parent.get("", [])]
 
 
+class _NoopActivation:
+    """Reusable do-nothing activation handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_ACTIVATION = _NoopActivation()
+
+
 class NullTracer:
     """API-compatible tracer that records nothing.
 
@@ -251,9 +304,8 @@ class NullTracer:
     def current(self) -> None:
         return None
 
-    @contextlib.contextmanager
-    def activate(self, context: Optional[SpanContext]) -> Iterator[None]:
-        yield
+    def activate(self, context: Optional[SpanContext]) -> "_NoopActivation":
+        return _NOOP_ACTIVATION
 
     def annotate(self, **attributes: Any) -> None:
         pass

@@ -9,34 +9,62 @@ The clock also provides a tiny discrete-event facility: callbacks can be
 scheduled at absolute virtual times and are fired in order whenever the
 clock moves past them (via :meth:`advance` or :meth:`run_until`). The batch
 scheduler uses this to model job start/finish events.
+
+Cancellation is *lazy*: a cancelled entry stays in the heap until it
+reaches the head (or a compaction sweep removes it), so :meth:`call_at`,
+:meth:`EventHandle.cancel`, :meth:`pending_events` and
+:meth:`next_event_time` are all O(1)/O(log n) — a million-task run never
+pays a linear scan per query. A live-entry counter keeps the bookkeeping
+exact, and the heap is compacted whenever cancelled entries outnumber
+live ones.
 """
 
 from __future__ import annotations
 
-import contextlib
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, List, Optional
+
+# compaction triggers only beyond this queue size; tiny queues never pay
+_COMPACT_MIN = 64
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One scheduled callback's state. The heap itself holds
+    ``(time, seq, event)`` tuples — ``seq`` is unique, so comparisons
+    resolve entirely in C tuple comparison and never reach the event
+    object. Heap sifts compare millions of entries in a large run; not
+    paying a Python-level ``__lt__`` per comparison is worth the tuple."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "in_queue")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.in_queue = True
 
 
 class EventHandle:
     """Handle returned by :meth:`SimClock.call_at`; supports cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    __slots__ = ("_event", "_clock")
+
+    def __init__(self, clock: "SimClock", event: _ScheduledEvent) -> None:
         self._event = event
+        self._clock = clock
 
     def cancel(self) -> None:
-        """Prevent the callback from firing. Idempotent."""
-        self._event.cancelled = True
+        """Prevent the callback from firing. Idempotent.
+
+        O(1): the entry is only flagged; the heap drops it lazily when it
+        surfaces, or in the next compaction sweep.
+        """
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if event.in_queue:
+                self._clock._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -58,9 +86,40 @@ class MeasuredRegion:
     no status), while a telemetry span is a node in a trace tree.
     """
 
+    __slots__ = ("start", "elapsed")
+
     def __init__(self, start: float) -> None:
         self.start = start
         self.elapsed = 0.0
+
+
+class _Measure:
+    """Context manager for :meth:`SimClock.measure`.
+
+    A plain slotted class rather than ``@contextlib.contextmanager``:
+    every simulated compute call opens a region, and the generator
+    protocol's per-entry overhead is measurable at millions of tasks.
+    """
+
+    __slots__ = ("_clock", "_region")
+
+    def __init__(self, clock: "SimClock") -> None:
+        self._clock = clock
+        self._region: Optional[MeasuredRegion] = None
+
+    def __enter__(self) -> MeasuredRegion:
+        clock = self._clock
+        region = MeasuredRegion(clock._now)
+        self._region = region
+        clock._regions.append(region)
+        return region
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        clock = self._clock
+        region = self._region
+        clock._regions.pop()
+        region.elapsed = clock._now - region.start
+        clock._now = region.start
 
 
 class SimClock:
@@ -75,8 +134,11 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: List[_ScheduledEvent] = []
-        self._counter = itertools.count()
+        self._queue: List[tuple] = []  # (time, seq, _ScheduledEvent)
+        self._seq = 0
+        # cancelled entries still sitting in the heap; live count is
+        # len(_queue) - _cancelled, maintained at every push/pop/cancel
+        self._cancelled = 0
         self._regions: List[MeasuredRegion] = []
         # Ambient telemetry: a repro.telemetry.Tracer registers itself
         # here so components reach trace context through the one object
@@ -98,15 +160,52 @@ class SimClock:
             raise ValueError(
                 f"cannot schedule event at t={when:.6f}, clock is at {self._now:.6f}"
             )
-        event = _ScheduledEvent(max(when, self._now), next(self._counter), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._seq += 1
+        event = _ScheduledEvent(
+            when if when > self._now else self._now, self._seq, callback
+        )
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        return EventHandle(self, event)
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, callback)
+
+    # -- lazy-deletion bookkeeping ------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An in-queue entry was just cancelled; compact when the dead
+        outnumber the living (classic lazy-deletion amortization)."""
+        self._cancelled += 1
+        queue = self._queue
+        if self._cancelled > _COMPACT_MIN and self._cancelled * 2 > len(queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify. O(live) — amortized
+        free, since at least as many entries die as survive."""
+        live: List[tuple] = []
+        for item in self._queue:
+            if item[2].cancelled:
+                item[2].in_queue = False
+            else:
+                live.append(item)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled = 0
+
+    def _peek_live(self) -> Optional[_ScheduledEvent]:
+        """The earliest non-cancelled entry, popping cancelled heads."""
+        queue = self._queue
+        while queue:
+            head = queue[0][2]
+            if not head.cancelled:
+                return head
+            heapq.heappop(queue)
+            head.in_queue = False
+            self._cancelled -= 1
+        return None
 
     def advance(self, duration: float) -> None:
         """Move the clock forward by ``duration`` seconds, firing events.
@@ -125,15 +224,21 @@ class SimClock:
             raise ValueError(
                 f"cannot run clock backwards to {target:.6f} from {self._now:.6f}"
             )
-        while self._queue and self._queue[0].time <= target + 1e-12:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        limit = target + 1e-12
+        while queue and queue[0][0] <= limit:
+            event = heapq.heappop(queue)[2]
+            event.in_queue = False
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = max(self._now, event.time)
+            if event.time > self._now:
+                self._now = event.time
             event.callback()
             # a nested measure region may have rewound the clock; events
             # it consumed are gone, so the loop stays monotone
-        self._now = max(self._now, target)
+        if target > self._now:
+            self._now = target
 
     def run_until_idle(self, limit: float = float("inf")) -> None:
         """Fire every pending event (events may schedule more events).
@@ -143,17 +248,13 @@ class SimClock:
         """
         if self._regions:
             raise RuntimeError("cannot drain events inside a measure() region")
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > limit:
+        while True:
+            head = self._peek_live()
+            if head is None or head.time > limit:
                 break
             self.run_until(head.time)
 
-    @contextlib.contextmanager
-    def measure(self) -> Iterator[MeasuredRegion]:
+    def measure(self) -> _Measure:
         """Run a region of code, capture its cost, and rewind the clock.
 
         Inside the region the clock behaves exactly as usual — the body
@@ -170,25 +271,20 @@ class SimClock:
         dispatch another task, whose own region rewinds its cost away so
         it is never charged to the outer span.
         """
-        span = MeasuredRegion(self._now)
-        self._regions.append(span)
-        try:
-            yield span
-        finally:
-            self._regions.pop()
-            span.elapsed = self._now - span.start
-            self._now = span.start
+        return _Measure(self)
 
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, non-cancelled events. O(1)."""
+        return len(self._queue) - self._cancelled
 
     def next_event_time(self) -> Optional[float]:
-        """Virtual time of the earliest pending event, or ``None``."""
-        live: List[Tuple[float, int]] = [
-            (e.time, e.seq) for e in self._queue if not e.cancelled
-        ]
-        return min(live)[0] if live else None
+        """Virtual time of the earliest pending event, or ``None``.
+
+        Amortized O(log n): cancelled entries at the heap head are popped
+        on the way past, never rescanned.
+        """
+        head = self._peek_live()
+        return head.time if head is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.3f}, pending={self.pending_events()})"

@@ -19,6 +19,9 @@ from typing import Any
 # Matches Globus Compute's documented task/result payload ceiling.
 DEFAULT_PAYLOAD_LIMIT = 10 * 1024 * 1024
 
+_INF = float("inf")
+_NEG_INF = float("-inf")
+
 
 def _encode(value: Any) -> Any:
     """Pre-transform values json would mis-serialize (tuples become lists
@@ -46,13 +49,18 @@ def _decode_hook(obj: dict) -> Any:
     return obj
 
 
+# json.dumps(..., sort_keys=True) constructs a fresh JSONEncoder per
+# call; this one is built once and produces identical text.
+_canonical_dumps = json.JSONEncoder(sort_keys=True).encode
+
+
 def serialize(value: Any) -> str:
     """Serialize ``value`` to canonical text.
 
     Raises ``TypeError`` for objects that are not data (open handles, live
     simulation objects...) — remote task payloads must be plain data.
     """
-    return json.dumps(_encode(value), sort_keys=True)
+    return _canonical_dumps(_encode(value))
 
 
 def deserialize(text: str) -> Any:
@@ -60,6 +68,41 @@ def deserialize(text: str) -> Any:
     return json.loads(text, object_hook=_decode_hook)
 
 
+_PLAIN_TYPES = (str, int, float, bool)
+
+
+def serialize_call(args: tuple, kwargs: dict) -> str:
+    """Canonical payload text for one function call.
+
+    Byte-identical to ``serialize({"args": list(args), "kwargs":
+    kwargs})``, but calls whose arguments are all plain scalars — the
+    overwhelmingly common case — skip the recursive encode walk, since
+    json renders scalars identically with or without it.
+    """
+    for value in args:
+        if value is not None and type(value) not in _PLAIN_TYPES:
+            return serialize({"args": list(args), "kwargs": kwargs})
+    for value in kwargs.values():
+        if value is not None and type(value) not in _PLAIN_TYPES:
+            return serialize({"args": list(args), "kwargs": kwargs})
+    return _canonical_dumps({"args": list(args), "kwargs": kwargs})
+
+
 def serialized_size(value: Any) -> int:
     """Size in bytes of the serialized representation of ``value``."""
+    # Scalars (the overwhelmingly common task result shape) need neither
+    # the encode walk nor a json render: json writes finite floats and
+    # ints via repr, booleans as true/false (same lengths as True/False),
+    # and null for None.
+    t = type(value)
+    if t is float:
+        if value == value and value not in (_INF, _NEG_INF):
+            return len(repr(value))
+        return len(json.dumps(value))  # nan/inf render as NaN/Infinity
+    if t is int or t is bool:
+        return len(repr(value))
+    if value is None:
+        return 4
+    if t is str:
+        return len(json.dumps(value).encode("utf-8"))
     return len(serialize(value).encode("utf-8"))

@@ -10,7 +10,7 @@ it — the equivalent of "the internet plus four allocations" in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.actions.engine import Engine, EngineServices
 from repro.actions.runner import RunnerPool
@@ -60,6 +60,7 @@ class World:
         start_time: float = 0.0,
         concurrent_jobs: bool = False,
         telemetry: bool = True,
+        span_sampler: Optional[Any] = None,
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
@@ -73,8 +74,10 @@ class World:
         # registers itself on the clock (ambient access via tracer_of);
         # the metrics bridge derives instruments purely from EventLog
         # subscriptions — no hot-path coupling.
+        # span_sampler (default: sample everything) trims span volume at
+        # scale without touching events or metrics.
         if telemetry:
-            self.tracer = Tracer(self.clock)
+            self.tracer = Tracer(self.clock, sampler=span_sampler)
             self.metrics = MetricsRegistry()
             self.telemetry_bridge = EventMetricsBridge(self.metrics, self.events)
         else:

@@ -1,0 +1,159 @@
+"""The microbenchmark harness: scenarios, schema, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    SCHEMA,
+    check_against_baseline,
+    format_bench_report,
+    run_dispatch_bench,
+)
+
+
+class TestDispatchBench:
+    def test_100k_dispatch_completes_fast(self):
+        # the headline scale target: 100k tasks through submit, dispatch,
+        # pilot execution, and completion without event-queue blowup
+        result = run_dispatch_bench(
+            tasks=100_000, endpoints=8, seed=42, telemetry=False
+        )
+        assert result.tasks == 100_000
+        assert result.wall_seconds < 60
+        # submitted + dispatched + completed per task, plus setup events
+        assert result.events_emitted >= 300_000
+        assert result.peak_pending_events > 0
+        assert result.virtual_makespan > 0
+        assert 0 < result.dispatch_latency_p50 <= result.dispatch_latency_p95
+
+    def test_virtual_figures_deterministic(self):
+        a = run_dispatch_bench(tasks=2000, endpoints=4, seed=7)
+        b = run_dispatch_bench(tasks=2000, endpoints=4, seed=7)
+        assert a.virtual_makespan == b.virtual_makespan
+        assert a.events_emitted == b.events_emitted
+        assert a.peak_pending_events == b.peak_pending_events
+        assert a.dispatch_latency_p50 == b.dispatch_latency_p50
+        assert a.dispatch_latency_p95 == b.dispatch_latency_p95
+
+    def test_seed_changes_workload(self):
+        a = run_dispatch_bench(tasks=500, endpoints=2, seed=1)
+        b = run_dispatch_bench(tasks=500, endpoints=2, seed=2)
+        assert a.virtual_makespan != b.virtual_makespan
+
+    def test_telemetry_and_journal_options(self):
+        result = run_dispatch_bench(
+            tasks=400, endpoints=2, seed=3,
+            telemetry=True, span_sample_rate=0.25, journal_batch=64,
+        )
+        full = run_dispatch_bench(
+            tasks=400, endpoints=2, seed=3, telemetry=True
+        )
+        # sampling drops whole task subtrees, never virtual-time behavior
+        assert result.virtual_makespan == full.virtual_makespan
+        assert 0 < result.extras["spans_recorded"] < full.extras["spans_recorded"]
+        assert result.extras["journal_records"] > 0
+        assert result.params["span_sample_rate"] == 0.25
+        assert result.params["journal_batch"] == 64
+
+
+class TestBenchJson:
+    def test_schema_round_trip(self, tmp_path):
+        result = run_dispatch_bench(tasks=1000, endpoints=2, seed=0)
+        path = result.write(str(tmp_path))
+        assert path.endswith("BENCH_dispatch_1k.json")
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == SCHEMA
+        assert doc["scenario"] == "dispatch_1k"
+        assert doc["params"]["tasks"] == 1000
+        results = doc["results"]
+        for key in (
+            "tasks", "wall_seconds", "tasks_per_second", "virtual_makespan",
+            "events_emitted", "peak_pending_events", "dispatch_latency",
+        ):
+            assert key in results
+        assert set(results["dispatch_latency"]) == {"p50", "p95"}
+
+    def test_report_mentions_headline_figures(self):
+        result = run_dispatch_bench(tasks=500, endpoints=2, seed=0)
+        report = format_bench_report(result)
+        assert "tasks/s" in report
+        assert "dispatch latency p95" in report
+
+
+class TestBaselineGate:
+    def _write_baseline(self, tmp_path, scenario, tps):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "schema": SCHEMA,
+            "scenario": scenario,
+            "results": {"tasks_per_second": tps},
+        }))
+        return str(path)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        result = run_dispatch_bench(tasks=500, endpoints=2, seed=0)
+        base = self._write_baseline(
+            tmp_path, result.scenario, result.tasks_per_second
+        )
+        assert check_against_baseline(result, base, tolerance=0.99) == []
+
+    def test_regression_fails(self, tmp_path):
+        result = run_dispatch_bench(tasks=500, endpoints=2, seed=0)
+        base = self._write_baseline(
+            tmp_path, result.scenario, result.tasks_per_second * 100
+        )
+        failures = check_against_baseline(result, base, tolerance=0.2)
+        assert failures and "regression" in failures[0]
+
+    def test_scenario_mismatch_fails(self, tmp_path):
+        result = run_dispatch_bench(tasks=500, endpoints=2, seed=0)
+        base = self._write_baseline(tmp_path, "dispatch_10k", 1.0)
+        failures = check_against_baseline(result, base, tolerance=0.99)
+        assert any("mismatch" in f for f in failures)
+
+
+class TestBenchCli:
+    def test_bench_subcommand_runs(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "bench", "dispatch_10k", "--tasks", "300",
+            "--endpoints", "2", "--no-write",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "300 tasks" in out
+
+    def test_bench_subcommand_writes_and_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "bench", "dispatch_10k", "--tasks", "300", "--endpoints", "2",
+            "-o", str(tmp_path),
+        ])
+        assert code == 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        # gate against our own run: must pass at any tolerance
+        code = main([
+            "bench", "dispatch_10k", "--tasks", "300", "--endpoints", "2",
+            "--no-write", "--baseline", str(written[0]), "--tolerance", "0.99",
+        ])
+        assert code == 0
+
+    def test_bench_gate_failure_exits_nonzero(self, tmp_path):
+        from repro.cli import main
+
+        baseline = tmp_path / "impossible.json"
+        baseline.write_text(json.dumps({
+            "schema": SCHEMA,
+            "scenario": "dispatch_300",
+            "results": {"tasks_per_second": 10.0**12},
+        }))
+        code = main([
+            "bench", "dispatch_10k", "--tasks", "300", "--endpoints", "2",
+            "--no-write", "--baseline", str(baseline),
+        ])
+        assert code == 1

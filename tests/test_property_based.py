@@ -266,6 +266,69 @@ class TestSchedulerProperties:
                 assert a.start_time <= b.start_time + 1e-9
 
 
+_event_entries = st.lists(
+    st.tuples(
+        st.sampled_from(["faas", "slurm", "actions"]),
+        st.sampled_from(["a.one", "b.two", "c.three", "d.four"]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+class TestEventLogQueryProperties:
+    """The indexed query paths must agree exactly with a naive scan."""
+
+    @given(
+        entries=_event_entries,
+        source=st.sampled_from([None, "faas", "slurm", "actions", "absent"]),
+        kind=st.sampled_from([None, "a.one", "b.two", "absent.kind"]),
+        window=st.tuples(
+            st.floats(min_value=-1.0, max_value=101.0, allow_nan=False),
+            st.floats(min_value=-1.0, max_value=101.0, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_query_matches_naive_filter(self, entries, source, kind, window):
+        from repro.util.events import EventLog
+
+        log = EventLog()
+        for src, knd, time in entries:
+            log.emit(time, src, knd, n=len(log))
+        since, until = min(window), max(window)
+
+        naive = [
+            e for e in log
+            if (source is None or e.source == source)
+            and (kind is None or e.kind == kind)
+            and since <= e.time <= until
+        ]
+        assert log.query(source, kind, since=since, until=until) == naive
+        # no time window: pure index walk
+        naive_all = [
+            e for e in log
+            if (source is None or e.source == source)
+            and (kind is None or e.kind == kind)
+        ]
+        assert log.query(source, kind) == naive_all
+
+    @given(entries=_event_entries)
+    @settings(max_examples=60, deadline=None)
+    def test_last_matches_naive_scan(self, entries):
+        from repro.util.events import EventLog
+
+        log = EventLog()
+        for src, knd, time in entries:
+            log.emit(time, src, knd)
+        kinds = {e.kind for e in log} | {"never.emitted"}
+        for kind in kinds:
+            naive = None
+            for event in log:
+                if event.kind == kind:
+                    naive = event
+            assert log.last(kind) is naive
+
+
 class TestExpressionProperties:
     @given(
         value=st.text(
