@@ -199,6 +199,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             kwargs["span_sample_rate"] = args.span_sample_rate
         if args.journal_batch:
             kwargs["journal_batch"] = args.journal_batch
+        if args.obs:
+            kwargs["obs"] = True
     else:
         kwargs["pool_size"] = args.pool_size
     result = SCENARIOS[args.scenario](**kwargs)
@@ -218,6 +220,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"baseline check passed ({args.baseline}, "
             f"tolerance {args.tolerance:.0%})"
         )
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Run Fig. 4 watched by the observability plane; report/export it."""
+    import json
+
+    from repro.experiments import (
+        format_obs_report,
+        parse_slo_overrides,
+        run_fig4_obs,
+    )
+    from repro.telemetry import validate_openmetrics
+
+    try:
+        rules = parse_slo_overrides(args.slo, args.window)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_fig4_obs(
+        seed=args.seed,
+        profile=args.profile,
+        window=args.window,
+        rules=rules,
+        health_routing=args.health_routing,
+    )
+    print(format_obs_report(result))
+    if args.export:
+        text = result.openmetrics()
+        validate_openmetrics(text)
+        om_path = f"{args.export}-openmetrics.txt"
+        with open(om_path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        dash_path = f"{args.export}-dashboard.json"
+        with open(dash_path, "w", encoding="utf-8") as fh:
+            json.dump(result.dashboard(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {om_path} and {dash_path}", file=sys.stderr)
+    # a fault-free run under the default pack must stay silent; chaos
+    # runs succeed by completing (their alerts are the expected signal)
+    if result.fault_free and result.alerts_fired:
+        return 1
     return 0
 
 
@@ -342,6 +386,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "route": _cmd_route,
     "recover": _cmd_recover,
     "bench": _cmd_bench,
+    "obs": _cmd_obs,
 }
 
 
@@ -528,6 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal the run with this store-flush batch size",
     )
     bench.add_argument(
+        "--obs", action="store_true",
+        help=(
+            "attach the observability plane (implies --telemetry); the "
+            "JSON gains a real alerts_fired count and p95 series"
+        ),
+    )
+    bench.add_argument(
         "--pool-size", type=int, default=2,
         help="endpoints per site for fig4_pooled (default 2)",
     )
@@ -546,6 +598,45 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.2,
         help="allowed throughput drop vs the baseline (default 0.2)",
+    )
+    obs = sub.add_parser(
+        "obs",
+        help=(
+            "run an experiment watched by the observability plane: "
+            "windowed series, SLO alerts, health scores, OpenMetrics"
+        ),
+    )
+    obs.add_argument(
+        "experiment", choices=["fig4"],
+        help="which experiment to observe",
+    )
+    obs.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan seed for chaos profiles (default 7)",
+    )
+    obs.add_argument(
+        "--profile", default="flaky-endpoint",
+        choices=["flaky-endpoint", "walltime", "partition", "none"],
+        help="fault profile; 'none' runs the fault-free Fig. 4",
+    )
+    obs.add_argument(
+        "--window", type=float, default=60.0,
+        help="time-series bucket width in virtual seconds (default 60)",
+    )
+    obs.add_argument(
+        "--slo", action="append", default=None, metavar="KEY=VALUE",
+        help=(
+            "override an SLO threshold: error-rate=<fraction> or "
+            "p95-latency=<seconds>; repeatable"
+        ),
+    )
+    obs.add_argument(
+        "--health-routing", action="store_true",
+        help="let least-loaded placement break ties on health score",
+    )
+    obs.add_argument(
+        "--export", default="",
+        help="write <prefix>-openmetrics.txt and <prefix>-dashboard.json",
     )
     return parser
 

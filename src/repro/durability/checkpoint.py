@@ -39,6 +39,9 @@ _TASK_KINDS = {
 }
 
 # Kinds journaled verbatim (event data is already plain and complete).
+# SLO alert transitions ride along so a replayed run's journal carries
+# the same alert timeline as the crashed one (worlds that never enable
+# observability emit none, keeping their crash offsets unchanged).
 _PLAIN_KINDS = {
     "run.created",
     "run.resumed",
@@ -49,6 +52,8 @@ _PLAIN_KINDS = {
     "block.provisioned",
     "block.released",
     "endpoint.registered",
+    "alert.fired",
+    "alert.resolved",
 }
 
 

@@ -19,6 +19,12 @@ from repro.experiments.chaos import (
     run_fig5_chaos,
 )
 from repro.experiments.exp63_kamping import run_exp63, Exp63Result
+from repro.experiments.observability import (
+    ObsFig4Result,
+    format_obs_report,
+    parse_slo_overrides,
+    run_fig4_obs,
+)
 from repro.experiments.recovery import (
     CRASH_POINT_NAMES,
     Fig4RecoveryResult,
@@ -54,6 +60,10 @@ __all__ = [
     "run_fig5_chaos",
     "run_exp63",
     "Exp63Result",
+    "ObsFig4Result",
+    "format_obs_report",
+    "parse_slo_overrides",
+    "run_fig4_obs",
     "CRASH_POINT_NAMES",
     "Fig4RecoveryResult",
     "format_recovery_report",

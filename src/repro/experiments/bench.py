@@ -4,8 +4,10 @@ Every future PR needs a number to beat. This module drives the FaaS
 stack with seeded synthetic workloads (10k–1M tasks) and distills each
 run into a :class:`BenchResult` that serializes to ``BENCH_<scenario>.json``
 — wall time, tasks/sec, peak event counts, and p50/p95 dispatch latency
-in *virtual* time. The JSON schema (``repro-bench/1``) is documented in
-DESIGN.md §12.
+in *virtual* time. The JSON schema (``repro-bench/2``) is documented in
+DESIGN.md §12: version 2 adds ``alerts_fired`` and the per-window
+``queue_wait_p95_series`` from the observability plane (``--obs``);
+``--baseline`` still accepts ``repro-bench/1`` files.
 
 Two scenario families ship:
 
@@ -33,7 +35,10 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.telemetry import percentile
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+
+# baseline files from either schema generation still gate throughput
+ACCEPTED_BASELINE_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 
 # tasks are submitted (and peak-pending sampled) in slices of this size
 SUBMIT_SLICE = 1000
@@ -59,6 +64,10 @@ class BenchResult:
     dispatch_latency_p50: float
     dispatch_latency_p95: float
     extras: Dict[str, Any] = field(default_factory=dict)
+    # schema v2: observability-plane summaries (zero/empty when the
+    # collector was not attached, so the fields are always present)
+    alerts_fired: int = 0
+    queue_wait_p95_series: List[List[float]] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -76,6 +85,11 @@ class BenchResult:
                     "p50": round(self.dispatch_latency_p50, 4),
                     "p95": round(self.dispatch_latency_p95, 4),
                 },
+                "alerts_fired": self.alerts_fired,
+                "queue_wait_p95_series": [
+                    [round(start, 1), round(value, 4)]
+                    for start, value in self.queue_wait_p95_series
+                ],
                 **{k: v for k, v in sorted(self.extras.items())},
             },
             "meta": {
@@ -106,6 +120,7 @@ def run_dispatch_bench(
     telemetry: bool = False,
     span_sample_rate: Optional[float] = None,
     journal_batch: int = 0,
+    obs: bool = False,
 ) -> BenchResult:
     """N seeded synthetic tasks round-robin over M cloud endpoints.
 
@@ -114,17 +129,27 @@ def run_dispatch_bench(
     workload. ``telemetry=True`` attaches the tracer/metrics bridge
     (optionally with a span sampling rate); ``journal_batch > 0``
     additionally journals the run with that store-flush batch size.
+    ``obs=True`` implies telemetry and attaches the full observability
+    plane (windowed series, default SLO pack, health scorer); bench
+    worlds always use streaming histograms when telemetry is on, so a
+    1M-task run holds fixed-size buckets instead of every observation.
     """
     from repro.experiments import common
     from repro.faas.client import ComputeClient
     from repro.world import World
 
-    world_kwargs: Dict[str, Any] = {"telemetry": telemetry}
+    telemetry = telemetry or obs
+    world_kwargs: Dict[str, Any] = {
+        "telemetry": telemetry,
+        "streaming_metrics": telemetry,
+    }
     if span_sample_rate is not None:
         from repro.telemetry.sampling import RatioSampler
 
         world_kwargs["span_sampler"] = RatioSampler(span_sample_rate, seed=seed)
     world = World(**world_kwargs)
+    if obs:
+        world.enable_observability()
     if journal_batch:
         from repro.durability.journal import Journal
 
@@ -185,11 +210,25 @@ def run_dispatch_bench(
         params["span_sample_rate"] = span_sample_rate
     if journal_batch:
         params["journal_batch"] = journal_batch
+    if obs:
+        params["obs"] = True
     extras: Dict[str, Any] = {
         "spans_recorded": len(world.tracer.spans),
     }
     if world.journal is not None:
         extras["journal_records"] = len(world.journal)
+    alerts_fired = 0
+    p95_series: List[List[float]] = []
+    if obs:
+        world.slo.finish(clock.now)
+        alerts_fired = world.slo.alerts_fired
+        wait_series = world.series.get("faas.task.queue_wait")
+        if wait_series is not None:
+            p95_series = [
+                [start, summary.get("p95", 0.0)]
+                for start, summary in wait_series.buckets()
+                if summary.get("count")
+            ]
     return BenchResult(
         scenario=f"dispatch_{_format_count(tasks)}",
         params=params,
@@ -202,6 +241,8 @@ def run_dispatch_bench(
         dispatch_latency_p50=percentile(latencies, 50),
         dispatch_latency_p95=percentile(latencies, 95),
         extras=extras,
+        alerts_fired=alerts_fired,
+        queue_wait_p95_series=p95_series,
     )
 
 
@@ -276,9 +317,17 @@ def check_against_baseline(
     Returns a list of human-readable failures (empty = within budget).
     Only throughput is gated: wall time scales with machine speed in the
     same direction, and virtual-time figures are deterministic anyway.
+    Baselines written under ``repro-bench/1`` (pre-observability) are
+    still accepted — the gated fields are identical in both schemas.
     """
     with open(baseline_path, encoding="utf-8") as fh:
         baseline = json.load(fh)
+    base_schema = baseline.get("schema", "")
+    if base_schema and base_schema not in ACCEPTED_BASELINE_SCHEMAS:
+        return [
+            f"unsupported baseline schema {base_schema!r}; "
+            f"accepted: {', '.join(ACCEPTED_BASELINE_SCHEMAS)}"
+        ]
     base_tps = float(baseline["results"]["tasks_per_second"])
     floor = base_tps * (1.0 - tolerance)
     failures: List[str] = []
@@ -308,6 +357,12 @@ def format_bench_report(result: BenchResult) -> str:
         f"  dispatch latency p50: {result.dispatch_latency_p50:10.2f} s (virtual)",
         f"  dispatch latency p95: {result.dispatch_latency_p95:10.2f} s (virtual)",
     ]
+    if result.queue_wait_p95_series or result.alerts_fired:
+        lines.append(f"  alerts fired:         {result.alerts_fired:10d}")
+        lines.append(
+            f"  p95 windows recorded: "
+            f"{len(result.queue_wait_p95_series):10d}"
+        )
     lines.extend(
         f"  {key + ':':<22}{value:>10}"
         for key, value in sorted(result.extras.items())

@@ -72,6 +72,7 @@ def run_fig4_chaos(
     profile: str = "flaky-endpoint",
     telemetry: bool = True,
     sites: Tuple[str, ...] = FIG4_SITES,
+    world_setup=None,
 ) -> ChaosFig4Result:
     """Execute Fig. 4 with the named fault profile armed.
 
@@ -80,6 +81,10 @@ def run_fig4_chaos(
     exhausts its retry budget, trips its breaker, and its job fails —
     the run reports partial results per site with the skip reason, and
     never raises out of the harness.
+
+    ``world_setup(world)``, if given, runs right after construction —
+    the hook the observability experiment uses to attach its plane
+    before any event flows.
     """
     plan = build_profile(profile, seed)
     world = World(
@@ -91,6 +96,8 @@ def run_fig4_chaos(
         # cloud's front door — the degraded path instead of a crash
         offline_policy="queue",
     )
+    if world_setup is not None:
+        world_setup(world)
     accounts = {site: "x-vhayot" for site in sites}
     user = world.register_user("vhayot", accounts)
     endpoints: Dict[str, str] = {}

@@ -62,9 +62,16 @@ def build_world(
     sites: Tuple[str, ...] = FIG4_SITES,
     telemetry: bool = True,
     span_sampler=None,
+    world_setup=None,
 ) -> Tuple[World, object, Dict[str, str]]:
-    """Set up the §6.1 testbed; returns (world, user, endpoint ids)."""
+    """Set up the §6.1 testbed; returns (world, user, endpoint ids).
+
+    ``world_setup(world)``, if given, runs right after construction
+    (e.g. to attach the observability plane before any event flows).
+    """
     world = World(telemetry=telemetry, span_sampler=span_sampler)
+    if world_setup is not None:
+        world_setup(world)
     accounts = {site: "x-vhayot" for site in sites}
     user = world.register_user("vhayot", accounts)
     endpoints: Dict[str, str] = {}
@@ -220,10 +227,12 @@ def run_fig4(
     sites: Tuple[str, ...] = FIG4_SITES,
     telemetry: bool = True,
     span_sampler=None,
+    world_setup=None,
 ) -> Fig4Result:
     """Execute the full §6.1 experiment; returns the Fig. 4 series."""
     world, user, endpoints = build_world(
-        sites, telemetry=telemetry, span_sampler=span_sampler
+        sites, telemetry=telemetry, span_sampler=span_sampler,
+        world_setup=world_setup,
     )
     workflow_text = build_workflow(endpoints)
     environments = {

@@ -125,11 +125,20 @@ class EndpointDispatcher:
         task = entry.task
         task.state = TaskState.RUNNING
         task.started_at = self.service.clock.now
-        self.service.events.emit(
-            self.service.clock.now, "faas", "task.dispatched",
-            task_id=task.task_id, endpoint=self.endpoint_id,
-            attempt=entry.attempt,
-        )
+        # pool-routed tasks stamp their pool so the metrics bridge can
+        # label per-pool series; pinned tasks keep the historic payload
+        if task.pool:
+            self.service.events.emit(
+                self.service.clock.now, "faas", "task.dispatched",
+                task_id=task.task_id, endpoint=self.endpoint_id,
+                attempt=entry.attempt, pool=task.pool,
+            )
+        else:
+            self.service.events.emit(
+                self.service.clock.now, "faas", "task.dispatched",
+                task_id=task.task_id, endpoint=self.endpoint_id,
+                attempt=entry.attempt,
+            )
         self.service.pipeline.dispatched(entry, self.endpoint_id)
         tracer = tracer_of(self.service.clock)
         if tracer.enabled:

@@ -108,12 +108,26 @@ class RoundRobinPolicy(PlacementPolicy):
 
 
 class LeastLoadedPolicy(PlacementPolicy):
-    """The member with the fewest live tasks; ties go to registration order."""
+    """The member with the fewest live tasks; ties go to registration order.
+
+    With a health source attached to the router (see
+    :attr:`Router.health_of`), equal queue depths are broken by the
+    *higher* health score before falling back to registration order —
+    so among idle members the one that has not been failing lately
+    wins. Without one the key is depth alone, and routing is
+    byte-identical to the pre-observability behavior.
+    """
 
     name = "least-loaded"
 
     def choose(self, pool: EndpointPool, members: List[str], router: "Router") -> str:
-        return min(members, key=lambda eid: (router.queue_depth(eid),))
+        health_of = router.health_of
+        if health_of is None:
+            return min(members, key=lambda eid: (router.queue_depth(eid),))
+        return min(
+            members,
+            key=lambda eid: (router.queue_depth(eid), -health_of(eid)),
+        )
 
 
 class WeightedPolicy(PlacementPolicy):
@@ -152,7 +166,12 @@ class Router:
 
     * ``queue_depth(endpoint_id)`` — live assigned-task count,
     * ``admissible(endpoint_id)`` — online and breaker not open,
-    * ``weight_of(endpoint_id)`` — relative hardware speed.
+    * ``weight_of(endpoint_id)`` — relative hardware speed,
+
+    plus an optional fourth, ``health_of(endpoint_id)`` → score in
+    [0, 1], attached by :meth:`FaaSService.attach_health` when the
+    observability plane is enabled. Policies may consult it as a
+    tie-breaker; ``None`` (the default) keeps routing byte-identical.
     """
 
     def __init__(
@@ -161,10 +180,12 @@ class Router:
         admissible: Callable[[str], bool],
         weight_of: Callable[[str], float],
         policy: str = "pinned",
+        health_of: Optional[Callable[[str], float]] = None,
     ) -> None:
         self.queue_depth = queue_depth
         self.admissible = admissible
         self.weight_of = weight_of
+        self.health_of = health_of
         self.set_policy(policy)
         self.pools: Dict[str, EndpointPool] = {}
         self._site_pools: Dict[str, str] = {}

@@ -233,6 +233,23 @@ class FaaSService(ServiceDurability):
         profile = profiles.get("compute", profiles["login"])
         return profile.cpu_speed
 
+    def attach_health(self, scorer) -> None:
+        """Let routing consult a health scorer as a tie-breaker.
+
+        ``scorer`` is a :class:`~repro.telemetry.health.HealthScorer`;
+        scores are read at route time at the clock's current virtual
+        time. Purely advisory — policies that ignore health behave
+        exactly as before, and detaching (``attach_health(None)``)
+        restores byte-identical routing.
+        """
+        if scorer is None:
+            self.router.health_of = None
+            return
+        clock = self.clock
+        self.router.health_of = (
+            lambda endpoint_id: scorer.score(endpoint_id, clock.now)
+        )
+
     # -- resilience (thin delegation to the pipeline) ----------------------------
     def declare_fallback(self, endpoint_id: str, fallback_id: str) -> None:
         """Declare where tasks reroute when ``endpoint_id``'s breaker opens."""

@@ -142,7 +142,10 @@ def validate_chrome_trace(doc: Any) -> None:
     Checks the shape Perfetto's legacy JSON importer requires: a
     ``traceEvents`` list whose entries carry ``name``/``ph``/``pid``/
     ``tid``, with numeric non-negative ``ts``/``dur`` on complete
-    (``"X"``) events.
+    (``"X"``) events. When the document embeds metric summaries
+    (``otherData.metrics``), a non-zero ``telemetry.subscriber_errors``
+    count also fails validation: a trace produced while a telemetry
+    subscriber was throwing is not a trustworthy record of the run.
     """
     if not isinstance(doc, dict):
         raise ValueError("trace document must be a JSON object")
@@ -165,6 +168,14 @@ def validate_chrome_trace(doc: Any) -> None:
                     )
         if "args" in event and not isinstance(event["args"], dict):
             raise ValueError(f"traceEvents[{i}].args must be an object")
+    metrics = doc.get("otherData", {}).get("metrics")
+    if isinstance(metrics, dict):
+        errors = metrics.get("telemetry.subscriber_errors", {}).get("value", 0)
+        if errors:
+            raise ValueError(
+                f"telemetry recorded {int(errors)} subscriber error(s); "
+                "the trace is incomplete"
+            )
 
 
 def dumps_chrome_trace(

@@ -1,0 +1,140 @@
+"""Per-endpoint / per-pool health scoring from windowed series.
+
+The :class:`HealthScorer` reads the windowed series the metrics bridge
+records — rolling success rate, queue-depth trend, breaker state — and
+folds them into one score in [0, 1], classified as ``healthy`` /
+``degraded`` / ``unhealthy``. It is a pure *reader*: scoring never
+creates series, never advances the bucket clock, and asking about an
+endpoint nobody has observed returns a perfect score (no evidence of
+trouble).
+
+The score is intentionally simple and fully deterministic:
+
+* base = rolling success rate (completed-ok vs failed attempts) over
+  the scoring window; 1.0 when there is no signal;
+* scaled by ``1 - breaker_level`` (closed = 1.0 → unchanged,
+  half-open = 0.5 → halved, open = 1.0 → zero: an open breaker is
+  *unhealthy* no matter how good history looks);
+* minus a fixed penalty when the endpoint's queue depth trended *up*
+  across the window (backlog building faster than it drains).
+
+The ``least-loaded`` router can consume scores as an optional
+tie-breaker (prefer the healthier endpoint among equally-loaded ones);
+with no scorer attached routing is byte-identical to before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.telemetry.timeseries import TimeSeriesStore
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+DEFAULT_HEALTH_WINDOW = 300.0
+TREND_PENALTY = 0.1
+HEALTHY_FLOOR = 0.9
+DEGRADED_FLOOR = 0.5
+
+
+class HealthScorer:
+    """Scores endpoints from the time-series store, on demand."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        window: float = DEFAULT_HEALTH_WINDOW,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"health window must be positive, got {window}")
+        self.store = store
+        self.window = window
+
+    # -- scoring -------------------------------------------------------------
+    def success_rate(self, endpoint: str, now: float) -> float:
+        """ok / (ok + failed attempts) over the window; 1.0 on silence."""
+        ok_series = self.store.get("faas.tasks.ok", endpoint=endpoint)
+        err_series = self.store.get("faas.tasks.err", endpoint=endpoint)
+        ok = ok_series.sum_over(now, self.window) if ok_series else 0.0
+        err = err_series.sum_over(now, self.window) if err_series else 0.0
+        total = ok + err
+        if total <= 0:
+            return 1.0
+        return ok / total
+
+    def breaker_level(self, endpoint: str, now: float) -> float:
+        """Current breaker gauge: 0 closed, 0.5 half-open, 1 open."""
+        gauge = self.store.get("faas.breaker.state", endpoint=endpoint)
+        return gauge.value if gauge is not None else 0.0
+
+    def queue_trend(self, endpoint: str, now: float) -> float:
+        """Queue-depth change across the window (positive = backing up)."""
+        gauge = self.store.get("faas.queue.depth", endpoint=endpoint)
+        return gauge.trend_over(now, self.window) if gauge is not None else 0.0
+
+    def score(self, endpoint: str, now: float) -> float:
+        base = self.success_rate(endpoint, now)
+        base *= 1.0 - self.breaker_level(endpoint, now)
+        if self.queue_trend(endpoint, now) > 0:
+            base -= TREND_PENALTY
+        return min(1.0, max(0.0, base))
+
+    def state(self, endpoint: str, now: float) -> str:
+        score = self.score(endpoint, now)
+        if score >= HEALTHY_FLOOR:
+            return HEALTHY
+        if score >= DEGRADED_FLOOR:
+            return DEGRADED
+        return UNHEALTHY
+
+    def pool_score(self, members: Iterable[str], now: float) -> float:
+        """Mean member score; 1.0 for an empty pool (nothing to fault)."""
+        scores = [self.score(endpoint, now) for endpoint in members]
+        if not scores:
+            return 1.0
+        return sum(scores) / len(scores)
+
+    # -- reporting -----------------------------------------------------------
+    def known_endpoints(self) -> List[str]:
+        """Endpoints any health-relevant series has been observed for."""
+        seen = set()
+        for name in (
+            "faas.tasks.submitted", "faas.tasks.ok", "faas.tasks.err",
+            "faas.queue.depth", "faas.breaker.state",
+        ):
+            for labels in self.store.labels_for(name):
+                endpoint = labels.get("endpoint")
+                if endpoint:
+                    seen.add(endpoint)
+        return sorted(seen)
+
+    def snapshot(self, now: float) -> Dict[str, Dict[str, float]]:
+        """JSON-ready per-endpoint health breakdown."""
+        out: Dict[str, Dict[str, float]] = {}
+        for endpoint in self.known_endpoints():
+            out[endpoint] = {
+                "score": round(self.score(endpoint, now), 6),
+                "state": self.state(endpoint, now),
+                "success_rate": round(self.success_rate(endpoint, now), 6),
+                "breaker_level": self.breaker_level(endpoint, now),
+                "queue_trend": self.queue_trend(endpoint, now),
+            }
+        return out
+
+    def report(self, now: float) -> str:
+        """Plain-text health table at virtual time ``now``."""
+        lines = [f"endpoint health at t={now:.1f}s (window {self.window:.0f}s):"]
+        snapshot = self.snapshot(now)
+        if not snapshot:
+            lines.append("  (no endpoints observed)")
+        for endpoint, row in snapshot.items():
+            lines.append(
+                f"  {endpoint:<28} {row['state']:<10} "
+                f"score={row['score']:.3f} "
+                f"ok={row['success_rate']:.3f} "
+                f"breaker={row['breaker_level']:.1f} "
+                f"trend={row['queue_trend']:+.1f}"
+            )
+        return "\n".join(lines)

@@ -12,11 +12,22 @@ either way.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.util.events import Event, EventLog
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+# Default fixed bucket bounds for streaming histograms, in virtual
+# seconds: exponential coverage from control-plane latencies (sub-second)
+# out to multi-hour queue waits. Shared with the windowed time-series
+# layer so window merges and registry summaries agree.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 def percentile(values: List[float], p: float) -> float:
@@ -26,6 +37,76 @@ def percentile(values: List[float], p: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(p / 100.0 * len(ordered)))
     return ordered[rank - 1]
+
+
+class BucketHistogram:
+    """A fixed-bound streaming histogram: O(len(bounds)) memory, always.
+
+    The bounded-memory sibling of :class:`Histogram`'s exact mode:
+    observations increment the count of the first bound containing them,
+    and percentiles come back as the matching *upper bound* (clamped to
+    the maximum observed value) — a deterministic over-estimate that
+    never retains individual observations. Mergeable, so the windowed
+    time-series layer can combine per-bucket histograms into a rolling
+    window.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "max")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        # leftmost bound >= value == first bucket containing it; past
+        # the last bound lands in the overflow bucket at len(bounds)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "BucketHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile estimated from the bucket bounds."""
+        if not self.count:
+            raise ValueError("percentile of no values")
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if i < len(self.bounds):
+                    return min(self.bounds[i], self.max)
+                return self.max
+        return self.max  # pragma: no cover - defensive
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
 
 
 class Counter:
@@ -65,33 +146,65 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution with count/mean/p50/p95/max summaries."""
+    """A distribution with count/mean/p50/p95/max summaries.
 
-    def __init__(self) -> None:
-        self._values: List[float] = []
+    Two modes. **Exact** (the default) retains every observation, so
+    percentiles are exact — this is what every figure output is built
+    on, and it stays byte-identical. **Streaming** (``bounds=...``)
+    delegates to a :class:`BucketHistogram`: fixed memory no matter how
+    many observations arrive, percentiles estimated from the bounds.
+    Bench scenarios run the registry in streaming mode so a million-task
+    run does not retain a million latencies per instrument.
+    """
+
+    def __init__(self, bounds: Optional[Tuple[float, ...]] = None) -> None:
+        self._values: Optional[List[float]] = None if bounds else []
+        self._stream: Optional[BucketHistogram] = (
+            BucketHistogram(bounds) if bounds else None
+        )
+
+    @property
+    def streaming(self) -> bool:
+        return self._stream is not None
 
     def observe(self, value: float) -> None:
-        self._values.append(value)
+        if self._values is not None:
+            self._values.append(value)
+        else:
+            self._stream.observe(value)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        if self._values is not None:
+            return len(self._values)
+        return self._stream.count
 
     @property
     def total(self) -> float:
-        return sum(self._values)
+        if self._values is not None:
+            return sum(self._values)
+        return self._stream.total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self._values else 0.0
+        return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        return percentile(self._values, p)
+        if self._values is not None:
+            return percentile(self._values, p)
+        return self._stream.percentile(p)
 
     def values(self) -> List[float]:
+        if self._values is None:
+            raise TypeError(
+                "a streaming histogram does not retain observations; "
+                "use summary() or percentile()"
+            )
         return list(self._values)
 
     def summary(self) -> Dict[str, float]:
+        if self._values is None:
+            return self._stream.summary()
         if not self._values:
             return {"count": 0}
         return {
@@ -109,19 +222,27 @@ class MetricsRegistry:
     ``registry.histogram("faas.task.latency", endpoint=eid)`` returns the
     one histogram for that (name, labels) pair; re-registering a name
     with a different instrument type is an error.
+
+    ``histogram_bounds`` switches every histogram the registry creates
+    into fixed-bucket streaming mode (see :class:`Histogram`); the
+    default ``None`` keeps the exact mode every figure output depends
+    on.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, histogram_bounds: Optional[Tuple[float, ...]] = None
+    ) -> None:
         self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+        self.histogram_bounds = histogram_bounds
 
-    def _get(self, factory: Callable[[], Any], name: str,
-             labels: Dict[str, Any]) -> Any:
+    def _get(self, cls: type, name: str, labels: Dict[str, Any],
+             builder: Optional[Callable[[], Any]] = None) -> Any:
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = factory()
+            instrument = cls() if builder is None else builder()
             self._instruments[key] = instrument
-        elif not isinstance(instrument, factory):
+        elif not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(instrument).__name__}"
@@ -135,7 +256,12 @@ class MetricsRegistry:
         return self._get(Gauge, name, labels)
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get(Histogram, name, labels)
+        bounds = self.histogram_bounds
+        if bounds is None:
+            return self._get(Histogram, name, labels)
+        return self._get(
+            Histogram, name, labels, builder=lambda: Histogram(bounds)
+        )
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -200,11 +326,30 @@ class EventMetricsBridge:
 
     The bridge holds a tiny join table (task id → submit time/endpoint)
     so latencies need no second pass over the log.
+
+    With ``series`` set (a
+    :class:`~repro.telemetry.timeseries.TimeSeriesStore`), the bridge
+    additionally records windowed series for the observability plane —
+    per-endpoint/per-pool queue waits, queue-depth gauges,
+    success/failure counters, breaker state — and advances the store's
+    bucket clock after every event so SLO evaluation fires at
+    deterministic virtual times. ``series=None`` (the default) skips all
+    of it.
     """
 
-    def __init__(self, registry: MetricsRegistry, events: EventLog) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        events: EventLog,
+        series: Optional[Any] = None,
+    ) -> None:
         self.registry = registry
+        self.series = series
         self._submits: Dict[str, Tuple[float, str]] = {}
+        # Subscriber errors are pre-registered so every summary shows
+        # the count — a clean run provably reports 0.0 rather than
+        # omitting the row (see validate_chrome_trace).
+        registry.counter("telemetry.subscriber_errors")
         # Per-endpoint instrument caches for the three task-lifecycle
         # kinds that dominate event volume: resolving an instrument
         # through the registry rebuilds its sorted label key every time,
@@ -216,9 +361,41 @@ class EventMetricsBridge:
         self._h_queue_wait: Dict[str, Histogram] = {}
         self._h_latency: Dict[str, Histogram] = {}
         self._c_completed: Dict[Tuple[str, str], Counter] = {}
+        # Windowed-series caches, same trick (populated only when a
+        # store is attached).
+        self._s_submitted: Dict[str, Any] = {}
+        self._s_depth: Dict[str, Any] = {}
+        self._s_wait: Dict[str, Any] = {}
+        self._s_pool_wait: Dict[str, Any] = {}
+        self._s_ok: Dict[str, Any] = {}
+        self._s_fail: Dict[str, Any] = {}
+        if series is not None:
+            self.attach_series(series)
         self._unsubscribe: Optional[Callable[[], None]] = events.subscribe(
             self.on_event
         )
+
+    def attach_series(self, series: Any) -> None:
+        """Start recording windowed series (call before the workload runs:
+        events emitted earlier are not backfilled)."""
+        self.series = series
+        self._s_attempts = series.counter("faas.attempts")
+        self._s_failures = series.counter("faas.attempt.failures")
+        self._s_wait_all = series.quantile("faas.task.queue_wait")
+
+    def _s(self, cache: Dict[str, Any], kind: str, name: str,
+           value: str, label: str = "endpoint") -> Any:
+        series = cache.get(value)
+        if series is None:
+            series = cache[value] = getattr(self.series, kind)(
+                name, **{label: value}
+            )
+        return series
+
+    def _s_failure(self, time: float, endpoint: str) -> None:
+        """One failed attempt: the SLO ratio numerator + health input."""
+        self._s_failures.inc(time)
+        self._s(self._s_fail, "counter", "faas.tasks.err", endpoint).inc(time)
 
     def close(self) -> None:
         if self._unsubscribe is not None:
@@ -229,6 +406,7 @@ class EventMetricsBridge:
     def on_event(self, event: Event) -> None:
         kind, data = event.kind, event.data
         reg = self.registry
+        store = self.series
         if kind == "task.submitted":
             endpoint = data.get("endpoint", "?")
             self._submits[data.get("task_id", "")] = (event.time, endpoint)
@@ -244,6 +422,20 @@ class EventMetricsBridge:
                     "faas.dispatch.depth", endpoint=endpoint
                 )
             gauge.inc()
+            if store is not None:
+                # hot path: _s() inlined for the three lifecycle kinds
+                s = self._s_submitted.get(endpoint)
+                if s is None:
+                    s = self._s_submitted[endpoint] = store.counter(
+                        "faas.tasks.submitted", endpoint=endpoint
+                    )
+                s.inc(event.time)
+                g = self._s_depth.get(endpoint)
+                if g is None:
+                    g = self._s_depth[endpoint] = store.gauge(
+                        "faas.queue.depth", endpoint=endpoint
+                    )
+                g.inc(event.time)
         elif kind == "task.dispatched":
             submitted = self._submits.get(data.get("task_id", ""))
             endpoint = data.get("endpoint", "?")
@@ -260,6 +452,29 @@ class EventMetricsBridge:
                         "faas.task.queue_wait", endpoint=endpoint
                     )
                 hist.observe(event.time - submitted[0])
+            if store is not None:
+                g = self._s_depth.get(endpoint)
+                if g is None:
+                    g = self._s_depth[endpoint] = store.gauge(
+                        "faas.queue.depth", endpoint=endpoint
+                    )
+                g.dec(event.time)
+                self._s_attempts.inc(event.time)
+                if submitted is not None:
+                    wait = event.time - submitted[0]
+                    self._s_wait_all.observe(event.time, wait)
+                    q = self._s_wait.get(endpoint)
+                    if q is None:
+                        q = self._s_wait[endpoint] = store.quantile(
+                            "faas.task.queue_wait", endpoint=endpoint
+                        )
+                    q.observe(event.time, wait)
+                    pool = data.get("pool")
+                    if pool:
+                        self._s(
+                            self._s_pool_wait, "quantile",
+                            "faas.task.queue_wait", pool, label="pool",
+                        ).observe(event.time, wait)
         elif kind == "task.completed":
             submitted = self._submits.pop(data.get("task_id", ""), None)
             state = data.get("state", "?")
@@ -277,8 +492,19 @@ class EventMetricsBridge:
                         "faas.tasks.completed", endpoint=endpoint, state=state
                     )
                 counter.inc()
-                if str(state).upper() != "SUCCESS":
+                succeeded = str(state).upper() == "SUCCESS"
+                if not succeeded:
                     reg.counter("faas.tasks.failed", endpoint=endpoint).inc()
+                if store is not None:
+                    if succeeded:
+                        s = self._s_ok.get(endpoint)
+                        if s is None:
+                            s = self._s_ok[endpoint] = store.counter(
+                                "faas.tasks.ok", endpoint=endpoint
+                            )
+                        s.inc(event.time)
+                    else:
+                        self._s_failure(event.time, endpoint)
         elif kind == "job.submitted" and "job_id" in data:
             reg.counter("slurm.jobs.submitted", scheduler=event.source).inc()
         elif kind == "job.started" and "queue_wait" in data:
@@ -296,6 +522,8 @@ class EventMetricsBridge:
             reg.histogram("faas.retry.backoff", endpoint=endpoint).observe(
                 float(data.get("delay", 0.0))
             )
+            if store is not None:
+                self._s_failure(event.time, endpoint)
         elif kind == "task.failover":
             reg.counter(
                 "faas.task.failovers",
@@ -303,19 +531,26 @@ class EventMetricsBridge:
                 to_endpoint=data.get("to_endpoint", "?"),
             ).inc()
         elif kind == "task.timeout":
-            reg.counter(
-                "faas.task.timeouts", endpoint=data.get("endpoint", "?")
-            ).inc()
+            endpoint = data.get("endpoint", "?")
+            reg.counter("faas.task.timeouts", endpoint=endpoint).inc()
+            if store is not None:
+                self._s_failure(event.time, endpoint)
         elif kind == "task.gave_up":
-            reg.counter(
-                "faas.task.give_ups", endpoint=data.get("endpoint", "?")
-            ).inc()
+            endpoint = data.get("endpoint", "?")
+            reg.counter("faas.task.give_ups", endpoint=endpoint).inc()
+            if store is not None:
+                self._s_failure(event.time, endpoint)
         elif kind.startswith("breaker."):
+            endpoint = data.get("endpoint", "?")
+            state = kind.split(".", 1)[1]
             reg.counter(
                 "faas.breaker.transitions",
-                endpoint=data.get("endpoint", "?"),
-                state=kind.split(".", 1)[1],
+                endpoint=endpoint, state=state,
             ).inc()
+            if store is not None:
+                store.gauge("faas.breaker.state", endpoint=endpoint).set(
+                    event.time, _BREAKER_LEVELS.get(state, 0.0)
+                )
         elif kind == "task.replayed":
             reg.counter(
                 "durability.tasks.replayed", endpoint=data.get("endpoint", "?")
@@ -337,3 +572,20 @@ class EventMetricsBridge:
             reg.counter("ci.jobs", status=data.get("status", "?")).inc()
         elif kind == "subscriber_error":
             reg.counter("telemetry.subscriber_errors").inc()
+            if store is not None:
+                store.counter("telemetry.subscriber_errors").inc(event.time)
+        if store is not None and (
+            int(event.time // store.window) != store._last_bucket
+        ):
+            # guard inlined: most events land in the already-open bucket,
+            # so the common case skips the method call entirely
+            store.advance_to(event.time)
+
+
+# Breaker state rendered as a gauge level for the health scorer:
+# closed is healthy (0), half-open is probing (0.5), open is down (1).
+_BREAKER_LEVELS: Dict[str, float] = {
+    "open": 1.0,
+    "half_open": 0.5,
+    "close": 0.0,
+}

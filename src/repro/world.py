@@ -32,11 +32,18 @@ from repro.shellsim.session import ShellServices
 from repro.sites.catalog import SITE_BUILDERS
 from repro.sites.site import Site
 from repro.telemetry import (
+    DEFAULT_BOUNDS,
+    DEFAULT_WINDOW,
     NULL_TRACER,
     EventMetricsBridge,
+    HealthScorer,
     MetricsRegistry,
+    SLOEngine,
+    TimeSeriesStore,
     Tracer,
+    default_slo_pack,
 )
+from repro.telemetry.health import DEFAULT_HEALTH_WINDOW
 from repro.util.clock import SimClock
 from repro.util.events import EventLog
 
@@ -66,6 +73,7 @@ class World:
         breaker: Optional[BreakerPolicy] = None,
         offline_policy: str = "raise",
         placement_policy: str = "pinned",
+        streaming_metrics: bool = False,
     ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
@@ -76,14 +84,22 @@ class World:
         # subscriptions — no hot-path coupling.
         # span_sampler (default: sample everything) trims span volume at
         # scale without touching events or metrics.
+        # streaming_metrics switches every registry histogram to fixed
+        # buckets (bounded memory for million-task bench runs; figure
+        # runs keep the exact default).
+        histogram_bounds = DEFAULT_BOUNDS if streaming_metrics else None
         if telemetry:
             self.tracer = Tracer(self.clock, sampler=span_sampler)
-            self.metrics = MetricsRegistry()
+            self.metrics = MetricsRegistry(histogram_bounds=histogram_bounds)
             self.telemetry_bridge = EventMetricsBridge(self.metrics, self.events)
         else:
             self.tracer = NULL_TRACER
-            self.metrics = MetricsRegistry()
+            self.metrics = MetricsRegistry(histogram_bounds=histogram_bounds)
             self.telemetry_bridge = None
+        # observability plane: populated by enable_observability()
+        self.series: Optional[TimeSeriesStore] = None
+        self.slo: Optional[SLOEngine] = None
+        self.health: Optional[HealthScorer] = None
         self.package_index = standard_index()
         self.container_registry = ContainerRegistry("ghcr.io")
         self.auth = AuthService(self.clock)
@@ -126,6 +142,47 @@ class World:
         self.crash_point: Optional[int] = None
         if faults is not None:
             self.install_faults(faults)
+
+    # -- observability ------------------------------------------------------------
+    def enable_observability(
+        self,
+        window: float = DEFAULT_WINDOW,
+        rules=None,
+        health_window: float = DEFAULT_HEALTH_WINDOW,
+        health_routing: bool = False,
+    ) -> TimeSeriesStore:
+        """Attach the continuous-observability plane to this world.
+
+        Creates a windowed :class:`TimeSeriesStore` fed by the metrics
+        bridge, installs an :class:`SLOEngine` evaluating ``rules``
+        (the :func:`default_slo_pack` for the store's window unless
+        given) at bucket boundaries, and builds a :class:`HealthScorer`
+        over the same store. ``health_routing=True`` additionally lets
+        the ``least-loaded`` placement policy break queue-depth ties by
+        health score.
+
+        Purely observational unless ``health_routing`` is set: the
+        plane reads events and emits ``slo`` alert events, but never
+        advances the clock — a world that enables it and never queries
+        it produces byte-identical figure outputs. Call before the
+        workload runs; telemetry must be enabled.
+        """
+        if self.telemetry_bridge is None:
+            raise ValueError(
+                "observability requires telemetry; "
+                "construct World(telemetry=True)"
+            )
+        if self.series is not None:
+            raise ValueError("observability is already enabled")
+        self.series = TimeSeriesStore(window=window)
+        self.telemetry_bridge.attach_series(self.series)
+        if rules is None:
+            rules = default_slo_pack(window)
+        self.slo = SLOEngine(self.series, self.events, list(rules)).install()
+        self.health = HealthScorer(self.series, window=health_window)
+        if health_routing:
+            self.faas.attach_health(self.health)
+        return self.series
 
     # -- durability ---------------------------------------------------------------
     def attach_journal(self, journal=None):

@@ -268,7 +268,11 @@ class TestEventMetricsBridge:
         bridge = EventMetricsBridge(registry, events)
         bridge.close()
         events.emit(0.0, "actions", "run.created")
-        assert len(registry) == 0
+        # only the pre-registered (and untouched) subscriber-error
+        # counter remains; the event after close() derived nothing
+        assert registry.summaries() == {
+            "telemetry.subscriber_errors": {"value": 0.0}
+        }
 
 
 class TestChromeTraceExport:
