@@ -179,6 +179,40 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0 if comparison.routed_is_faster else 1
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """Compare goodput with and without the overload-protection plane."""
+    from repro.experiments import (
+        OverloadParams,
+        format_overload_report,
+        run_overload_comparison,
+    )
+
+    params = OverloadParams(
+        tenants=args.tenants,
+        seed=args.seed,
+        profile=args.profile,
+        endpoints=args.endpoints,
+        hot_factor=args.hot_factor,
+    )
+    comparison = run_overload_comparison(params)
+    print(format_overload_report(comparison))
+    if args.export:
+        from repro.telemetry import openmetrics_text, validate_openmetrics
+
+        world = comparison.protected.world
+        text = openmetrics_text(world.metrics, world.series)
+        validate_openmetrics(text)
+        om_path = f"{args.export}-openmetrics.txt"
+        with open(om_path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nwrote {om_path}", file=sys.stderr)
+    # a fault-free run must not shed a well-behaved workload; a chaotic
+    # run succeeds when protection strictly beats no protection
+    if comparison.protected.fault_free:
+        return 0 if comparison.protected.shed == 0 else 1
+    return 0 if comparison.goodput_ratio > 1.0 else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run one microbenchmark scenario and write BENCH_<scenario>.json."""
     from repro.experiments.bench import (
@@ -201,6 +235,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             kwargs["journal_batch"] = args.journal_batch
         if args.obs:
             kwargs["obs"] = True
+    elif args.scenario.startswith("overload"):
+        if args.tasks:
+            kwargs["tasks"] = args.tasks
+        kwargs["tenants"] = args.tenants
+        kwargs["endpoints"] = args.endpoints
+        kwargs["seed"] = args.seed
     else:
         kwargs["pool_size"] = args.pool_size
     result = SCENARIOS[args.scenario](**kwargs)
@@ -387,6 +427,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "recover": _cmd_recover,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
+    "overload": _cmd_overload,
 }
 
 
@@ -545,7 +586,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "scenario",
-        choices=["dispatch_10k", "dispatch_100k", "dispatch_1m", "fig4_pooled"],
+        choices=[
+            "dispatch_10k", "dispatch_100k", "dispatch_1m",
+            "fig4_pooled", "overload_50k",
+        ],
         help="which scenario to run",
     )
     bench.add_argument(
@@ -554,7 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--endpoints", type=int, default=8,
-        help="endpoints in the dispatch pool (default 8)",
+        help="endpoints in the dispatch/overload pool (default 8)",
+    )
+    bench.add_argument(
+        "--tenants", type=int, default=8,
+        help="tenants sharing the pool (overload scenarios, default 8)",
     )
     bench.add_argument(
         "--seed", type=int, default=0,
@@ -637,6 +685,42 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--export", default="",
         help="write <prefix>-openmetrics.txt and <prefix>-dashboard.json",
+    )
+    overload = sub.add_parser(
+        "overload",
+        help=(
+            "run the multi-tenant overload comparison: goodput with and "
+            "without the protection plane while one tenant floods"
+        ),
+    )
+    overload.add_argument(
+        "experiment", choices=["fig4"],
+        help="which workload shape to run (fig4: pooled multi-tenant site)",
+    )
+    overload.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenants sharing the pool (tenant 0 goes hot; default 4)",
+    )
+    overload.add_argument(
+        "--seed", type=int, default=7,
+        help="workload + fault-plan seed; same seed, same report",
+    )
+    overload.add_argument(
+        "--profile", default="overload",
+        choices=["overload", "flaky-endpoint", "walltime", "partition", "none"],
+        help="fault profile; 'none' runs the comparison fault-free",
+    )
+    overload.add_argument(
+        "--endpoints", type=int, default=4,
+        help="endpoints in the shared pool (default 4)",
+    )
+    overload.add_argument(
+        "--hot-factor", type=float, default=8.0,
+        help="hot tenant's offered load as a multiple of fair share",
+    )
+    overload.add_argument(
+        "--export", default="",
+        help="write <prefix>-openmetrics.txt from the protected run",
     )
     return parser
 

@@ -276,6 +276,8 @@ class CorrectAction:
             fault_seed=injector.plan.seed if injector.active else None,
             fault_profile=injector.plan.profile if injector.active else "",
             task_attempts=task.attempts,
+            task_gave_up=getattr(task, "gave_up", False),
+            task_last_error=getattr(task, "last_error_kind", ""),
             task_replayed=getattr(task, "replayed", False),
             routed_by=task.routed_by,
             pool=task.pool,

@@ -234,6 +234,21 @@ class CircuitOpen(FaaSError, TransientError):
     """
 
 
+class AdmissionRejected(FaaSError, TransientError):
+    """The overload-protection plane refused the submission at admit time.
+
+    Transient by design — quota windows refill and shed watermarks
+    recede — and resolved onto the task's future as a typed error so
+    callers can back off and resubmit instead of queueing doomed work.
+    The ``reason`` attribute carries the rejecting stage: ``quota-rate``,
+    ``quota-inflight``, ``concurrency``, or ``shed``.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 # ---------------------------------------------------------------------------
 # Scheduler / execution
 # ---------------------------------------------------------------------------

@@ -229,6 +229,12 @@ class PilotExecutor:
                         # body drives the clock — it is the coordinator
                         # dying, not this task failing; unwind everything
                         raise
+                    except RecursionError:
+                        # the interpreter ran out of stack, not the task:
+                        # recording it as a task failure would silently
+                        # corrupt the drain (events already popped above
+                        # this frame never fire). Let it crash the run.
+                        raise
                     except BaseException as exc:  # noqa: BLE001 - remote user code
                         error = exc
                 # sealed *inside* the measure region, where now is still

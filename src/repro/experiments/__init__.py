@@ -39,6 +39,16 @@ from repro.experiments.routing import (
     run_fig4_pooled,
     run_pooled,
 )
+from repro.experiments.overload import (
+    OverloadComparison,
+    OverloadParams,
+    OverloadRunResult,
+    format_overload_report,
+    generate_workload,
+    overload_config,
+    run_overload,
+    run_overload_comparison,
+)
 from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.survey_tables import (
     table1_rows,
@@ -74,6 +84,14 @@ __all__ = [
     "format_routing_report",
     "run_fig4_pooled",
     "run_pooled",
+    "OverloadComparison",
+    "OverloadParams",
+    "OverloadRunResult",
+    "format_overload_report",
+    "generate_workload",
+    "overload_config",
+    "run_overload",
+    "run_overload_comparison",
     "run_fig1",
     "table1_rows",
     "table2_rows",

@@ -4,12 +4,14 @@ Every future PR needs a number to beat. This module drives the FaaS
 stack with seeded synthetic workloads (10k–1M tasks) and distills each
 run into a :class:`BenchResult` that serializes to ``BENCH_<scenario>.json``
 — wall time, tasks/sec, peak event counts, and p50/p95 dispatch latency
-in *virtual* time. The JSON schema (``repro-bench/2``) is documented in
-DESIGN.md §12: version 2 adds ``alerts_fired`` and the per-window
+in *virtual* time. The JSON schema (``repro-bench/3``) is documented in
+DESIGN.md §12: version 2 added ``alerts_fired`` and the per-window
 ``queue_wait_p95_series`` from the observability plane (``--obs``);
-``--baseline`` still accepts ``repro-bench/1`` files.
+version 3 adds the overload-plane disposition counters (``admitted``,
+``rejected``, ``shed``, ``brownout_seconds``). ``--baseline`` still
+accepts ``repro-bench/1`` and ``/2`` files.
 
-Two scenario families ship:
+Three scenario families ship:
 
 * ``dispatch_*`` — N zero-dependency synthetic tasks with seeded
   virtual durations, spread round-robin over M single-site endpoints.
@@ -18,6 +20,10 @@ Two scenario families ship:
   no workflow engine in the loop.
 * ``fig4_pooled`` — the full pooled Fig. 4 routing experiment, timed.
   A macro-benchmark: CI engine, CORRECT action, placement, telemetry.
+* ``overload_*`` — N tasks offered at ~2x pool capacity through the
+  overload-protection plane, with arrivals *scheduled in virtual time*
+  instead of burst-submitted. Measures the engine's disposal rate when
+  admission control, AIMD limiting, and shedding are all in the path.
 
 ``python -m repro bench <scenario>`` runs one and writes its JSON;
 ``--baseline`` turns the run into a regression gate (used by the
@@ -35,10 +41,10 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.telemetry import percentile
 
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
-# baseline files from either schema generation still gate throughput
-ACCEPTED_BASELINE_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+# baseline files from any schema generation still gate throughput
+ACCEPTED_BASELINE_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
 
 # tasks are submitted (and peak-pending sampled) in slices of this size
 SUBMIT_SLICE = 1000
@@ -68,6 +74,12 @@ class BenchResult:
     # collector was not attached, so the fields are always present)
     alerts_fired: int = 0
     queue_wait_p95_series: List[List[float]] = field(default_factory=list)
+    # schema v3: overload-plane disposition counters (all zero when no
+    # protection plane was attached, so the fields are always present)
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    brownout_seconds: float = 0.0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -90,6 +102,10 @@ class BenchResult:
                     [round(start, 1), round(value, 4)]
                     for start, value in self.queue_wait_p95_series
                 ],
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "brownout_seconds": round(self.brownout_seconds, 3),
                 **{k: v for k, v in sorted(self.extras.items())},
             },
             "meta": {
@@ -246,6 +262,143 @@ def run_dispatch_bench(
     )
 
 
+def run_overload_bench(
+    tasks: int = 50_000,
+    tenants: int = 8,
+    endpoints: int = 8,
+    seed: int = 0,
+    mean_seconds: float = 2.0,
+) -> BenchResult:
+    """N tasks offered at ~2x pool capacity through the protection plane.
+
+    Unlike the ``dispatch_*`` scenarios, arrivals are scheduled in
+    virtual time (per-tenant exponential interarrivals summing to twice
+    the pool's service rate) rather than burst-submitted: admission
+    control and AIMD react to queue pressure over time, and a single
+    up-front burst would only measure the rejection fast-path. Rejected
+    and shed submissions resolve their futures to typed retryable
+    errors and still count toward throughput — the bench measures how
+    fast the engine *disposes* of offered work, admitted or not.
+    """
+    from repro.experiments import common
+    from repro.experiments.overload import OverloadParams, overload_config
+    from repro.faas.client import ComputeClient
+    from repro.faas.overload import (
+        PRIORITY_BATCH,
+        PRIORITY_CRITICAL,
+        PRIORITY_NORMAL,
+    )
+    from repro.world import World
+
+    shape = OverloadParams(
+        tenants=tenants,
+        seed=seed,
+        endpoints=endpoints,
+        mean_seconds=mean_seconds,
+        offered_utilization=2.0,
+    )
+    world = World(
+        overload=overload_config(shape),
+        placement_policy="least-loaded",
+    )
+    common.deploy_site_mep_pool(world, "chameleon", size=endpoints)
+    clients: List[ComputeClient] = []
+    function_ids: List[str] = []
+    for index in range(tenants):
+        login = f"bench-{index}"
+        user = world.register_user(login, {"chameleon": f"x-{login}"})
+        client = ComputeClient(world.faas, user.client_id, user.client_secret)
+        clients.append(client)
+        function_ids.append(
+            client.register_function(_bench_work, f"bench-work-{index}")
+        )
+
+    # per-tenant seeded arrival streams; each tenant offers 2x/tenants of
+    # the pool's aggregate service rate, so the whole offered load is ~2x
+    per_tenant = tasks // tenants
+    counts = [
+        per_tenant + (1 if index < tasks % tenants else 0)
+        for index in range(tenants)
+    ]
+    rate = 2.0 * (endpoints / mean_seconds) / tenants
+    futures = []
+
+    def _submit(tenant: int, duration: float, priority: int) -> None:
+        futures.append(
+            clients[tenant].submit(
+                "chameleon",
+                function_ids[tenant],
+                duration,
+                priority=priority,
+            )
+        )
+
+    clock = world.clock
+    started = time.perf_counter()
+    for tenant in range(tenants):
+        rng = random.Random(seed * 1_000_003 + tenant)
+        t = 0.0
+        for _ in range(counts[tenant]):
+            t += rng.expovariate(rate)
+            duration = mean_seconds * (0.5 + rng.random())
+            draw = rng.random()
+            priority = (
+                PRIORITY_CRITICAL if draw < 0.10
+                else PRIORITY_NORMAL if draw < 0.70
+                else PRIORITY_BATCH
+            )
+            clock.call_after(
+                t, lambda te=tenant, d=duration, p=priority: _submit(te, d, p)
+            )
+    peak_pending = clock.pending_events()
+    clock.run_until_idle()
+    wall = time.perf_counter() - started
+
+    unresolved = [f for f in futures if not f.done()]
+    if unresolved:
+        raise RuntimeError(
+            f"overload bench: {len(unresolved)} of {tasks} futures unresolved"
+        )
+
+    events = world.events
+    submitted = {
+        e.data["task_id"]: e.time for e in events.query("faas", "task.submitted")
+    }
+    latencies = [
+        e.time - submitted[e.data["task_id"]]
+        for e in events.query("faas", "task.dispatched")
+        if e.data["task_id"] in submitted
+    ]
+    controller = world.faas.overload
+    return BenchResult(
+        scenario=f"overload_{_format_count(tasks)}",
+        params={
+            "tasks": tasks,
+            "tenants": tenants,
+            "endpoints": endpoints,
+            "seed": seed,
+            "mean_seconds": mean_seconds,
+            "offered_utilization": 2.0,
+        },
+        tasks=tasks,
+        wall_seconds=wall,
+        tasks_per_second=tasks / wall if wall > 0 else 0.0,
+        virtual_makespan=clock.now,
+        events_emitted=len(events),
+        peak_pending_events=peak_pending,
+        dispatch_latency_p50=percentile(latencies, 50),
+        dispatch_latency_p95=percentile(latencies, 95),
+        extras={
+            "aimd_backoffs": controller.stats.backoffs,
+            "brownouts": controller.stats.brownouts,
+        },
+        admitted=controller.stats.admitted,
+        rejected=controller.stats.rejected,
+        shed=controller.stats.shed,
+        brownout_seconds=controller.brownout_seconds(clock.now),
+    )
+
+
 def run_fig4_pooled_bench(pool_size: int = 2) -> BenchResult:
     """Time the full pooled Fig. 4 routing experiment (macro-benchmark)."""
     from repro.experiments.routing import run_fig4_pooled
@@ -306,6 +459,9 @@ SCENARIOS: Dict[str, Callable[..., BenchResult]] = {
     "fig4_pooled": lambda **kw: run_fig4_pooled_bench(
         pool_size=kw.pop("pool_size", 2)
     ),
+    "overload_50k": lambda **kw: run_overload_bench(
+        tasks=kw.pop("tasks", 50_000), **kw
+    ),
 }
 
 
@@ -317,8 +473,8 @@ def check_against_baseline(
     Returns a list of human-readable failures (empty = within budget).
     Only throughput is gated: wall time scales with machine speed in the
     same direction, and virtual-time figures are deterministic anyway.
-    Baselines written under ``repro-bench/1`` (pre-observability) are
-    still accepted — the gated fields are identical in both schemas.
+    Baselines written under older schema generations are still
+    accepted — the gated fields are identical in every schema.
     """
     with open(baseline_path, encoding="utf-8") as fh:
         baseline = json.load(fh)
@@ -362,6 +518,13 @@ def format_bench_report(result: BenchResult) -> str:
         lines.append(
             f"  p95 windows recorded: "
             f"{len(result.queue_wait_p95_series):10d}"
+        )
+    if result.admitted or result.rejected or result.shed:
+        lines.append(f"  admitted:             {result.admitted:10d}")
+        lines.append(f"  rejected:             {result.rejected:10d}")
+        lines.append(f"  shed:                 {result.shed:10d}")
+        lines.append(
+            f"  brownout:             {result.brownout_seconds:10.1f} s (virtual)"
         )
     lines.extend(
         f"  {key + ':':<22}{value:>10}"

@@ -7,9 +7,12 @@ layers. The **placement plane** (:mod:`repro.faas.placement`) resolves
 pool/site targets to endpoints through pluggable deterministic policies;
 the **resilience plane** (:mod:`repro.faas.pipeline`) composes retry,
 circuit breaking, timeout, failover, replay substitution, and lease
-touching as ordered interceptor middleware; the **dispatch plane**
-(:mod:`repro.faas.dispatch`) does per-endpoint FIFO ordering and
-execution, nothing else. Endpoints connect outbound from sites and
+touching as ordered interceptor middleware; the **overload-protection plane**
+(:mod:`repro.faas.overload`) sits at the head of the interceptor chain
+and applies per-tenant admission quotas, AIMD concurrency limiting,
+retry budgets, and priority load shedding with sampling brownout; the
+**dispatch plane** (:mod:`repro.faas.dispatch`) does per-endpoint FIFO
+ordering and execution, nothing else. Endpoints connect outbound from sites and
 execute tasks on resources provisioned through providers. Multi-user
 endpoints fork per-user endpoints via site identity mapping and enforce
 high-assurance policies and function allow-lists — the security
@@ -32,6 +35,13 @@ from repro.faas.placement import (
     Router,
 )
 from repro.faas.pipeline import DEFAULT_ORDER, Interceptor, Pipeline
+from repro.faas.overload import (
+    OverloadConfig,
+    OverloadController,
+    PRIORITY_BATCH,
+    PRIORITY_CRITICAL,
+    PRIORITY_NORMAL,
+)
 from repro.faas.dispatch import EndpointDispatcher, PendingTask
 from repro.faas.service import BatchRequest, FaaSService
 from repro.faas.client import ComputeClient
@@ -57,6 +67,11 @@ __all__ = [
     "Router",
     "DEFAULT_ORDER",
     "Interceptor",
+    "OverloadConfig",
+    "OverloadController",
+    "PRIORITY_BATCH",
+    "PRIORITY_CRITICAL",
+    "PRIORITY_NORMAL",
     "Pipeline",
     "FaaSService",
     "ComputeClient",

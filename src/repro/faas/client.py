@@ -60,6 +60,7 @@ class ComputeClient:
         template: str = "default",
         timeout: "float | None" = None,
         route: "RouteDecision | None" = None,
+        priority: int = 1,
         **kwargs: Any,
     ) -> TaskFuture:
         """Submit a task; returns its future without advancing time.
@@ -69,7 +70,10 @@ class ComputeClient:
         :meth:`FaaSService.resolve_route`) to give several submissions
         route affinity. ``timeout`` bounds the task's total virtual-time
         lifetime (retries included); on expiry the future fails with
-        :class:`~repro.errors.TaskTimeout`.
+        :class:`~repro.errors.TaskTimeout`. ``priority`` is the overload
+        shedding class (0 = critical; higher sheds first); when the
+        protection plane rejects the submission the future fails with a
+        retryable :class:`~repro.errors.AdmissionRejected`.
         """
         return self.service.submit(
             self._token.value,
@@ -80,6 +84,7 @@ class ComputeClient:
             template=template,
             timeout=timeout,
             route=route,
+            priority=priority,
         )
 
     def submit_batch(

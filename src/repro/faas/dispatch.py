@@ -88,6 +88,11 @@ class EndpointDispatcher:
         failed-over or retried attempt can arrive *behind* tasks that
         were submitted after it; the ordered insert restores its place.
         """
+        if entry.task.state.is_terminal:
+            # the deadline fired while this entry's dispatch or retry
+            # backoff event was in flight; the task is already finalized
+            # and re-queueing it would dispatch (and resolve) it twice
+            return
         if not self.queue or entry.seq >= self.queue[-1].seq:
             self.queue.append(entry)
         else:
@@ -219,6 +224,11 @@ class EndpointDispatcher:
         except CoordinatorCrashed:
             # a planned crash is the coordinator process dying, not a
             # dispatch failure — let it unwind the whole run
+            raise
+        except RecursionError:
+            # interpreter stack exhaustion, not a dispatch failure —
+            # swallowing it would silently drop clock events (see
+            # SimClock.run_until_idle) and break determinism
             raise
         except BaseException as exc:  # noqa: BLE001 - dispatch-time failure
             on_done(None, exc)

@@ -6,13 +6,16 @@ lease touching used to be branches inside ``FaaSService.submit`` /
 :class:`Interceptor` with narrow hooks, and the :class:`Pipeline` runs
 them in an explicit order:
 
-``DEFAULT_ORDER = ("replay", "lease", "breaker", "failover", "timeout",
-"retry")``
+``DEFAULT_ORDER = ("admission", "concurrency", "shed", "replay",
+"lease", "breaker", "failover", "timeout", "retry")``
 
-The order is semantic, not cosmetic. On a completion outcome the lease
-must be touched before the breaker records (a completed task is a
-heartbeat *first*, so ``lease.renewed`` precedes ``breaker.close``), and
-the breaker must record before the retry interceptor decides (so
+The order is semantic, not cosmetic. The overload plane runs first —
+admission (per-tenant quota), then adaptive concurrency, then priority
+shedding, cheapest verdict first, and all three are no-ops unless the
+service was built with an ``OverloadConfig``. On a completion outcome
+the lease must be touched before the breaker records (a completed task
+is a heartbeat *first*, so ``lease.renewed`` precedes ``breaker.close``),
+and the breaker must record before the retry interceptor decides (so
 ``breaker.open`` precedes ``task.retry`` in the event log — the order
 the chaos reports and journal offsets depend on). At submit time the
 breaker gate runs before failover, which reroutes only what the breaker
@@ -53,6 +56,9 @@ from repro.faults.resilience import CircuitBreaker
 from repro.util.serialization import deserialize
 
 DEFAULT_ORDER: Tuple[str, ...] = (
+    "admission",
+    "concurrency",
+    "shed",
     "replay",
     "lease",
     "breaker",
@@ -70,6 +76,14 @@ class SubmitContext:
     endpoint_id: str  # where the task is actually going
     blocked: str = ""  # non-empty = an interceptor vetoed this endpoint
     failed_over: bool = False
+    # overload plane: the submitting tenant's identity URN, the task's
+    # priority class, and the routed pool (the AIMD limiter key). A
+    # non-empty ``rejected`` is the plane's verdict — the service
+    # resolves the future to AdmissionRejected instead of dispatching.
+    tenant: str = ""
+    priority: int = 1
+    pool: str = ""
+    rejected: str = ""
 
 
 class Interceptor:
@@ -100,6 +114,57 @@ class Interceptor:
 
     def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
         return False
+
+
+class AdmissionInterceptor(Interceptor):
+    """Per-tenant quota gate plus overload-plane bookkeeping.
+
+    A thin shim: all state lives in the service's
+    :class:`~repro.faas.overload.OverloadController` (the interceptor
+    classes cannot live there — overload.py must stay import-free of
+    this module). With the plane off (``service.overload is None``)
+    every hook returns immediately, so default worlds are untouched.
+    """
+
+    name = "admission"
+
+    def admit(self, sub: SubmitContext) -> None:
+        controller = self.service.overload
+        if controller is not None:
+            controller.check_admission(sub)
+
+    def on_submitted(self, entry, sub: SubmitContext) -> None:
+        controller = self.service.overload
+        if controller is not None:
+            controller.on_submitted(entry, sub)
+
+    def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
+        controller = self.service.overload
+        if controller is not None:
+            controller.on_outcome(entry, error)
+        return False
+
+
+class ConcurrencyInterceptor(Interceptor):
+    """AIMD per-pool concurrency gate (grows on success, halves on load)."""
+
+    name = "concurrency"
+
+    def admit(self, sub: SubmitContext) -> None:
+        controller = self.service.overload
+        if controller is not None:
+            controller.check_concurrency(sub)
+
+
+class ShedInterceptor(Interceptor):
+    """Drop the lowest priority class above pending-depth watermarks."""
+
+    name = "shed"
+
+    def admit(self, sub: SubmitContext) -> None:
+        controller = self.service.overload
+        if controller is not None:
+            controller.check_shed(sub)
 
 
 class BreakerInterceptor(Interceptor):
@@ -265,39 +330,44 @@ class RetryInterceptor(Interceptor):
         now = service.clock.now
         policy = service.retry_policy
         if policy is not None and policy.should_retry(error, entry.attempt):
-            delay = policy.delay(entry.attempt, task.task_id)
-            entry.attempt += 1
-            entry.aborted = False  # the retry's own callback must land
-            task.attempts = entry.attempt
-            task.state = TaskState.PENDING
-            service.resilience.retries += 1
-            target = task.endpoint_id
-            breaker = service.breaker_for(target)
-            if breaker is not None and breaker.state == CircuitBreaker.OPEN:
-                fallback_id = service.pipeline.failover.healthy_fallback(target)
-                if fallback_id is not None:
-                    if not task.original_endpoint_id:
-                        task.original_endpoint_id = target
-                    service._retarget(task, fallback_id)
-                    target = fallback_id
-                    service.resilience.failovers += 1
-                    service.events.emit(
-                        now, "faas", "task.failover",
-                        task_id=task.task_id,
-                        from_endpoint=task.original_endpoint_id,
-                        to_endpoint=target, reason="breaker_open",
-                    )
-            service.events.emit(
-                now, "faas", "task.retry",
-                task_id=task.task_id, endpoint=target,
-                attempt=entry.attempt, delay=round(delay, 6),
-                error=type(error).__name__,
-            )
-            dispatcher = service._dispatcher(target)
-            service.clock.call_after(delay, lambda: dispatcher.arrive(entry))
-            return True
+            overload = service.overload
+            if overload is None or overload.allow_retry(task, now):
+                delay = policy.delay(entry.attempt, task.task_id)
+                entry.attempt += 1
+                entry.aborted = False  # the retry's own callback must land
+                task.attempts = entry.attempt
+                task.state = TaskState.PENDING
+                service.resilience.retries += 1
+                target = task.endpoint_id
+                breaker = service.breaker_for(target)
+                if breaker is not None and breaker.state == CircuitBreaker.OPEN:
+                    fallback_id = service.pipeline.failover.healthy_fallback(target)
+                    if fallback_id is not None:
+                        if not task.original_endpoint_id:
+                            task.original_endpoint_id = target
+                        service._retarget(task, fallback_id)
+                        target = fallback_id
+                        service.resilience.failovers += 1
+                        service.events.emit(
+                            now, "faas", "task.failover",
+                            task_id=task.task_id,
+                            from_endpoint=task.original_endpoint_id,
+                            to_endpoint=target, reason="breaker_open",
+                        )
+                service.events.emit(
+                    now, "faas", "task.retry",
+                    task_id=task.task_id, endpoint=target,
+                    attempt=entry.attempt, delay=round(delay, 6),
+                    error=type(error).__name__,
+                )
+                dispatcher = service._dispatcher(target)
+                service.clock.call_after(delay, lambda: dispatcher.arrive(entry))
+                return True
+            # retry budget exhausted: fall through to the give-up branch
 
         if policy is not None and is_retryable(error):
+            task.gave_up = True
+            task.last_error_kind = type(error).__name__
             service.resilience.give_ups += 1
             service.events.emit(
                 now, "faas", "task.gave_up",
@@ -477,6 +547,9 @@ class ReplayInterceptor(Interceptor):
 INTERCEPTORS = {
     cls.name: cls
     for cls in (
+        AdmissionInterceptor,
+        ConcurrencyInterceptor,
+        ShedInterceptor,
         ReplayInterceptor,
         LeaseInterceptor,
         BreakerInterceptor,

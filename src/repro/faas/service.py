@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.auth.oauth import AuthService, SCOPE_COMPUTE
 from repro.durability.journal import task_key_for_payload
 from repro.errors import (
+    AdmissionRejected,
     EndpointNotFound,
     EndpointOffline,
     PayloadTooLarge,
@@ -38,6 +39,7 @@ from repro.faas.durability import ServiceDurability
 from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
 from repro.faas.functions import FunctionRegistry
 from repro.faas.future import TaskFuture
+from repro.faas.overload import OverloadConfig, OverloadController
 from repro.faas.pipeline import DEFAULT_ORDER, Pipeline, SubmitContext
 from repro.faas.placement import EndpointPool, RouteDecision, Router
 from repro.faas.task import Task, TaskState
@@ -78,6 +80,7 @@ class BatchRequest:
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
     template: str = "default"
+    priority: int = 1
 
 
 class FaaSService(ServiceDurability):
@@ -100,6 +103,7 @@ class FaaSService(ServiceDurability):
         offline_policy: str = "raise",
         placement_policy: str = "pinned",
         pipeline_order: Sequence[str] = DEFAULT_ORDER,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.clock = clock
         self.auth = auth
@@ -116,6 +120,11 @@ class FaaSService(ServiceDurability):
             )
         self.offline_policy = offline_policy
         self.resilience = ResilienceStats()
+        # the overload-protection plane is off unless configured; the
+        # head-of-pipeline interceptors no-op when this is None
+        self.overload: Optional[OverloadController] = (
+            OverloadController(self, overload) if overload is not None else None
+        )
         self.pipeline = Pipeline(self, order=tuple(pipeline_order))
         self._endpoints: Dict[str, Endpoint] = {}
         self._tasks: Dict[str, Task] = {}
@@ -250,6 +259,15 @@ class FaaSService(ServiceDurability):
             lambda endpoint_id: scorer.score(endpoint_id, clock.now)
         )
 
+    def attach_overload_series(self, series) -> None:
+        """Let the AIMD limiter read dispatch p95 from the windowed store.
+
+        A no-op when the overload plane is off; safe to call from
+        ``World.enable_observability`` unconditionally.
+        """
+        if self.overload is not None:
+            self.overload.series = series
+
     # -- resilience (thin delegation to the pipeline) ----------------------------
     def declare_fallback(self, endpoint_id: str, fallback_id: str) -> None:
         """Declare where tasks reroute when ``endpoint_id``'s breaker opens."""
@@ -287,6 +305,7 @@ class FaaSService(ServiceDurability):
         template: str = "default",
         timeout: Optional[float] = None,
         route: Optional[RouteDecision] = None,
+        priority: int = 1,
     ) -> TaskFuture:
         """Enqueue one task; returns its future immediately.
 
@@ -297,6 +316,8 @@ class FaaSService(ServiceDurability):
         ``offline_policy``; an open breaker reroutes to the declared
         fallback or raises :class:`CircuitOpen`; ``timeout`` bounds the
         task's total virtual-time lifetime, retries included.
+        ``priority`` is the overload-plane shedding class (0 = critical,
+        higher is cheaper to shed; ignored when the plane is off).
         """
         kwargs = kwargs or {}
         token = self.auth.introspect(token_value, required_scope=SCOPE_COMPUTE)
@@ -305,7 +326,10 @@ class FaaSService(ServiceDurability):
             route = self.resolve_route(endpoint_id)
 
         sub = self.pipeline.admit(
-            SubmitContext(requested=route.endpoint_id, endpoint_id=route.endpoint_id)
+            SubmitContext(
+                requested=route.endpoint_id, endpoint_id=route.endpoint_id,
+                tenant=token.identity.urn, priority=priority, pool=route.pool,
+            )
         )
         endpoint_id = sub.endpoint_id
         endpoint = self.endpoint(endpoint_id)
@@ -358,6 +382,7 @@ class FaaSService(ServiceDurability):
             routed_by=route.routed_by,
             pool=route.pool,
             queue_depth_at_route=route.queue_depth_at_route,
+            priority=priority,
         )
         self._tasks[task.task_id] = task
         self._bind_load(endpoint_id)
@@ -400,6 +425,20 @@ class FaaSService(ServiceDurability):
         )
         self.pipeline.submitted(entry, sub)
 
+        if sub.rejected:
+            # the overload plane refused the task: resolve the future to
+            # a typed retryable error without ever scheduling a dispatch
+            self._finalize(
+                entry, None,
+                AdmissionRejected(
+                    f"submission rejected ({sub.rejected}) for tenant "
+                    f"{token.identity.urn}",
+                    reason=sub.rejected,
+                ),
+                resolve_direct=True,
+            )
+            return future
+
         if offline_error is not None:
             # offline_policy="fail": a typed, already-failed future
             self._finalize(entry, None, offline_error)
@@ -424,7 +463,7 @@ class FaaSService(ServiceDurability):
             self.submit(
                 token_value, request.endpoint_id, request.function_id,
                 args=request.args, kwargs=request.kwargs,
-                template=request.template,
+                template=request.template, priority=request.priority,
             )
             for request in requests
         ]
@@ -442,9 +481,15 @@ class FaaSService(ServiceDurability):
         self._finalize(entry, result, error)
 
     def _finalize(
-        self, entry: PendingTask, result, error: Optional[BaseException]
+        self, entry: PendingTask, result, error: Optional[BaseException],
+        resolve_direct: bool = False,
     ) -> None:
-        """Record a finished dispatch and resolve its future."""
+        """Record a finished dispatch and resolve its future.
+
+        ``resolve_direct`` resolves the future with ``error`` as-is
+        (preserving its concrete type, e.g. ``AdmissionRejected``)
+        instead of wrapping it in :class:`TaskFailed`.
+        """
         task = entry.task
         if error is None:
             try:
@@ -472,6 +517,8 @@ class FaaSService(ServiceDurability):
                 )
         task.completed_at = self.clock.now
         self._unbind_load(task.endpoint_id)
+        if self.overload is not None:
+            self.overload.on_finalize(entry)
         tracer_of(self.clock).end_span(
             entry.span,
             status="ok" if task.state is TaskState.SUCCESS else "error",
@@ -484,7 +531,10 @@ class FaaSService(ServiceDurability):
         )
         future = self._futures.get(task.task_id)
         if future is not None:
-            future.resolve_from_task()
+            if resolve_direct and error is not None:
+                future.set_exception(error)
+            else:
+                future.resolve_from_task()
 
     # -- results ---------------------------------------------------------------
     def drive_until_complete(self, task_id: str) -> Task:

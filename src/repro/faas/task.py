@@ -59,6 +59,13 @@ class Task:
     routed_by: str = ""
     pool: str = ""
     queue_depth_at_route: int = 0
+    # overload plane: the caller's priority class (0 = critical, higher
+    # is cheaper to shed); and the exhausted-retry postmortem — set when
+    # the retry policy gave up, recording the terminal error kind so
+    # provenance can explain why the task failed
+    priority: int = 1
+    gave_up: bool = False
+    last_error_kind: str = ""
 
     @property
     def queue_latency(self) -> Optional[float]:

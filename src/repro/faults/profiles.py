@@ -113,10 +113,54 @@ def partition(seed: int) -> FaultPlan:
     return plan
 
 
+# the multi-tenant overload experiment runs everything on one pooled site
+OVERLOAD_SITE = "chameleon"
+
+
+def overload(seed: int) -> FaultPlan:
+    """Capacity stress for the multi-tenant overload experiment.
+
+    Models a shared facility degrading under load rather than failing
+    outright: bursts of transient executor faults (the retry-budget's
+    adversary — each burst tempts every affected tenant into retrying at
+    once), one short full-pool blackout while the hot tenant floods the
+    queue, and a control-plane latency bump that stretches every
+    dispatch round trip. Against the same seed the protected and
+    unprotected runs see the exact same faults, so the goodput gap is
+    attributable to the protection plane alone.
+    """
+    rng = random.Random(seed)
+    plan = FaultPlan(seed=seed, profile="overload")
+    start = rng.uniform(30.0, 60.0)
+    for _ in range(rng.randint(3, 5)):
+        plan.add(
+            TaskError(
+                at=start, site=OVERLOAD_SITE, count=rng.randint(6, 12),
+                transient=True, message="injected overload executor fault",
+            )
+        )
+        start += rng.uniform(90.0, 180.0)
+    plan.add(
+        EndpointOutage(
+            at=rng.uniform(180.0, 260.0), site=OVERLOAD_SITE,
+            duration=rng.uniform(25.0, 45.0),
+        )
+    )
+    plan.add(
+        NetworkDelay(
+            at=rng.uniform(60.0, 120.0), site=OVERLOAD_SITE,
+            duration=rng.uniform(120.0, 240.0),
+            extra_latency=rng.uniform(0.4, 1.0),
+        )
+    )
+    return plan
+
+
 PROFILES: Dict[str, Callable[[int], FaultPlan]] = {
     "flaky-endpoint": flaky_endpoint,
     "walltime": walltime,
     "partition": partition,
+    "overload": overload,
 }
 
 

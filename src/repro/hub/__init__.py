@@ -12,6 +12,7 @@ from repro.hub.secrets import SecretStore, Secret
 from repro.hub.environments import DeploymentEnvironment, ProtectionRules
 from repro.hub.artifacts import ArtifactStore, Artifact, ARTIFACT_RETENTION_DAYS
 from repro.hub.marketplace import Marketplace, ActionMetadata
+from repro.hub.quotas import QuotaRegistry, TenantQuota
 from repro.hub.service import HubService
 
 __all__ = [
@@ -28,5 +29,7 @@ __all__ = [
     "ARTIFACT_RETENTION_DAYS",
     "Marketplace",
     "ActionMetadata",
+    "QuotaRegistry",
+    "TenantQuota",
     "HubService",
 ]

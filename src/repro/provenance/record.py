@@ -87,6 +87,12 @@ class ExecutionRecord:
     fault_seed: Optional[int] = None
     fault_profile: str = ""
     task_attempts: int = 1
+    # exhausted-attempt provenance: True when the retry path gave the
+    # task up (budget denied or attempts exhausted), plus the error kind
+    # of the final attempt — enough to tell a crate reader *why* a
+    # partial result is partial without replaying the run
+    task_gave_up: bool = False
+    task_last_error: str = ""
     # recovery provenance: True when the task's result came from a
     # write-ahead journal replay rather than a live execution
     task_replayed: bool = False

@@ -59,6 +59,7 @@ from repro.telemetry.slo import (
     Objective,
     SLOEngine,
     default_slo_pack,
+    overload_slo_pack,
 )
 from repro.telemetry.timeseries import (
     DEFAULT_WINDOW,
@@ -113,6 +114,7 @@ __all__ = [
     "default_slo_pack",
     "dumps_chrome_trace",
     "openmetrics_text",
+    "overload_slo_pack",
     "percentile",
     "text_report",
     "tracer_of",

@@ -315,8 +315,14 @@ class EventMetricsBridge:
     * ``task.failover``    → ``faas.task.failovers{from,to}`` counter
     * ``task.timeout``     → ``faas.task.timeouts{endpoint}`` counter
     * ``task.gave_up``     → ``faas.task.give_ups{endpoint}`` counter
+    * ``task.rejected``    → ``faas.tasks.rejected{reason}`` counter,
+      dispatch-depth gauge (−1: the task never dispatches)
+    * ``overload.*``       → backoff/retry-denied/brownout counters plus
+      windowed ``overload.*`` series for the overload SLO pack
     * ``breaker.*``        → ``faas.breaker.transitions{endpoint,state}``
-      counter (state = open/close/half_open)
+      counter (state = open/close/half_open), and on close a
+      ``faas.breaker.open_seconds{endpoint}`` gauge accumulating how
+      long the breaker was open
     * ``task.replayed``    → ``durability.tasks.replayed{endpoint}`` counter
     * ``step.replayed``    → ``durability.steps.replayed`` counter
     * ``run.resumed``      → ``durability.runs.resumed`` counter
@@ -346,6 +352,9 @@ class EventMetricsBridge:
         self.registry = registry
         self.series = series
         self._submits: Dict[str, Tuple[float, str]] = {}
+        # endpoint → virtual time its breaker opened, for the
+        # faas.breaker.open_seconds duration gauge recorded at close
+        self._breaker_opened: Dict[str, float] = {}
         # Subscriber errors are pre-registered so every summary shows
         # the count — a clean run provably reports 0.0 rather than
         # omitting the row (see validate_chrome_trace).
@@ -540,6 +549,45 @@ class EventMetricsBridge:
             reg.counter("faas.task.give_ups", endpoint=endpoint).inc()
             if store is not None:
                 self._s_failure(event.time, endpoint)
+        elif kind == "task.rejected":
+            endpoint = data.get("endpoint", "?")
+            reason = data.get("reason", "?")
+            reg.counter("faas.tasks.rejected", reason=reason).inc()
+            # a rejected task never dispatches: retire its submit-time
+            # depth increment and join-table entry so completion math
+            # stays exact (its task.completed is intentionally skipped)
+            self._submits.pop(data.get("task_id", ""), None)
+            gauge = self._g_depth.get(endpoint)
+            if gauge is not None:
+                gauge.dec()
+            if store is not None:
+                g = self._s_depth.get(endpoint)
+                if g is not None:
+                    g.dec(event.time)
+                store.counter("overload.rejected", reason=reason).inc(event.time)
+                if reason == "shed":
+                    store.counter("overload.shed").inc(event.time)
+        elif kind == "overload.backoff":
+            pool = data.get("pool", "?")
+            reg.counter("faas.overload.backoffs", pool=pool).inc()
+            if store is not None:
+                store.counter("overload.backoffs").inc(event.time)
+                store.gauge("overload.limit", pool=pool).set(
+                    event.time, float(data.get("limit", 0.0))
+                )
+        elif kind == "overload.retry_denied":
+            reg.counter(
+                "faas.overload.retry_denied", scope=data.get("scope", "?")
+            ).inc()
+            if store is not None:
+                store.counter("overload.retry_denied").inc(event.time)
+        elif kind == "overload.brownout":
+            state = data.get("state", "?")
+            reg.counter("faas.overload.brownout", state=state).inc()
+            if store is not None:
+                store.gauge("overload.brownout").set(
+                    event.time, 1.0 if state == "enter" else 0.0
+                )
         elif kind.startswith("breaker."):
             endpoint = data.get("endpoint", "?")
             state = kind.split(".", 1)[1]
@@ -547,6 +595,20 @@ class EventMetricsBridge:
                 "faas.breaker.transitions",
                 endpoint=endpoint, state=state,
             ).inc()
+            # open-duration accounting: dashboards and shedding decisions
+            # need how long capacity was dark, not just the trip count
+            if state == "open":
+                self._breaker_opened[endpoint] = event.time
+            elif state == "close":
+                opened = self._breaker_opened.pop(endpoint, None)
+                if opened is not None:
+                    reg.gauge(
+                        "faas.breaker.open_seconds", endpoint=endpoint
+                    ).inc(event.time - opened)
+                    if store is not None:
+                        store.gauge(
+                            "faas.breaker.open_seconds", endpoint=endpoint
+                        ).inc(event.time, event.time - opened)
             if store is not None:
                 store.gauge("faas.breaker.state", endpoint=endpoint).set(
                     event.time, _BREAKER_LEVELS.get(state, 0.0)

@@ -22,10 +22,24 @@ live ones.
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Callable, List, Optional
 
 # compaction triggers only beyond this queue size; tiny queues never pay
 _COMPACT_MIN = 64
+
+# Recursion headroom while draining the queue. Task bodies advance the
+# clock from inside measure() regions, so each task whose compute window
+# overlaps another's start nests one more run_until frame set (~10
+# Python frames). Under a saturating workload those chains grow with
+# the backlog, and CPython's default limit of 1000 is reached mid-drain
+# — worse, the RecursionError surfaces inside heappop, which has
+# already removed the head entry, so the event is silently lost and
+# the run's outcome starts depending on the interpreter's stack
+# configuration instead of the seed. Raising the limit for the drain
+# (3.11+ allocates pure-Python frames on the heap, so this is cheap)
+# keeps deep cascades deterministic.
+_DRAIN_RECURSION_LIMIT = 100_000
 
 
 class _ScheduledEvent:
@@ -248,11 +262,18 @@ class SimClock:
         """
         if self._regions:
             raise RuntimeError("cannot drain events inside a measure() region")
-        while True:
-            head = self._peek_live()
-            if head is None or head.time > limit:
-                break
-            self.run_until(head.time)
+        old_limit = sys.getrecursionlimit()
+        if old_limit < _DRAIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_DRAIN_RECURSION_LIMIT)
+        try:
+            while True:
+                head = self._peek_live()
+                if head is None or head.time > limit:
+                    break
+                self.run_until(head.time)
+        finally:
+            if old_limit < _DRAIN_RECURSION_LIMIT:
+                sys.setrecursionlimit(old_limit)
 
     def measure(self) -> _Measure:
         """Run a region of code, capture its cost, and rewind the clock.

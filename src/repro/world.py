@@ -74,6 +74,7 @@ class World:
         offline_policy: str = "raise",
         placement_policy: str = "pinned",
         streaming_metrics: bool = False,
+        overload=None,
     ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
@@ -110,6 +111,7 @@ class World:
             retry_policy=retry_policy, breaker=breaker,
             offline_policy=offline_policy,
             placement_policy=placement_policy,
+            overload=overload,
         )
         self.provenance = ProvenanceStore()
         self.archive = PermanentArchive(self.clock)
@@ -180,6 +182,9 @@ class World:
             rules = default_slo_pack(window)
         self.slo = SLOEngine(self.series, self.events, list(rules)).install()
         self.health = HealthScorer(self.series, window=health_window)
+        # the overload plane's AIMD limiter reads dispatch p95 from the
+        # same store (no-op when the plane is off)
+        self.faas.attach_overload_series(self.series)
         if health_routing:
             self.faas.attach_health(self.health)
         return self.series
