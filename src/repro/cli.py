@@ -213,6 +213,35 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if comparison.goodput_ratio > 1.0 else 1
 
 
+def _cmd_hedge(args: argparse.Namespace) -> int:
+    """Compare tail latency with and without the fail-slow hedging plane."""
+    from repro.experiments import (
+        HedgingParams,
+        format_hedging_report,
+        run_fig4_failslow,
+    )
+
+    params = HedgingParams(
+        seed=args.seed, profile=args.profile, endpoints=args.endpoints
+    )
+    comparison = run_fig4_failslow(params)
+    print(format_hedging_report(comparison))
+    runs = (comparison.unhedged, comparison.hedged, comparison.fault_free)
+    audits_ok = (
+        comparison.fault_free.hedges_launched == 0
+        and all(r.double_resolutions == 0 for r in runs)
+        and all(r.unresolved_futures == 0 for r in runs)
+    )
+    if params.profile in ("none", "off"):
+        # a fault-free comparison only proves quiescence + exactly-once
+        return 0 if audits_ok else 1
+    return (
+        0
+        if audits_ok and comparison.hedged.p99 < comparison.unhedged.p99
+        else 1
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run one microbenchmark scenario and write BENCH_<scenario>.json."""
     from repro.experiments.bench import (
@@ -428,6 +457,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "bench": _cmd_bench,
     "obs": _cmd_obs,
     "overload": _cmd_overload,
+    "hedge": _cmd_hedge,
 }
 
 
@@ -504,7 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--profile", default="flaky-endpoint",
-        choices=["flaky-endpoint", "walltime", "partition"],
+        choices=["flaky-endpoint", "walltime", "partition", "fail-slow"],
         help="named fault profile (fig4 only)",
     )
     chaos.add_argument(
@@ -664,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument(
         "--profile", default="flaky-endpoint",
-        choices=["flaky-endpoint", "walltime", "partition", "none"],
+        choices=["flaky-endpoint", "walltime", "partition", "fail-slow", "none"],
         help="fault profile; 'none' runs the fault-free Fig. 4",
     )
     obs.add_argument(
@@ -721,6 +751,30 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument(
         "--export", default="",
         help="write <prefix>-openmetrics.txt from the protected run",
+    )
+    hedge = sub.add_parser(
+        "hedge",
+        help=(
+            "run the pooled Fig. 4 under the fail-slow profile and "
+            "compare tail latency with hedged execution off vs on"
+        ),
+    )
+    hedge.add_argument(
+        "experiment", choices=["fig4"],
+        help="which workload shape to run (fig4: pooled single-site)",
+    )
+    hedge.add_argument(
+        "--seed", type=int, default=7,
+        help="workload + fault-plan seed; same seed, same report",
+    )
+    hedge.add_argument(
+        "--profile", default="fail-slow",
+        choices=["fail-slow", "none"],
+        help="fault profile; 'none' proves quiescence on a healthy pool",
+    )
+    hedge.add_argument(
+        "--endpoints", type=int, default=3,
+        help="pool members at the fail-slow site (default 3)",
     )
     return parser
 

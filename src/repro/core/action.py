@@ -282,6 +282,9 @@ class CorrectAction:
             routed_by=task.routed_by,
             pool=task.pool,
             queue_depth_at_route=task.queue_depth_at_route,
+            hedged=getattr(task, "hedged", False),
+            hedge_won=getattr(task, "hedge_won", False),
+            loser_endpoint=getattr(task, "loser_endpoint", ""),
         )
         store.add(record)
 

@@ -225,6 +225,15 @@ class TaskTimeout(FaaSError, PermanentError):
     """
 
 
+class TaskCancelled(FaaSError, PermanentError):
+    """The task was retracted before it produced a result.
+
+    Raised from a future whose :meth:`cancel` succeeded. Permanent by
+    definition — cancellation is a caller decision, not a fault, so the
+    resilience layer must never retry it.
+    """
+
+
 class CircuitOpen(FaaSError, TransientError):
     """The endpoint's circuit breaker is open and no fallback is declared.
 

@@ -49,6 +49,16 @@ from repro.experiments.overload import (
     run_overload,
     run_overload_comparison,
 )
+from repro.experiments.hedging import (
+    FailSlowComparison,
+    FailSlowRunResult,
+    HedgingParams,
+    format_hedging_report,
+    generate_failslow_workload,
+    hedge_config,
+    run_failslow,
+    run_fig4_failslow,
+)
 from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.survey_tables import (
     table1_rows,
@@ -92,6 +102,14 @@ __all__ = [
     "overload_config",
     "run_overload",
     "run_overload_comparison",
+    "FailSlowComparison",
+    "FailSlowRunResult",
+    "HedgingParams",
+    "format_hedging_report",
+    "generate_failslow_workload",
+    "hedge_config",
+    "run_failslow",
+    "run_fig4_failslow",
     "run_fig1",
     "table1_rows",
     "table2_rows",

@@ -4,12 +4,14 @@ Every future PR needs a number to beat. This module drives the FaaS
 stack with seeded synthetic workloads (10k–1M tasks) and distills each
 run into a :class:`BenchResult` that serializes to ``BENCH_<scenario>.json``
 — wall time, tasks/sec, peak event counts, and p50/p95 dispatch latency
-in *virtual* time. The JSON schema (``repro-bench/3``) is documented in
+in *virtual* time. The JSON schema (``repro-bench/4``) is documented in
 DESIGN.md §12: version 2 added ``alerts_fired`` and the per-window
 ``queue_wait_p95_series`` from the observability plane (``--obs``);
-version 3 adds the overload-plane disposition counters (``admitted``,
-``rejected``, ``shed``, ``brownout_seconds``). ``--baseline`` still
-accepts ``repro-bench/1`` and ``/2`` files.
+version 3 added the overload-plane disposition counters (``admitted``,
+``rejected``, ``shed``, ``brownout_seconds``); version 4 adds the
+hedging-plane counters (``hedges_launched``, ``hedges_won``,
+``wasted_work_seconds``). ``--baseline`` still accepts files from every
+earlier schema generation.
 
 Three scenario families ship:
 
@@ -41,10 +43,12 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.telemetry import percentile
 
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
 
 # baseline files from any schema generation still gate throughput
-ACCEPTED_BASELINE_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
+ACCEPTED_BASELINE_SCHEMAS = (
+    "repro-bench/1", "repro-bench/2", "repro-bench/3", "repro-bench/4",
+)
 
 # tasks are submitted (and peak-pending sampled) in slices of this size
 SUBMIT_SLICE = 1000
@@ -80,6 +84,11 @@ class BenchResult:
     rejected: int = 0
     shed: int = 0
     brownout_seconds: float = 0.0
+    # schema v4: hedging-plane counters (all zero when the service was
+    # built without a HedgeConfig, so the fields are always present)
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    wasted_work_seconds: float = 0.0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -106,6 +115,9 @@ class BenchResult:
                 "rejected": self.rejected,
                 "shed": self.shed,
                 "brownout_seconds": round(self.brownout_seconds, 3),
+                "hedges_launched": self.hedges_launched,
+                "hedges_won": self.hedges_won,
+                "wasted_work_seconds": round(self.wasted_work_seconds, 3),
                 **{k: v for k, v in sorted(self.extras.items())},
             },
             "meta": {
@@ -525,6 +537,13 @@ def format_bench_report(result: BenchResult) -> str:
         lines.append(f"  shed:                 {result.shed:10d}")
         lines.append(
             f"  brownout:             {result.brownout_seconds:10.1f} s (virtual)"
+        )
+    if result.hedges_launched:
+        lines.append(f"  hedges launched:      {result.hedges_launched:10d}")
+        lines.append(f"  hedges won:           {result.hedges_won:10d}")
+        lines.append(
+            f"  wasted work:          "
+            f"{result.wasted_work_seconds:10.1f} s (virtual)"
         )
     lines.extend(
         f"  {key + ':':<22}{value:>10}"

@@ -62,6 +62,12 @@ class PendingTask:
     attempt: int = 1
     aborted: bool = False
     deadline: Optional[float] = None
+    # hedging: set on the speculative duplicate entry (the hedge arm
+    # shares the primary's task and future but runs on another pool
+    # member), plus the virtual time this entry's current attempt was
+    # handed to an endpoint — the base the hedge deadline counts from
+    is_hedge: bool = False
+    dispatched_at: Optional[float] = None
 
 
 class EndpointDispatcher:
@@ -93,6 +99,12 @@ class EndpointDispatcher:
             # backoff event was in flight; the task is already finalized
             # and re-queueing it would dispatch (and resolve) it twice
             return
+        if entry.aborted:
+            # retracted (cancelled, or a hedge race already settled)
+            # while its arrival event was on the wire; a retry clears
+            # the flag before re-scheduling, so this only drops entries
+            # nobody is waiting on
+            return
         if not self.queue or entry.seq >= self.queue[-1].seq:
             self.queue.append(entry)
         else:
@@ -121,6 +133,25 @@ class EndpointDispatcher:
         self.service._complete(entry, None, error)
         return entry
 
+    def retract(self, entry: PendingTask) -> bool:
+        """Withdraw an entry without completing it; True if it was running.
+
+        The cancellation primitive: the entry's eventual completion
+        callback is discarded via ``aborted``, the lane (or queue slot)
+        is freed, and — unlike :meth:`abort_inflight` — *no* outcome
+        flows through the pipeline, so nothing retries a retraction.
+        Used for caller cancellation and for the losing arm of a hedge.
+        """
+        entry.aborted = True
+        if self.inflight is entry:
+            self.inflight = None
+            self.busy = False
+            self.pump()
+            return True
+        if entry in self.queue:
+            self.queue.remove(entry)
+        return False
+
     def pump(self) -> None:
         if self.busy or not self.queue:
             return
@@ -129,16 +160,28 @@ class EndpointDispatcher:
         self.inflight = entry
         task = entry.task
         task.state = TaskState.RUNNING
-        task.started_at = self.service.clock.now
-        # pool-routed tasks stamp their pool so the metrics bridge can
-        # label per-pool series; pinned tasks keep the historic payload
-        if task.pool:
+        entry.dispatched_at = self.service.clock.now
+        if entry.is_hedge:
+            # the hedge arm is a shadow of an already-running task: keep
+            # the primary's started_at (queue latency counts from the
+            # first dispatch) and emit a distinct event kind so journals
+            # and per-task metrics never see two dispatches of one task
+            self.service.events.emit(
+                self.service.clock.now, "faas", "task.hedge_dispatched",
+                task_id=task.task_id, endpoint=self.endpoint_id,
+                attempt=entry.attempt, pool=task.pool,
+            )
+        elif task.pool:
+            # pool-routed tasks stamp their pool so the metrics bridge can
+            # label per-pool series; pinned tasks keep the historic payload
+            task.started_at = self.service.clock.now
             self.service.events.emit(
                 self.service.clock.now, "faas", "task.dispatched",
                 task_id=task.task_id, endpoint=self.endpoint_id,
                 attempt=entry.attempt, pool=task.pool,
             )
         else:
+            task.started_at = self.service.clock.now
             self.service.events.emit(
                 self.service.clock.now, "faas", "task.dispatched",
                 task_id=task.task_id, endpoint=self.endpoint_id,
@@ -181,6 +224,30 @@ class EndpointDispatcher:
             self.service._complete(entry, result, error)
             self.pump()
 
+        # a fail-slow window stretches this whole dispatch: the completion
+        # callback is deferred by (multiplier - 1) x the execution's
+        # elapsed virtual time, modelling an endpoint that stays alive and
+        # keeps succeeding while quietly running several-x slow. Sampled
+        # once at dispatch, so a window opening mid-task never slows it
+        # retroactively (determinism under hedged re-execution).
+        injector = injector_of(self.service.clock)
+        slow = injector.service_multiplier(self.endpoint_id)
+        if slow > 1.0:
+            clock = self.service.clock
+            dispatch_started = clock.now
+            fast_done = on_done
+
+            def slowed_done(result, error) -> None:
+                extra = (slow - 1.0) * (clock.now - dispatch_started)
+                if extra > 1e-12:
+                    clock.call_after(extra, lambda: fast_done(result, error))
+                else:
+                    fast_done(result, error)
+
+            done_cb = slowed_done
+        else:
+            done_cb = on_done
+
         try:
             # the execute span is active for the whole dispatch chain, so
             # pilot provisioning and Slurm submissions parent under it
@@ -194,7 +261,6 @@ class EndpointDispatcher:
                     raise EndpointOffline(
                         f"endpoint {self.endpoint_id!r} went offline before dispatch"
                     )
-                injector = injector_of(self.service.clock)
                 injector.check_dispatch(endpoint.site.name)
                 injected = injector.task_error_for(
                     endpoint.site.name, entry.spec.name
@@ -207,7 +273,7 @@ class EndpointDispatcher:
                 if isinstance(endpoint, MultiUserEndpoint):
                     endpoint.execute_async(
                         entry.token, spec, task.args, task.kwargs,
-                        on_done, template_name=entry.template,
+                        done_cb, template_name=entry.template,
                     )
                 else:
                     if (
@@ -219,7 +285,7 @@ class EndpointDispatcher:
                             f"{endpoint.owner.urn}, not {entry.token.identity.urn}"
                         )
                     endpoint.execute_async(
-                        spec, task.args, task.kwargs, on_done
+                        spec, task.args, task.kwargs, done_cb
                     )
         except CoordinatorCrashed:
             # a planned crash is the coordinator process dying, not a

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
-from repro.errors import TaskFailed
+from repro.errors import TaskCancelled, TaskFailed
 from repro.util.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,10 +62,26 @@ class Future:
         for callback in callbacks:
             callback(self)
 
+    def cancel(self) -> bool:
+        """Resolve with :class:`TaskCancelled` if still pending.
+
+        Returns ``True`` when this call retracted the future, ``False``
+        when it had already resolved (a result, an error, or an earlier
+        cancel — cancellation cannot un-happen a completion).
+        """
+        if self._resolved:
+            return False
+        self.set_exception(TaskCancelled("future cancelled"))
+        return True
+
     # -- observation (consumer side) -----------------------------------------
     def done(self) -> bool:
         """True once the future has a result or an exception."""
         return self._resolved
+
+    def cancelled(self) -> bool:
+        """True when the future resolved by cancellation."""
+        return self._resolved and isinstance(self._exception, TaskCancelled)
 
     def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
         """Call ``fn(self)`` when resolved; immediately if already done."""
@@ -108,7 +124,7 @@ class TaskFuture(Future):
     :class:`~repro.errors.TaskFailed` carrying the remote traceback.
     """
 
-    __slots__ = ("task", "span")
+    __slots__ = ("task", "span", "service")
 
     def __init__(self, clock: SimClock, task: "Task") -> None:
         super().__init__(clock)
@@ -116,10 +132,24 @@ class TaskFuture(Future):
         # telemetry span for this task, set by the service at submit time
         # (None when the world runs untraced)
         self.span = None
+        # the owning service, set at submit time so cancel() can retract
+        # the pending dispatch entry, not just resolve the future
+        self.service = None
 
     @property
     def task_id(self) -> str:
         return self.task.task_id
+
+    def cancel(self) -> bool:
+        """Retract the task service-side; resolves with TaskCancelled.
+
+        Goes through :meth:`FaaSService.cancel` when the service is
+        attached, so the queued or in-flight dispatch entry is removed
+        and the task record lands in the ``CANCELLED`` terminal state.
+        """
+        if self.service is not None:
+            return self.service.cancel(self.task.task_id)
+        return super().cancel()
 
     def resolve_from_task(self) -> None:
         """Resolve from the (terminal) task record. Called by the service."""
@@ -127,6 +157,10 @@ class TaskFuture(Future):
 
         if self.task.state is TaskState.SUCCESS:
             self.set_result(self.task.result)
+        elif self.task.state is TaskState.CANCELLED:
+            self.set_exception(
+                TaskCancelled(f"task {self.task.task_id} was cancelled")
+            )
         else:
             self.set_exception(
                 TaskFailed(

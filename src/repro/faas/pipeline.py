@@ -7,7 +7,7 @@ lease touching used to be branches inside ``FaaSService.submit`` /
 them in an explicit order:
 
 ``DEFAULT_ORDER = ("admission", "concurrency", "shed", "replay",
-"lease", "breaker", "failover", "timeout", "retry")``
+"lease", "hedge", "breaker", "failover", "timeout", "retry")``
 
 The order is semantic, not cosmetic. The overload plane runs first —
 admission (per-tenant quota), then adaptive concurrency, then priority
@@ -15,11 +15,14 @@ shedding, cheapest verdict first, and all three are no-ops unless the
 service was built with an ``OverloadConfig``. On a completion outcome
 the lease must be touched before the breaker records (a completed task
 is a heartbeat *first*, so ``lease.renewed`` precedes ``breaker.close``),
-and the breaker must record before the retry interceptor decides (so
-``breaker.open`` precedes ``task.retry`` in the event log — the order
-the chaos reports and journal offsets depend on). At submit time the
-breaker gate runs before failover, which reroutes only what the breaker
-blocked.
+the hedge plane settles its race before the breaker records (a losing
+hedge arm's error is suppressed *before* it could trip a breaker, and a
+hedge win moves ``task.endpoint_id`` to the winner so success credits
+the endpoint that produced it), and the breaker must record before the
+retry interceptor decides (so ``breaker.open`` precedes ``task.retry``
+in the event log — the order the chaos reports and journal offsets
+depend on). At submit time the breaker gate runs before failover, which
+reroutes only what the breaker blocked.
 
 Hook map (an interceptor implements only what it needs):
 
@@ -61,6 +64,7 @@ DEFAULT_ORDER: Tuple[str, ...] = (
     "shed",
     "replay",
     "lease",
+    "hedge",
     "breaker",
     "failover",
     "timeout",
@@ -165,6 +169,30 @@ class ShedInterceptor(Interceptor):
         controller = self.service.overload
         if controller is not None:
             controller.check_shed(sub)
+
+
+class HedgeInterceptor(Interceptor):
+    """Speculative hedged execution against fail-slow endpoints.
+
+    A thin shim onto the service's
+    :class:`~repro.faas.hedging.HedgeController` (same pattern as the
+    overload interceptors — hedging.py must stay import-free of this
+    module). With the plane off (``service.hedging is None``) both hooks
+    return immediately, so default worlds are byte-identical.
+    """
+
+    name = "hedge"
+
+    def on_dispatched(self, entry, endpoint_id: str) -> None:
+        controller = self.service.hedging
+        if controller is not None:
+            controller.on_dispatched(entry, endpoint_id)
+
+    def on_outcome(self, entry, result, error: Optional[BaseException]) -> bool:
+        controller = self.service.hedging
+        if controller is not None:
+            return controller.on_outcome(entry, result, error)
+        return False
 
 
 class BreakerInterceptor(Interceptor):
@@ -552,6 +580,7 @@ INTERCEPTORS = {
         ShedInterceptor,
         ReplayInterceptor,
         LeaseInterceptor,
+        HedgeInterceptor,
         BreakerInterceptor,
         FailoverInterceptor,
         TimeoutInterceptor,

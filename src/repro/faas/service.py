@@ -31,6 +31,7 @@ from repro.errors import (
     EndpointOffline,
     PayloadTooLarge,
     ReproError,
+    TaskCancelled,
     TaskFailed,
     is_retryable,
 )
@@ -39,6 +40,7 @@ from repro.faas.durability import ServiceDurability
 from repro.faas.endpoint import MultiUserEndpoint, UserEndpoint
 from repro.faas.functions import FunctionRegistry
 from repro.faas.future import TaskFuture
+from repro.faas.hedging import HedgeConfig, HedgeController
 from repro.faas.overload import OverloadConfig, OverloadController
 from repro.faas.pipeline import DEFAULT_ORDER, Pipeline, SubmitContext
 from repro.faas.placement import EndpointPool, RouteDecision, Router
@@ -104,6 +106,7 @@ class FaaSService(ServiceDurability):
         placement_policy: str = "pinned",
         pipeline_order: Sequence[str] = DEFAULT_ORDER,
         overload: Optional[OverloadConfig] = None,
+        hedge: Optional[HedgeConfig] = None,
     ) -> None:
         self.clock = clock
         self.auth = auth
@@ -125,10 +128,17 @@ class FaaSService(ServiceDurability):
         self.overload: Optional[OverloadController] = (
             OverloadController(self, overload) if overload is not None else None
         )
+        # the fail-slow plane is off unless configured; the hedge
+        # interceptor no-ops when this is None
+        self.hedging: Optional[HedgeController] = (
+            HedgeController(self, hedge) if hedge is not None else None
+        )
         self.pipeline = Pipeline(self, order=tuple(pipeline_order))
         self._endpoints: Dict[str, Endpoint] = {}
         self._tasks: Dict[str, Task] = {}
         self._futures: Dict[str, TaskFuture] = {}
+        # live PendingTask entries by task id: what cancel() retracts
+        self._entries: Dict[str, PendingTask] = {}
         self._dispatchers: Dict[str, EndpointDispatcher] = {}
         self._task_ids = IdFactory("task")
         self._idem_occurrences: Dict[str, int] = {}
@@ -294,6 +304,51 @@ class FaaSService(ServiceDurability):
         if dispatcher is not None:
             dispatcher.pump()
 
+    def cancel(self, task_id: str) -> bool:
+        """Retract a live task; ``False`` if it already finished.
+
+        Cancellation is terminal and unconditional: the entry leaves its
+        queue (or lane) via :meth:`EndpointDispatcher.retract`, any late
+        completion callback is discarded by the abort guard, no outcome
+        flows through the resilience pipeline (nothing retries a
+        cancellation), and the future fails with
+        :class:`~repro.errors.TaskCancelled`. Idempotent — a second call
+        on a terminal task returns ``False`` and changes nothing.
+        """
+        task = self._tasks.get(task_id)
+        if task is None or task.state.is_terminal:
+            return False
+        entry = self._entries.pop(task_id, None)
+        if entry is None:
+            return False
+        entry.aborted = True
+        dispatcher = self._dispatchers.get(task.endpoint_id)
+        if dispatcher is not None:
+            dispatcher.retract(entry)
+        task.state = TaskState.CANCELLED
+        task.completed_at = self.clock.now
+        task.exception_text = f"TaskCancelled: task {task_id} was cancelled"
+        self._unbind_load(task.endpoint_id)
+        if self.overload is not None:
+            self.overload.on_finalize(entry)
+        if self.hedging is not None:
+            # a cancelled task's hedge arm (if any) is retracted too
+            self.hedging.on_finalize(entry)
+        tracer_of(self.clock).end_span(
+            entry.span, status="error", error="TaskCancelled: cancelled"
+        )
+        self.events.emit(
+            self.clock.now, "faas", "task.cancelled",
+            task_id=task_id, endpoint=task.endpoint_id,
+            attempt=entry.attempt,
+        )
+        future = self._futures.get(task_id)
+        if future is not None and not future.done():
+            future.set_exception(
+                TaskCancelled(f"task {task_id} was cancelled")
+            )
+        return True
+
     # -- task lifecycle ----------------------------------------------------------
     def submit(
         self,
@@ -387,6 +442,7 @@ class FaaSService(ServiceDurability):
         self._tasks[task.task_id] = task
         self._bind_load(endpoint_id)
         future = TaskFuture(self.clock, task)
+        future.service = self  # future.cancel() routes through the service
         self._futures[task.task_id] = future
         self.events.emit(
             self.clock.now, "faas", "task.submitted",
@@ -423,6 +479,7 @@ class FaaSService(ServiceDurability):
             task, future, token, spec, template,
             seq=next(self._submit_seq), span=span,
         )
+        self._entries[task.task_id] = entry
         self.pipeline.submitted(entry, sub)
 
         if sub.rejected:
@@ -517,8 +574,12 @@ class FaaSService(ServiceDurability):
                 )
         task.completed_at = self.clock.now
         self._unbind_load(task.endpoint_id)
+        self._entries.pop(task.task_id, None)
         if self.overload is not None:
             self.overload.on_finalize(entry)
+        if self.hedging is not None:
+            # sweep a surviving hedge arm before the future resolves
+            self.hedging.on_finalize(entry)
         tracer_of(self.clock).end_span(
             entry.span,
             status="ok" if task.state is TaskState.SUCCESS else "error",

@@ -12,10 +12,13 @@ class TaskState(enum.Enum):
     RUNNING = "RUNNING"
     SUCCESS = "SUCCESS"
     FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
 
     @property
     def is_terminal(self) -> bool:
-        return self in (TaskState.SUCCESS, TaskState.FAILED)
+        return self in (
+            TaskState.SUCCESS, TaskState.FAILED, TaskState.CANCELLED
+        )
 
 
 @dataclass(slots=True)
@@ -66,6 +69,12 @@ class Task:
     priority: int = 1
     gave_up: bool = False
     last_error_kind: str = ""
+    # hedging: whether a speculative duplicate was launched for this
+    # task, whether the duplicate produced the winning result, and the
+    # endpoint whose (cancelled or ignored) attempt lost the race
+    hedged: bool = False
+    hedge_won: bool = False
+    loser_endpoint: str = ""
 
     @property
     def queue_latency(self) -> Optional[float]:

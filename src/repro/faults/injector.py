@@ -46,6 +46,7 @@ from repro.faults.plan import (
     NetworkDelay,
     NetworkPartition,
     NodePreemption,
+    PerfDegradation,
     ProvisionFlake,
     TaskError,
     TestFailure,
@@ -77,6 +78,9 @@ class NullInjector:
     def test_error_for(self, suite: str, test: str):
         return None
 
+    def service_multiplier(self, endpoint_id: str) -> float:
+        return 1.0
+
 
 NULL_INJECTOR = NullInjector()
 
@@ -104,6 +108,7 @@ class FaultInjector:
         self._test_failures: List[TestFailure] = []
         self._partitioned: Dict[str, int] = {}  # site -> open window count
         self._saved_networks: Dict[str, object] = {}
+        self._degraded: Dict[str, float] = {}  # endpoint -> multiplier
         self.injected: List[Dict] = []  # audit: every fired injection
 
     # -- lifecycle ---------------------------------------------------------
@@ -147,6 +152,10 @@ class FaultInjector:
             elif isinstance(fault, ProvisionFlake):
                 self.clock.call_after(
                     fault.at, lambda f=fault: self._arm_provision_flake(f)
+                )
+            elif isinstance(fault, PerfDegradation):
+                self.clock.call_after(
+                    fault.at, lambda f=fault: self._begin_degradation(f)
                 )
             elif isinstance(fault, CoordinatorCrash):
                 # journal-offset positioned, not time positioned: armed
@@ -323,6 +332,43 @@ class FaultInjector:
             raise NetworkPartitioned(
                 f"network partition: cloud cannot reach site {site}"
             )
+
+    # -- fail-slow windows -------------------------------------------------
+    def _begin_degradation(self, fault: PerfDegradation) -> None:
+        hit = self._endpoints_at(fault.site)
+        if not hit:
+            return
+        if fault.member >= 0:
+            hit = [hit[min(fault.member, len(hit) - 1)]]
+        for eid, _ in hit:
+            self._degraded[eid] = fault.multiplier
+            self._record(
+                "perf.degraded", site=fault.site, endpoint=eid,
+                multiplier=fault.multiplier, duration=fault.duration,
+            )
+        ids = [eid for eid, _ in hit]
+        self.clock.call_after(
+            fault.duration, lambda: self._end_degradation(fault, ids)
+        )
+
+    def _end_degradation(
+        self, fault: PerfDegradation, endpoint_ids: List[str]
+    ) -> None:
+        for eid in endpoint_ids:
+            if self._degraded.pop(eid, None) is not None:
+                self._record(
+                    "perf.restored", site=fault.site, endpoint=eid
+                )
+
+    def service_multiplier(self, endpoint_id: str) -> float:
+        """Current fail-slow stretch for an endpoint (1.0 = full speed).
+
+        Sampled by the dispatcher at dispatch time: the whole execution
+        runs under the multiplier in effect when it started, which keeps
+        hedged reproductions deterministic (a window opening mid-task
+        does not retroactively slow it).
+        """
+        return self._degraded.get(endpoint_id, 1.0)
 
     # -- scheduler faults --------------------------------------------------
     def _running_pilots(self, site_name: str, user: str) -> List[object]:

@@ -149,6 +149,25 @@ class ProvisionFlake(Fault):
 
 
 @dataclass(frozen=True)
+class PerfDegradation(Fault):
+    """A fail-slow window: endpoints at ``site`` stay alive but run slow.
+
+    For ``duration`` seconds every affected endpoint's service time is
+    stretched by ``multiplier`` — tasks still succeed, nothing trips the
+    breaker, no retry fires. This is the gray failure the hedging plane
+    exists for: the node answers health checks while quietly inflating
+    every task routed to it. ``member`` selects one endpoint by its index
+    in the site's sorted endpoint list (clamped to the last member when
+    the site has fewer endpoints); ``-1`` degrades the whole site.
+    """
+
+    site: str
+    duration: float
+    multiplier: float = 4.0
+    member: int = -1
+
+
+@dataclass(frozen=True)
 class CoordinatorCrash(Fault):
     """The coordinator process dies once journal record N has landed.
 

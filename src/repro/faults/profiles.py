@@ -20,6 +20,7 @@ from repro.faults.plan import (
     FaultPlan,
     NetworkDelay,
     NetworkPartition,
+    PerfDegradation,
     TaskError,
     FaultPlan as _FaultPlan,  # noqa: F401 - re-export convenience
     WalltimeKill,
@@ -156,11 +157,39 @@ def overload(seed: int) -> FaultPlan:
     return plan
 
 
+def fail_slow(seed: int) -> FaultPlan:
+    """Gray failure: one pool member stays alive but runs several-x slow.
+
+    The defining fail-slow property is that *nothing else notices*: the
+    endpoint accepts work, tasks succeed, the breaker never trips — only
+    tail latency explodes. Two or three long degradation windows land on
+    member 1 of the pooled site (member 0 keeps the historic singleton
+    id; on a singleton site the member index clamps so the sole endpoint
+    degrades instead), stretching its service times 3–6x for most of the
+    run. This is the profile the straggler detector and the hedge
+    interceptor are built against.
+    """
+    rng = random.Random(seed)
+    plan = FaultPlan(seed=seed, profile="fail-slow")
+    start = rng.uniform(20.0, 60.0)
+    for _ in range(rng.randint(2, 3)):
+        duration = rng.uniform(500.0, 900.0)
+        plan.add(
+            PerfDegradation(
+                at=start, site=OVERLOAD_SITE, duration=duration,
+                multiplier=rng.uniform(3.0, 6.0), member=1,
+            )
+        )
+        start += duration + rng.uniform(60.0, 180.0)
+    return plan
+
+
 PROFILES: Dict[str, Callable[[int], FaultPlan]] = {
     "flaky-endpoint": flaky_endpoint,
     "walltime": walltime,
     "partition": partition,
     "overload": overload,
+    "fail-slow": fail_slow,
 }
 
 

@@ -102,6 +102,13 @@ class ExecutionRecord:
     routed_by: str = ""
     pool: str = ""
     queue_depth_at_route: int = 0
+    # hedge provenance: whether a speculative duplicate was launched,
+    # whether it produced the winning result, and the endpoint whose
+    # attempt lost the race — a hedged record names both endpoints, so
+    # a reviewer can tell re-execution from first-execution
+    hedged: bool = False
+    hedge_won: bool = False
+    loser_endpoint: str = ""
 
     @property
     def duration(self) -> float:

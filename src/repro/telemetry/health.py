@@ -16,7 +16,11 @@ The score is intentionally simple and fully deterministic:
   half-open = 0.5 → halved, open = 1.0 → zero: an open breaker is
   *unhealthy* no matter how good history looks);
 * minus a fixed penalty when the endpoint's queue depth trended *up*
-  across the window (backlog building faster than it drains).
+  across the window (backlog building faster than it drains);
+* scaled by ``1 - gray_score`` when a straggler detector is attached
+  (``gray_of``): a fail-slow endpoint succeeds at everything, so
+  success rate and breaker level never catch it — the gray score is
+  the only health signal a slow-but-alive member produces.
 
 The ``least-loaded`` router can consume scores as an optional
 tie-breaker (prefer the healthier endpoint among equally-loaded ones);
@@ -51,6 +55,10 @@ class HealthScorer:
             raise ValueError(f"health window must be positive, got {window}")
         self.store = store
         self.window = window
+        # optional (endpoint, now) -> [0, 1] gray-failure score from a
+        # straggler detector; None keeps scoring byte-identical to a
+        # world without the hedging plane
+        self.gray_of = None
 
     # -- scoring -------------------------------------------------------------
     def success_rate(self, endpoint: str, now: float) -> float:
@@ -79,6 +87,8 @@ class HealthScorer:
         base *= 1.0 - self.breaker_level(endpoint, now)
         if self.queue_trend(endpoint, now) > 0:
             base -= TREND_PENALTY
+        if self.gray_of is not None:
+            base *= 1.0 - min(1.0, max(0.0, self.gray_of(endpoint, now)))
         return min(1.0, max(0.0, base))
 
     def state(self, endpoint: str, now: float) -> str:

@@ -317,6 +317,12 @@ class EventMetricsBridge:
     * ``task.gave_up``     → ``faas.task.give_ups{endpoint}`` counter
     * ``task.rejected``    → ``faas.tasks.rejected{reason}`` counter,
       dispatch-depth gauge (−1: the task never dispatches)
+    * ``task.cancelled``   → ``faas.tasks.cancelled{endpoint}`` counter
+      (join-table entry retired — a cancelled task never completes)
+    * ``hedge.*``          → ``faas.hedges{outcome}`` counter
+      (outcome = launched/won/cancelled/lost)
+    * ``straggler.*``      → ``faas.stragglers{transition,endpoint}``
+      counter (transition = flagged/cleared)
     * ``overload.*``       → backoff/retry-denied/brownout counters plus
       windowed ``overload.*`` series for the overload SLO pack
     * ``breaker.*``        → ``faas.breaker.transitions{endpoint,state}``
@@ -549,6 +555,30 @@ class EventMetricsBridge:
             reg.counter("faas.task.give_ups", endpoint=endpoint).inc()
             if store is not None:
                 self._s_failure(event.time, endpoint)
+        elif kind == "task.cancelled":
+            endpoint = data.get("endpoint", "?")
+            reg.counter("faas.tasks.cancelled", endpoint=endpoint).inc()
+            # a cancelled task never emits task.completed: retire its
+            # join-table entry and depth increment like a rejection
+            self._submits.pop(data.get("task_id", ""), None)
+            gauge = self._g_depth.get(endpoint)
+            if gauge is not None:
+                gauge.dec()
+            if store is not None:
+                g = self._s_depth.get(endpoint)
+                if g is not None:
+                    g.dec(event.time)
+        elif kind.startswith("hedge."):
+            outcome = kind.split(".", 1)[1]
+            reg.counter("faas.hedges", outcome=outcome).inc()
+            if store is not None:
+                store.counter("faas.hedges", outcome=outcome).inc(event.time)
+        elif kind.startswith("straggler."):
+            transition = kind.split(".", 1)[1]
+            reg.counter(
+                "faas.stragglers",
+                transition=transition, endpoint=data.get("endpoint", "?"),
+            ).inc()
         elif kind == "task.rejected":
             endpoint = data.get("endpoint", "?")
             reason = data.get("reason", "?")

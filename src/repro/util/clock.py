@@ -164,6 +164,18 @@ class SimClock:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def in_measured_region(self) -> bool:
+        """True while a :meth:`measure` region is advancing the clock.
+
+        Events that fire inside a region observe *speculative* time: the
+        region rewinds on exit, so ``now`` may move backwards afterwards.
+        Callbacks whose decision depends on "has X happened by now" (a
+        hedge deadline, a watchdog) can consult this to re-arm instead of
+        acting on a timeline that will be rewound.
+        """
+        return bool(self._regions)
+
     def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run when virtual time reaches ``when``.
 

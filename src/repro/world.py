@@ -75,6 +75,7 @@ class World:
         placement_policy: str = "pinned",
         streaming_metrics: bool = False,
         overload=None,
+        hedge=None,
     ) -> None:
         self.clock = SimClock(start_time)
         self.events = EventLog()
@@ -112,6 +113,7 @@ class World:
             offline_policy=offline_policy,
             placement_policy=placement_policy,
             overload=overload,
+            hedge=hedge,
         )
         self.provenance = ProvenanceStore()
         self.archive = PermanentArchive(self.clock)
@@ -185,6 +187,10 @@ class World:
         # the overload plane's AIMD limiter reads dispatch p95 from the
         # same store (no-op when the plane is off)
         self.faas.attach_overload_series(self.series)
+        # fail-slow plane: the straggler detector's gray score is the
+        # only health signal a slow-but-succeeding endpoint produces
+        if self.faas.hedging is not None:
+            self.health.gray_of = self.faas.hedging.gray_of
         if health_routing:
             self.faas.attach_health(self.health)
         return self.series

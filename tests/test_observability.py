@@ -359,8 +359,8 @@ class TestBenchObs:
 
         result = run_dispatch_bench(tasks=500, endpoints=2, seed=0, obs=True)
         doc = result.to_json()
-        # the v2 observability fields survive the v3 schema bump
-        assert doc["schema"] == "repro-bench/3"
+        # the v2 observability fields survive the v4 schema bump
+        assert doc["schema"] == "repro-bench/4"
         assert doc["results"]["alerts_fired"] == 0
         assert doc["results"]["queue_wait_p95_series"]
         assert doc["params"]["obs"] is True

@@ -204,7 +204,7 @@ class TestBenchSchema:
 
         result = run_overload_bench(tasks=300, tenants=2, endpoints=2, seed=0)
         payload = result.to_json()
-        assert payload["schema"] == SCHEMA == "repro-bench/3"
+        assert payload["schema"] == SCHEMA == "repro-bench/4"
         for key in ("admitted", "rejected", "shed", "brownout_seconds"):
             assert key in payload["results"]
         assert payload["results"]["admitted"] + payload["results"][
