@@ -21,7 +21,8 @@ import statistics
 from repro.apps.parsldock import suite as parsldock_suite
 from repro.core import evaluate_repeatability
 from repro.experiments import common
-from repro.experiments.fig4_parsldock import build_workflow
+from repro.suites import load_suite, materialize
+from repro.suites.resolver import build_workflow_builder
 from repro.world import World
 
 
@@ -34,7 +35,10 @@ def main() -> None:
         world, alice, "chameleon", "cc-alice", "docking", common.DOCKING_STACK
     )
     mep_chameleon = common.deploy_site_mep(world, "chameleon")
-    workflow = build_workflow({"chameleon": mep_chameleon.endpoint_id})
+    mat = materialize(load_suite("fig4"), overrides={"site": ["chameleon"]})
+    workflow = build_workflow_builder(
+        mat, {"chameleon": mep_chameleon.endpoint_id}
+    ).render()
     common.create_repo_with_workflow(
         world, "alice/docking-study", owner=alice,
         files=parsldock_suite.repo_files(),

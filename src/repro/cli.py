@@ -40,11 +40,10 @@ def _maybe_print_metrics(args: argparse.Namespace, world) -> None:
     print(world.metrics.report())
 
 
-def _cmd_fig4(args: argparse.Namespace) -> int:
+def _render_fig4(result) -> int:
+    """Print the Fig. 4 report for a ``Fig4Result``; returns exit code."""
     from repro.analysis.tables import format_grouped_bars
-    from repro.experiments import run_fig4
 
-    result = run_fig4(telemetry=_telemetry_enabled(args))
     print("Fig. 4 — ParslDock test runtimes on different machines\n")
     groups = {
         test: {site: result.durations[site][test] for site in result.durations}
@@ -54,8 +53,16 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     print("\npilot queue waits:", {
         s: round(w, 1) for s, w in result.queue_waits.items()
     })
-    _maybe_print_metrics(args, result.world)
     return 0 if result.all_passed() else 1
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig4
+
+    result = run_fig4(telemetry=_telemetry_enabled(args))
+    code = _render_fig4(result)
+    _maybe_print_metrics(args, result.world)
+    return code
 
 
 def _cmd_fig4_overlap(args: argparse.Namespace) -> int:
@@ -72,6 +79,17 @@ def _cmd_fig4_overlap(args: argparse.Namespace) -> int:
     return 0 if result.makespan < result.serialized_total else 1
 
 
+def _render_fig5(result) -> int:
+    """Print the Fig. 5 report for a ``Fig5Result``; returns exit code."""
+    print("Fig. 5 — PSI/J CI via CORRECT on Anvil\n")
+    print(f"run status: {result.run.status}")
+    for name, (outcome, duration) in result.tests.items():
+        print(f"  {name:<28} {outcome:<7} {duration:8.2f}s")
+    print("\nfailing:", sorted(result.failing_tests))
+    # the experiment *succeeds* when the run fails with the known bug
+    return 0 if result.run_failed else 1
+
+
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig5
 
@@ -79,25 +97,26 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         telemetry=_telemetry_enabled(args),
         inject_failure=getattr(args, "inject_failure", False),
     )
-    print("Fig. 5 — PSI/J CI via CORRECT on Anvil\n")
-    print(f"run status: {result.run.status}")
-    for name, (outcome, duration) in result.tests.items():
-        print(f"  {name:<28} {outcome:<7} {duration:8.2f}s")
-    print("\nfailing:", sorted(result.failing_tests))
+    code = _render_fig5(result)
     _maybe_print_metrics(args, result.world)
-    # the experiment *succeeds* when the run fails with the known bug
-    return 0 if result.run_failed else 1
+    return code
+
+
+def _render_exp63(result) -> int:
+    """Print the §6.3 report for an ``Exp63Result``; returns exit code."""
+    print("§6.3 — KaMPIng artifact evaluation\n")
+    for name, verdict in result.verdicts().items():
+        print(f"  {name:<24} {'REPRODUCED' if verdict else 'FAILED'}")
+    return 0 if result.all_passed else 1
 
 
 def _cmd_exp63(args: argparse.Namespace) -> int:
     from repro.experiments import run_exp63
 
     result = run_exp63(telemetry=_telemetry_enabled(args))
-    print("§6.3 — KaMPIng artifact evaluation\n")
-    for name, verdict in result.verdicts().items():
-        print(f"  {name:<24} {'REPRODUCED' if verdict else 'FAILED'}")
+    code = _render_exp63(result)
     _maybe_print_metrics(args, result.world)
-    return 0 if result.all_passed else 1
+    return code
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -442,6 +461,145 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_var_overrides(specs: Optional[List[str]]) -> Optional[Dict[str, object]]:
+    """``--var k=v`` (or ``k=a,b,c``) strings -> a resolver override map."""
+    if not specs:
+        return None
+    overrides: Dict[str, object] = {}
+    for spec in specs:
+        key, sep, raw = spec.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(f"--var expects key=value, got {spec!r}")
+        overrides[key.strip()] = raw.split(",") if "," in raw else raw
+    return overrides
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    """``repro suite list|show|run`` — the declarative-suite front end."""
+    from repro.suites import (
+        SuiteError,
+        format_suite_report,
+        format_sweep_report,
+        load_suite,
+        materialize,
+        run_suite,
+        suites_root,
+    )
+
+    if args.action == "list":
+        root = suites_root()
+        paths = sorted(root.glob("*.yaml"))
+        if not paths:
+            print(f"no suite files in {root}")
+            return 1
+        for path in paths:
+            try:
+                spec = load_suite(path)
+                mat = materialize(spec)
+            except SuiteError as exc:
+                print(f"  {path.name:<24} INVALID: {exc}")
+                continue
+            print(
+                f"  {spec.name:<14} {len(mat.instances):>3} instance(s), "
+                f"{len(mat.jobs):>2} job(s)  {spec.description}"
+            )
+        return 0
+
+    try:
+        overrides = _parse_var_overrides(getattr(args, "var", None))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        try:
+            spec = load_suite(args.suite)
+            mat = materialize(spec, overrides)
+        except SuiteError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"suite {spec.name} — {spec.description}")
+        print(f"workflow: {spec.workflow_name} ({spec.workflow_path})")
+        print(f"repo: {spec.repo_slug}")
+        print(
+            f"{len(mat.instances)} instance(s) "
+            f"({len(mat.active)} active, {len(mat.skipped)} skipped), "
+            f"{len(mat.jobs)} job(s)"
+        )
+        print()
+        for instance in mat.instances:
+            status = "skip" if instance.skipped else "run"
+            print(
+                f"  {instance.instance_id}  {instance.series}"
+                f"[{instance.permutation}]  {status:<4} "
+                f"job={instance.job_id} target={instance.target} "
+                f"cmd={instance.command!r}"
+            )
+        return 0
+
+    # action == "run"
+    telemetry = _telemetry_enabled(args)
+    try:
+        if args.permute or args.overload or args.hedge:
+            if args.overload:
+                from repro.experiments.overload import run_suite_overload
+
+                sweep = run_suite_overload(
+                    args.suite, seed=args.seed, profile=args.profile,
+                    policy=args.policy, pool_size=args.pool_size,
+                )
+            elif args.hedge:
+                from repro.experiments.hedging import run_suite_failslow
+
+                sweep = run_suite_failslow(
+                    args.suite, seed=args.seed, profile=args.profile,
+                    policy=args.policy, pool_size=args.pool_size,
+                )
+            else:
+                from repro.suites import run_sweep
+
+                sweep = run_sweep(
+                    args.suite, seed=args.seed, profile=args.profile,
+                    policy=args.policy, pool_size=args.pool_size,
+                    overrides=overrides, telemetry=telemetry,
+                )
+            print(format_sweep_report(sweep))
+            return 0 if sweep.ok else 1
+        if args.profile:
+            from repro.experiments.chaos import run_suite_chaos
+
+            suite_run = run_suite_chaos(
+                args.suite, seed=args.seed, profile=args.profile,
+                telemetry=telemetry, overrides=overrides,
+            )
+        else:
+            suite_run = run_suite(
+                args.suite, overrides=overrides, telemetry=telemetry,
+            )
+    except SuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = suite_run.spec.report
+    if report == "fig4":
+        from repro.experiments.fig4_parsldock import fig4_result_from
+
+        _render_fig4(fig4_result_from(suite_run))
+    elif report == "fig5":
+        from repro.experiments.fig5_psij import fig5_result_from
+
+        _render_fig5(fig5_result_from(suite_run))
+    elif report == "exp63":
+        from repro.experiments.exp63_kamping import exp63_result_from
+
+        _render_exp63(exp63_result_from(suite_run))
+    else:
+        print(format_suite_report(suite_run))
+    # the suite exit contract: nonzero iff any non-skipped test failed,
+    # regardless of which report renderer drew the output
+    return 0 if suite_run.ok else 1
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "fig1": _cmd_fig1,
     "fig4": _cmd_fig4,
@@ -458,6 +616,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "obs": _cmd_obs,
     "overload": _cmd_overload,
     "hedge": _cmd_hedge,
+    "suite": _cmd_suite,
 }
 
 
@@ -775,6 +934,69 @@ def build_parser() -> argparse.ArgumentParser:
     hedge.add_argument(
         "--endpoints", type=int, default=3,
         help="pool members at the fail-slow site (default 3)",
+    )
+    suite = sub.add_parser(
+        "suite",
+        help="declarative workload suites: list, show, or run a suite file",
+    )
+    suite_sub = suite.add_subparsers(dest="action", required=True)
+    suite_sub.add_parser(
+        "list", help="list the committed suite files and their expansions"
+    )
+    show = suite_sub.add_parser(
+        "show", help="expand a suite file and print its test instances"
+    )
+    run = suite_sub.add_parser(
+        "run", help="execute a suite (CI engine, or FaaS sweep with --permute)"
+    )
+    for p in (show, run):
+        p.add_argument(
+            "suite",
+            help="suite name (fig4), file name (fig4.yaml), or path",
+        )
+        p.add_argument(
+            "--var", action="append", default=None, metavar="K=V",
+            help=(
+                "override a series variable (K=V or K=a,b,c); repeatable"
+            ),
+        )
+    run.add_argument(
+        "--permute", action="store_true",
+        help=(
+            "run every instance directly through FaaS (no CI engine), "
+            "in deterministic expansion order"
+        ),
+    )
+    run.add_argument(
+        "--profile", default="",
+        help=(
+            "chaos fault profile (e.g. flaky-endpoint); with --permute "
+            "the sweep arms it, otherwise the chaos harness runs the suite"
+        ),
+    )
+    run.add_argument(
+        "--policy", default="pinned",
+        help="placement policy for --permute (default pinned)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan seed; the same seed replays the same run",
+    )
+    run.add_argument(
+        "--pool-size", type=int, default=1,
+        help="endpoints per site for --permute (default 1)",
+    )
+    run.add_argument(
+        "--overload", action="store_true",
+        help="sweep under the overload-protection plane (implies --permute)",
+    )
+    run.add_argument(
+        "--hedge", action="store_true",
+        help="sweep under hedged execution (implies --permute)",
+    )
+    run.add_argument(
+        "--no-telemetry", action="store_true",
+        help="run without tracer/metrics (outputs are identical)",
     )
     return parser
 

@@ -15,7 +15,12 @@ from typing import Dict, Optional
 
 from repro.core.inputs import CorrectInputs
 from repro.core.remote import FN_CLONE, FN_RUN_SHELL, REMOTE_FUNCTIONS
-from repro.errors import CloneFailed, RemoteExecutionFailed, TaskFailed
+from repro.errors import (
+    AdmissionRejected,
+    CloneFailed,
+    RemoteExecutionFailed,
+    TaskFailed,
+)
 from repro.faas.client import ComputeClient
 from repro.faas.future import Future, TaskFuture
 from repro.faas.service import FaaSService
@@ -94,6 +99,7 @@ def execute_correct_async(
                 cwd=inputs.cwd or clone_path,
                 conda_env=inputs.conda_env,
                 template=inputs.template,
+                timeout=inputs.timeout or None,
                 route=route,
             )
 
@@ -129,6 +135,7 @@ def execute_correct_async(
             inputs.function_uuid,
             *inputs.function_args,
             template=inputs.template,
+            timeout=inputs.timeout or None,
             route=route,
         )
 
@@ -168,6 +175,28 @@ def execute_correct_async(
             route=route,
         )
 
+        def submit_payload(path: str, sha: str, retries: int, delay: float) -> None:
+            try:
+                with tracer.activate(ctx):
+                    run_payload(path, sha)
+            except AdmissionRejected as exc:
+                # mid-flow admission pushback (overload plane): the
+                # caller already holds a finished clone and cannot
+                # resubmit the whole flow, so back off on the virtual
+                # clock and retry the payload submission, bounded
+                if retries > 0:
+                    faas.clock.call_after(
+                        delay,
+                        lambda: submit_payload(
+                            path, sha, retries - 1, delay * 2.0
+                        ),
+                    )
+                else:
+                    done.set_exception(exc)
+            except Exception as exc:  # noqa: BLE001 - eager submit errors
+                # must not escape into the event loop driving this callback
+                done.set_exception(exc)
+
         def on_clone(fut: TaskFuture) -> None:
             try:
                 clone_result = fut.result()
@@ -179,14 +208,10 @@ def execute_correct_async(
                     )
                 )
                 return
-            try:
-                with tracer.activate(ctx):
-                    run_payload(
-                        clone_result["path"], clone_result.get("sha", "")
-                    )
-            except Exception as exc:  # noqa: BLE001 - eager submit errors
-                # must not escape into the event loop driving this callback
-                done.set_exception(exc)
+            submit_payload(
+                clone_result["path"], clone_result.get("sha", ""),
+                retries=4, delay=5.0,
+            )
 
         clone_future.add_done_callback(on_clone)
     else:

@@ -38,6 +38,10 @@ class CorrectInputs:
     container_runtime: str = "apptainer"
     # §7.4 extension: also capture an environment snapshot artifact
     capture_environment: bool = False
+    # scheduler requirement from declarative suites: a per-test deadline
+    # in virtual seconds, enforced by the FaaS layer across all retry
+    # attempts (0 = no deadline, the legacy behaviour)
+    timeout: float = 0.0
 
     @classmethod
     def from_step_inputs(cls, inputs: Dict[str, Any]) -> "CorrectInputs":
@@ -47,7 +51,7 @@ class CorrectInputs:
             "function_uuid", "function_args", "repository", "branch",
             "clone", "cwd", "conda_env", "template", "store_artifacts",
             "artifact_prefix", "container_image", "container_runtime",
-            "capture_environment",
+            "capture_environment", "timeout",
         }
         unknown = set(inputs) - known
         if unknown:
@@ -62,6 +66,13 @@ class CorrectInputs:
                 if not isinstance(value, list):
                     raise InputValidationError("function_args must be a list")
                 kwargs[key] = value
+            elif key == "timeout":
+                try:
+                    kwargs[key] = float(value)
+                except (TypeError, ValueError):
+                    raise InputValidationError(
+                        f"input 'timeout' must be a number, got {value!r}"
+                    ) from None
             else:
                 kwargs[key] = str(value)
         try:
@@ -96,6 +107,10 @@ class CorrectInputs:
         if self.container_runtime not in ("apptainer", "singularity", "docker"):
             raise InputValidationError(
                 f"unknown container_runtime {self.container_runtime!r}"
+            )
+        if self.timeout < 0:
+            raise InputValidationError(
+                f"timeout must be non-negative, got {self.timeout}"
             )
 
 

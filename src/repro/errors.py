@@ -112,6 +112,20 @@ class WorkflowParseError(ActionsError):
     """The workflow document is malformed."""
 
 
+class YamliteError(WorkflowParseError):
+    """A yamlite document is malformed; carries the 1-based source line.
+
+    Subclasses :class:`WorkflowParseError` so existing callers that catch
+    workflow parse failures keep working unchanged.
+    """
+
+    def __init__(self, message: str, line=None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
 class ExpressionError(ActionsError):
     """A ``${{ }}`` expression failed to evaluate."""
 

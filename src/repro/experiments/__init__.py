@@ -3,22 +3,37 @@
 Benchmarks under ``benchmarks/`` and the runnable examples both call
 these, so the numbers printed by the benchmark suite and the numbers a
 user sees from ``examples/`` come from the same code.
+
+Re-exports are grouped per module, in the same order as the imports
+below; ``tests/test_experiments.py`` asserts ``__all__`` stays importable
+and duplicate-free.
 """
 
+from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.fig4_parsldock import (
+    Fig4OverlapResult,
+    Fig4Result,
+    fig4_result_from,
     run_fig4,
     run_fig4_overlap,
-    Fig4Result,
-    Fig4OverlapResult,
 )
-from repro.experiments.fig5_psij import run_fig5, Fig5Result
+from repro.experiments.fig5_psij import (
+    Fig5Result,
+    fig5_result_from,
+    run_fig5,
+)
+from repro.experiments.exp63_kamping import (
+    Exp63Result,
+    exp63_result_from,
+    run_exp63,
+)
 from repro.experiments.chaos import (
     ChaosFig4Result,
     format_chaos_report,
     run_fig4_chaos,
     run_fig5_chaos,
+    run_suite_chaos,
 )
-from repro.experiments.exp63_kamping import run_exp63, Exp63Result
 from repro.experiments.observability import (
     ObsFig4Result,
     format_obs_report,
@@ -48,6 +63,7 @@ from repro.experiments.overload import (
     overload_config,
     run_overload,
     run_overload_comparison,
+    run_suite_overload,
 )
 from repro.experiments.hedging import (
     FailSlowComparison,
@@ -58,8 +74,8 @@ from repro.experiments.hedging import (
     hedge_config,
     run_failslow,
     run_fig4_failslow,
+    run_suite_failslow,
 )
-from repro.experiments.fig1_badges import run_fig1
 from repro.experiments.survey_tables import (
     table1_rows,
     table2_rows,
@@ -68,32 +84,46 @@ from repro.experiments.survey_tables import (
 )
 
 __all__ = [
+    # fig1_badges
+    "run_fig1",
+    # fig4_parsldock
+    "Fig4OverlapResult",
+    "Fig4Result",
+    "fig4_result_from",
     "run_fig4",
     "run_fig4_overlap",
-    "Fig4Result",
-    "Fig4OverlapResult",
-    "run_fig5",
+    # fig5_psij
     "Fig5Result",
+    "fig5_result_from",
+    "run_fig5",
+    # exp63_kamping
+    "Exp63Result",
+    "exp63_result_from",
+    "run_exp63",
+    # chaos
     "ChaosFig4Result",
     "format_chaos_report",
     "run_fig4_chaos",
     "run_fig5_chaos",
-    "run_exp63",
-    "Exp63Result",
+    "run_suite_chaos",
+    # observability
     "ObsFig4Result",
     "format_obs_report",
     "parse_slo_overrides",
     "run_fig4_obs",
+    # recovery
     "CRASH_POINT_NAMES",
     "Fig4RecoveryResult",
     "format_recovery_report",
     "run_fig4_recovery",
     "run_fig4_recovery_sweep",
+    # routing
     "PooledRun",
     "RoutingComparison",
     "format_routing_report",
     "run_fig4_pooled",
     "run_pooled",
+    # overload
     "OverloadComparison",
     "OverloadParams",
     "OverloadRunResult",
@@ -102,6 +132,8 @@ __all__ = [
     "overload_config",
     "run_overload",
     "run_overload_comparison",
+    "run_suite_overload",
+    # hedging
     "FailSlowComparison",
     "FailSlowRunResult",
     "HedgingParams",
@@ -110,7 +142,8 @@ __all__ = [
     "hedge_config",
     "run_failslow",
     "run_fig4_failslow",
-    "run_fig1",
+    "run_suite_failslow",
+    # survey_tables
     "table1_rows",
     "table2_rows",
     "table3_rows",

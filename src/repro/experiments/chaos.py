@@ -1,12 +1,14 @@
 """Chaos experiments: the paper's figures under injected faults.
 
-``run_fig4_chaos`` replays §6.1 with a seeded fault plan armed and the
-resilience layer on: endpoint outages and injected task errors are
-absorbed by retries with deterministic backoff, a hard-down site trips
-its circuit breaker, and the run degrades to a per-site partial result
-instead of crashing. ``run_fig5_chaos`` reproduces §6.2's failing-test
-artifact through fault injection against the *fixed* PSI/J suite,
-proving the fault layer converges on the hard-coded defect path.
+``run_suite_chaos`` replays *any* declarative suite with a seeded fault
+plan armed and the resilience layer on: endpoint outages and injected
+task errors are absorbed by retries with deterministic backoff, a
+hard-down site trips its circuit breaker, and the run degrades to a
+per-instance partial result instead of crashing. ``run_fig4_chaos`` is
+the historical entry point — ``suites/fig4.yaml`` under chaos —
+and ``run_fig5_chaos`` reproduces §6.2's failing-test artifact through
+fault injection against the *fixed* PSI/J suite, proving the fault
+layer converges on the hard-coded defect path.
 
 Everything is virtual-time deterministic: the same seed twice produces
 byte-identical reports (the CI ``chaos-smoke`` job asserts exactly
@@ -16,21 +18,13 @@ that).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.reporting import parse_pytest_stdout
-from repro.experiments import common
-from repro.experiments.fig4_parsldock import (
-    FIG4_SITES,
-    REPO_SLUG,
-    WORKFLOW_PATH,
-    build_workflow,
-)
 from repro.experiments.fig5_psij import Fig5Result, run_fig5
 from repro.faults.plan import FaultPlan
 from repro.faults.profiles import DOWN_SITE, FLAKY_SITE, build_profile
 from repro.faults.resilience import BreakerPolicy, RetryPolicy
-from repro.world import World
+from repro.suites import SuiteRun, run_suite
 
 # resilience configuration every chaos run shares: enough attempts to
 # ride out a short outage window, a breaker that opens fast enough for
@@ -40,6 +34,11 @@ CHAOS_RETRY = dict(
     jitter=0.1,
 )
 CHAOS_BREAKER = BreakerPolicy(failure_threshold=3, reset_timeout=1800.0)
+
+# graceful degradation routing: the flaky site may fail over to the
+# healthy cloud site; the hard-down site deliberately has no fallback,
+# so its breaker opening skips the site instead
+CHAOS_FALLBACKS = {FLAKY_SITE: "chameleon"}
 
 
 @dataclass
@@ -67,114 +66,92 @@ class ChaosFig4Result:
         return [s for s, st in self.site_status.items() if st == "skipped"]
 
 
-def run_fig4_chaos(
+def run_suite_chaos(
+    suite,
     seed: int = 7,
     profile: str = "flaky-endpoint",
     telemetry: bool = True,
-    sites: Tuple[str, ...] = FIG4_SITES,
+    overrides: Optional[Dict] = None,
     world_setup=None,
-) -> ChaosFig4Result:
-    """Execute Fig. 4 with the named fault profile armed.
+) -> SuiteRun:
+    """Execute any declarative suite with the named fault profile armed.
 
     The flaky site's failures are retried (and, if its breaker opens,
     failed over to the declared fallback); a permanently-down site
     exhausts its retry budget, trips its breaker, and its job fails —
-    the run reports partial results per site with the skip reason, and
-    never raises out of the harness.
-
-    ``world_setup(world)``, if given, runs right after construction —
-    the hook the observability experiment uses to attach its plane
-    before any event flows.
+    the run reports partial results per instance with the skip reason,
+    and never raises out of the harness. Faults are armed *after* setup,
+    so fault times mean "virtual seconds into the CI run".
     """
     plan = build_profile(profile, seed)
-    world = World(
+    return run_suite(
+        suite,
+        overrides=overrides,
         telemetry=telemetry,
+        world_setup=world_setup,
         faults=plan,
+        arm_faults="after-setup",
         retry_policy=RetryPolicy(seed=seed, **CHAOS_RETRY),
         breaker=CHAOS_BREAKER,
         # offline endpoints reject at dispatch (retryably), not at the
         # cloud's front door — the degraded path instead of a crash
         offline_policy="queue",
+        fallbacks=dict(CHAOS_FALLBACKS),
+        strict=False,
     )
-    if world_setup is not None:
-        world_setup(world)
-    accounts = {site: "x-vhayot" for site in sites}
-    user = world.register_user("vhayot", accounts)
-    endpoints: Dict[str, str] = {}
-    for site_name in sites:
-        common.provision_user_site(
-            world, user, site_name, accounts[site_name],
-            conda_env="docking", stack=common.DOCKING_STACK,
-        )
-        mep = common.deploy_site_mep(world, site_name)
-        endpoints[site_name] = mep.endpoint_id
-    # graceful degradation routing: the flaky site may fail over to the
-    # healthy cloud site; the hard-down site deliberately has no
-    # fallback, so its breaker opening skips the site instead
-    if FLAKY_SITE in endpoints and "chameleon" in endpoints:
-        world.faas.declare_fallback(
-            endpoints[FLAKY_SITE], endpoints["chameleon"]
-        )
 
-    # everything up to here ran fault-free; fault times now mean
-    # "virtual seconds into the CI run"
-    world.arm_faults()
 
-    workflow_text = build_workflow(endpoints)
-    environments = {
-        f"hpc-{site}": {
-            "GLOBUS_ID": user.client_id,
-            "GLOBUS_SECRET": user.client_secret,
-        }
-        for site in sites
-    }
-    from repro.apps.parsldock import suite as parsldock_suite
+def run_fig4_chaos(
+    seed: int = 7,
+    profile: str = "flaky-endpoint",
+    telemetry: bool = True,
+    sites: Tuple[str, ...] = ("chameleon", "faster", "expanse"),
+    world_setup=None,
+    suite="fig4",
+) -> ChaosFig4Result:
+    """Execute Fig. 4 (as a suite) with the named fault profile armed.
 
-    common.create_repo_with_workflow(
-        world,
-        REPO_SLUG,
-        owner=user,
-        files=parsldock_suite.repo_files(),
-        workflow_path=WORKFLOW_PATH,
-        workflow_text=workflow_text,
-        environments=environments,
+    ``world_setup(world)``, if given, runs right after construction —
+    the hook the observability experiment uses to attach its plane
+    before any event flows.
+    """
+    suite_run = run_suite_chaos(
+        suite,
+        seed=seed,
+        profile=profile,
+        telemetry=telemetry,
+        overrides={"site": list(sites)},
+        world_setup=world_setup,
     )
-    run = world.engine.runs[-1]
-    common.approve_all(world, run, user.login)
+    world = suite_run.world
 
     site_status: Dict[str, str] = {}
     skip_reasons: Dict[str, str] = {}
     durations: Dict[str, Dict[str, float]] = {}
     outcomes: Dict[str, Dict[str, str]] = {}
-    for site_name in sites:
-        job = run.job(f"test-{site_name}")
-        if job.status == "success":
-            site_status[site_name] = "ok"
-            artifact = world.hub.artifacts.download(
-                run.run_id, f"correct-{site_name}-stdout"
-            )
-            parsed = parse_pytest_stdout(artifact.content)
-            durations[site_name] = {n: d for n, (_, d) in parsed.items()}
-            outcomes[site_name] = {n: o for n, (o, _) in parsed.items()}
+    for result in suite_run.results:
+        key = result.key
+        if result.status == "ok":
+            site_status[key] = "ok"
+            parsed = result.parsed or {}
+            durations[key] = {n: d for n, (_, d) in parsed.items()}
+            outcomes[key] = {n: o for n, (o, _) in parsed.items()}
         else:
-            site_status[site_name] = "skipped"
-            errors = [
-                o.error for o in job.step_outcomes if o.status == "failure"
-            ]
-            skip_reasons[site_name] = (
-                errors[0] if errors else f"job ended {job.status}"
-            )
+            site_status[key] = "skipped"
+            skip_reasons[key] = result.reason
 
     records_with_seed = sum(
         1 for record in world.provenance.all() if record.fault_seed == seed
     )
     breakers = {
-        site_name: world.faas.breaker_for(endpoints[site_name]).snapshot()
-        for site_name in sites
+        site_name: world.faas.breaker_for(
+            suite_run.endpoints[site_name]
+        ).snapshot()
+        for site_name in suite_run.endpoints
     }
     return ChaosFig4Result(
-        run=run,
-        plan=plan,
+        run=suite_run.run,
+        plan=world.fault_injector.plan,
         site_status=site_status,
         skip_reasons=skip_reasons,
         durations=durations,

@@ -58,6 +58,7 @@ def deploy_site_mep(
     site_name: str,
     login_only: bool = False,
     walltime: float = 7200.0,
+    nodes: int = 1,
 ) -> MultiUserEndpoint:
     """Deploy a MEP with the per-site template the paper's setup used.
 
@@ -65,12 +66,14 @@ def deploy_site_mep(
     a SLURM pilot while outbound-needing functions (clones) run on the
     login node; ``login_only=True`` reproduces the Anvil configuration
     where tests themselves must run on the login node (§6.2).
+    ``walltime``/``nodes`` are the scheduler requirements a declarative
+    suite may override per site.
     """
     partition = None if login_only else SITE_PARTITIONS[site_name]
     template = EndpointTemplate(
         name="default",
         compute_partition=partition,
-        nodes_per_block=1,
+        nodes_per_block=nodes,
         walltime=walltime,
     )
     return world.deploy_mep(site_name, templates={"default": template})
@@ -82,6 +85,7 @@ def deploy_site_mep_pool(
     size: int,
     login_only: bool = False,
     walltime: float = 7200.0,
+    nodes: int = 1,
 ) -> List[MultiUserEndpoint]:
     """Deploy ``size`` MEPs with the site's paper template as one pool.
 
@@ -94,7 +98,7 @@ def deploy_site_mep_pool(
     template = EndpointTemplate(
         name="default",
         compute_partition=partition,
-        nodes_per_block=1,
+        nodes_per_block=nodes,
         walltime=walltime,
     )
     return world.deploy_mep_pool(

@@ -6,26 +6,28 @@ through CORRECT (the paper started a MEP inside the container; we run
 each artifact with ``docker run <image> <script>``, which our shell
 executes in-container). Outputs are stored as workflow artifacts per
 step.
+
+The experiment is declared in ``suites/exp63.yaml`` — the suite's
+``containers:`` block publishes the image and registers its commands —
+and this module keeps the historical entry point, result shape, and the
+repo-files factory the suite references.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.apps.kamping.artifacts import (
     ARTIFACT_COMMANDS,
     KAMPING_IMAGE_REFERENCE,
-    kamping_image,
-    register_artifact_commands,
 )
-from repro.core.workflow_builder import WorkflowBuilder
-from repro.experiments import common
-from repro.world import World
+from repro.suites import run_suite
 
 REPO_SLUG = "kamping-site/kamping-reproducibility"
 WORKFLOW_PATH = ".github/workflows/ae.yml"
 SITE = "chameleon"
+SUITE = "exp63"
 
 
 @dataclass
@@ -64,53 +66,17 @@ def repo_files() -> Dict[str, str]:
     }
 
 
-def run_exp63(telemetry: bool = True) -> Exp63Result:
+def run_exp63(telemetry: bool = True, suite=SUITE) -> Exp63Result:
     """Execute the §6.3 experiment; returns per-artifact outputs."""
-    world = World(telemetry=telemetry)
-    user = world.register_user("vhayot", {SITE: "cc"})
-    # publish the AE container and wire its commands into the shell layer
-    world.container_registry.push(kamping_image())
-    register_artifact_commands(world.services.image_commands)
+    return exp63_result_from(run_suite(suite, telemetry=telemetry))
 
-    mep = common.deploy_site_mep(world, SITE)
 
-    steps: List[dict] = [
-        WorkflowBuilder.correct_step(
-            name=f"Artifact {name}",
-            step_id=name,
-            shell_cmd=f"docker run {KAMPING_IMAGE_REFERENCE} {name}",
-            artifact_prefix=f"ae-{name}",
-            clone="false",
-        )
-        for name in sorted(ARTIFACT_COMMANDS)
-    ]
-    builder = WorkflowBuilder("KaMPIng artifact evaluation").on_push()
-    builder.add_job(
-        "reproduce",
-        steps=steps,
-        environment="chameleon",
-        env={"ENDPOINT_UUID": mep.endpoint_id},
+def exp63_result_from(suite_run) -> Exp63Result:
+    """Adapt a completed suite run into the historical result shape."""
+    outputs: Dict[str, str] = {
+        str(result.instance.variables["artifact"]): result.stdout
+        for result in suite_run.results
+    }
+    return Exp63Result(
+        run=suite_run.run, artifact_outputs=outputs, world=suite_run.world
     )
-    common.create_repo_with_workflow(
-        world,
-        REPO_SLUG,
-        owner=user,
-        files=repo_files(),
-        workflow_path=WORKFLOW_PATH,
-        workflow_text=builder.render(),
-        environments={
-            "chameleon": {
-                "GLOBUS_ID": user.client_id,
-                "GLOBUS_SECRET": user.client_secret,
-            }
-        },
-    )
-    run = world.engine.runs[-1]
-    common.approve_all(world, run, user.login)
-
-    outputs: Dict[str, str] = {}
-    for name in sorted(ARTIFACT_COMMANDS):
-        outputs[name] = world.hub.artifacts.download(
-            run.run_id, f"ae-{name}-stdout"
-        ).content
-    return Exp63Result(run=run, artifact_outputs=outputs, world=world)

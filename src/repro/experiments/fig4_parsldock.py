@@ -7,6 +7,12 @@ outbound internet on compute nodes, so their MEP templates clone on the
 login node and run tests on a SLURM pilot; Chameleon runs everything on
 the instance itself.
 
+The experiment is declared in ``suites/fig4.yaml`` and executed through
+the suite framework (:mod:`repro.suites`); this module is the thin
+wrapper that keeps the historical entry points and result shapes. The
+suite path replays the legacy world-operation order exactly, so the
+virtual-time trace — and therefore every report byte — is unchanged.
+
 The result object carries per-site, per-test durations parsed from the
 stdout artifacts — the series plotted in Fig. 4.
 """
@@ -16,15 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.apps.parsldock import suite as parsldock_suite
 from repro.core.reporting import parse_pytest_stdout
-from repro.core.workflow_builder import WorkflowBuilder
-from repro.experiments import common
-from repro.world import World
+from repro.suites import SuiteRun, run_suite
 
 FIG4_SITES = ("chameleon", "faster", "expanse")
 REPO_SLUG = "parsl/parsl-docking-tutorial"
 WORKFLOW_PATH = ".github/workflows/correct.yml"
+SUITE = "fig4"
 
 
 @dataclass
@@ -58,51 +62,29 @@ class Fig4Result:
         )
 
 
-def build_world(
-    sites: Tuple[str, ...] = FIG4_SITES,
-    telemetry: bool = True,
-    span_sampler=None,
-    world_setup=None,
-) -> Tuple[World, object, Dict[str, str]]:
-    """Set up the §6.1 testbed; returns (world, user, endpoint ids).
-
-    ``world_setup(world)``, if given, runs right after construction
-    (e.g. to attach the observability plane before any event flows).
-    """
-    world = World(telemetry=telemetry, span_sampler=span_sampler)
-    if world_setup is not None:
-        world_setup(world)
-    accounts = {site: "x-vhayot" for site in sites}
-    user = world.register_user("vhayot", accounts)
-    endpoints: Dict[str, str] = {}
-    for site_name in sites:
-        common.provision_user_site(
-            world, user, site_name, accounts[site_name],
-            conda_env="docking", stack=common.DOCKING_STACK,
-        )
-        mep = common.deploy_site_mep(world, site_name)
-        endpoints[site_name] = mep.endpoint_id
-    return world, user, endpoints
-
-
-def build_workflow(endpoints: Dict[str, str]) -> str:
-    """One job per site, each environment-gated, each running pytest."""
-    builder = WorkflowBuilder("ParslDock multi-site CI").on_push()
-    for site_name, endpoint_id in endpoints.items():
-        step = WorkflowBuilder.correct_step(
-            name=f"Run pytest on {site_name}",
-            step_id=f"pytest-{site_name}",
-            shell_cmd="pytest",
-            conda_env="docking",
-            artifact_prefix=f"correct-{site_name}",
-        )
-        builder.add_job(
-            f"test-{site_name}",
-            steps=[step],
-            environment=f"hpc-{site_name}",
-            env={"ENDPOINT_UUID": endpoint_id},
-        )
-    return builder.render()
+def fig4_result_from(suite_run: SuiteRun) -> Fig4Result:
+    """Assemble the historical Fig. 4 result shape from a suite run."""
+    durations: Dict[str, Dict[str, float]] = {}
+    outcomes: Dict[str, Dict[str, str]] = {}
+    queue_waits: Dict[str, float] = {}
+    world = suite_run.world
+    for result in suite_run.results:
+        if result.status != "ok":
+            continue
+        site_name = str(result.instance.variables["site"])
+        parsed = result.parsed or {}
+        durations[site_name] = {name: d for name, (_, d) in parsed.items()}
+        outcomes[site_name] = {name: o for name, (o, _) in parsed.items()}
+        endpoint = world.faas.endpoint(suite_run.endpoints[site_name])
+        stats: Dict[str, float] = {}
+        for uep in endpoint._ueps.values():
+            for key, value in uep.stats().items():
+                stats[key] = stats.get(key, 0.0) + value
+        queue_waits[site_name] = stats.get("compute_queue_wait", 0.0)
+    return Fig4Result(
+        run=suite_run.run, durations=durations, outcomes=outcomes,
+        queue_waits=queue_waits, world=world,
+    )
 
 
 @dataclass
@@ -134,57 +116,22 @@ class Fig4OverlapResult:
 
 def _run_gate_free(
     sites: Tuple[str, ...], concurrent_jobs: bool, telemetry: bool = True
-) -> Tuple[World, object, Dict[str, str], float]:
-    """One ParslDock run with repo-level secrets (no approval gates).
+) -> SuiteRun:
+    """One ParslDock suite run with repo-level secrets (no gates).
 
-    Returns (world, run, endpoints, duration) where duration covers
-    trigger to completion — the part the task lifecycle changes; site
-    provisioning beforehand is excluded from the comparison.
+    The returned run's ``makespan`` covers trigger to completion — the
+    part the task lifecycle changes; site provisioning beforehand is
+    excluded from the comparison.
     """
-    world = World(concurrent_jobs=concurrent_jobs, telemetry=telemetry)
-    accounts = {site: "x-vhayot" for site in sites}
-    user = world.register_user("vhayot", accounts)
-    endpoints: Dict[str, str] = {}
-    for site_name in sites:
-        common.provision_user_site(
-            world, user, site_name, accounts[site_name],
-            conda_env="docking", stack=common.DOCKING_STACK,
-        )
-        mep = common.deploy_site_mep(world, site_name)
-        endpoints[site_name] = mep.endpoint_id
-
-    builder = WorkflowBuilder("ParslDock multi-site CI (ungated)").on_push()
-    for site_name, endpoint_id in endpoints.items():
-        step = WorkflowBuilder.correct_step(
-            name=f"Run pytest on {site_name}",
-            step_id=f"pytest-{site_name}",
-            shell_cmd="pytest",
-            conda_env="docking",
-            artifact_prefix=f"correct-{site_name}",
-        )
-        builder.add_job(
-            f"test-{site_name}",
-            steps=[step],
-            env={"ENDPOINT_UUID": endpoint_id},
-        )
-
-    hosted = world.hub.create_repo(REPO_SLUG, owner=user.login)
-    hosted.secrets.set("GLOBUS_ID", user.client_id, set_by=user.login)
-    hosted.secrets.set("GLOBUS_SECRET", user.client_secret, set_by=user.login)
-    all_files = dict(parsldock_suite.repo_files())
-    all_files[WORKFLOW_PATH] = builder.render()
-    started_at = world.clock.now
-    world.hub.push_commit(
-        REPO_SLUG, author=user.login,
-        message="Initial commit with CI", files=all_files,
+    return run_suite(
+        SUITE,
+        overrides={"site": list(sites)},
+        telemetry=telemetry,
+        concurrent_jobs=concurrent_jobs,
+        gated=False,
+        name_override="ParslDock multi-site CI (ungated)",
+        strict=True,
     )
-    run = world.engine.runs[-1]
-    if run.status != "success":
-        raise RuntimeError(
-            f"ungated ParslDock run ended {run.status}; log:\n"
-            + "\n".join(run.log)
-        )
-    return world, run, endpoints, world.clock.now - started_at
 
 
 def run_fig4_overlap(
@@ -199,27 +146,25 @@ def run_fig4_overlap(
     """
     per_site: Dict[str, float] = {}
     for site_name in sites:
-        _, _, _, duration = _run_gate_free(
+        solo = _run_gate_free(
             (site_name,), concurrent_jobs=False, telemetry=telemetry
         )
-        per_site[site_name] = duration
+        per_site[site_name] = solo.makespan
 
-    world, run, _, makespan = _run_gate_free(
+    concurrent = _run_gate_free(
         sites, concurrent_jobs=True, telemetry=telemetry
     )
     durations: Dict[str, Dict[str, float]] = {}
-    for site_name in sites:
-        artifact = world.hub.artifacts.download(
-            run.run_id, f"correct-{site_name}-stdout"
-        )
-        parsed = parse_pytest_stdout(artifact.content)
+    for result in concurrent.results:
+        site_name = str(result.instance.variables["site"])
+        parsed = result.parsed or {}
         durations[site_name] = {name: d for name, (_, d) in parsed.items()}
     return Fig4OverlapResult(
         per_site_serialized=per_site,
-        makespan=makespan,
-        concurrent_run=run,
+        makespan=concurrent.makespan,
+        concurrent_run=concurrent.run,
         durations=durations,
-        world=world,
+        world=concurrent.world,
     )
 
 
@@ -228,53 +173,21 @@ def run_fig4(
     telemetry: bool = True,
     span_sampler=None,
     world_setup=None,
+    suite=SUITE,
 ) -> Fig4Result:
-    """Execute the full §6.1 experiment; returns the Fig. 4 series."""
-    world, user, endpoints = build_world(
-        sites, telemetry=telemetry, span_sampler=span_sampler,
-        world_setup=world_setup,
-    )
-    workflow_text = build_workflow(endpoints)
-    environments = {
-        f"hpc-{site}": {
-            "GLOBUS_ID": user.client_id,
-            "GLOBUS_SECRET": user.client_secret,
-        }
-        for site in sites
-    }
-    common.create_repo_with_workflow(
-        world,
-        REPO_SLUG,
-        owner=user,
-        files=parsldock_suite.repo_files(),
-        workflow_path=WORKFLOW_PATH,
-        workflow_text=workflow_text,
-        environments=environments,
-    )
-    run = world.engine.runs[-1]
-    common.approve_all(world, run, user.login)
-    if run.status != "success":
-        raise RuntimeError(
-            f"Fig. 4 workflow ended {run.status}; log:\n" + "\n".join(run.log)
-        )
+    """Execute the full §6.1 experiment; returns the Fig. 4 series.
 
-    durations: Dict[str, Dict[str, float]] = {}
-    outcomes: Dict[str, Dict[str, str]] = {}
-    queue_waits: Dict[str, float] = {}
-    for site_name in sites:
-        artifact = world.hub.artifacts.download(
-            run.run_id, f"correct-{site_name}-stdout"
-        )
-        parsed = parse_pytest_stdout(artifact.content)
-        durations[site_name] = {name: d for name, (_, d) in parsed.items()}
-        outcomes[site_name] = {name: o for name, (o, _) in parsed.items()}
-        endpoint = world.faas.endpoint(endpoints[site_name])
-        stats: Dict[str, float] = {}
-        for uep in endpoint._ueps.values():
-            for key, value in uep.stats().items():
-                stats[key] = stats.get(key, 0.0) + value
-        queue_waits[site_name] = stats.get("compute_queue_wait", 0.0)
-    return Fig4Result(
-        run=run, durations=durations, outcomes=outcomes,
-        queue_waits=queue_waits, world=world,
+    ``world_setup(world)``, if given, runs right after construction
+    (e.g. to attach the observability plane before any event flows).
+    ``suite`` may name any compatible suite file — the experiment is
+    just ``suites/fig4.yaml`` run with gates on.
+    """
+    suite_run = run_suite(
+        suite,
+        overrides={"site": list(sites)},
+        telemetry=telemetry,
+        span_sampler=span_sampler,
+        world_setup=world_setup,
+        strict=True,
     )
+    return fig4_result_from(suite_run)

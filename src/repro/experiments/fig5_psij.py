@@ -6,6 +6,10 @@ artifacts *regardless of pass or fail*. With PSI/J v0.9.9 the run fails —
 the batch-attribute renderer bug — and the experiment's point is that the
 failure text reaches the Action UI (the run log) and the full outputs are
 retrievable from artifacts (Fig. 5 top and bottom panes).
+
+The experiment is declared in ``suites/fig5.yaml``; this module keeps
+the historical entry point and result shape, plus the fault plan that
+reproduces the defect by injection against the *fixed* suite.
 """
 
 from __future__ import annotations
@@ -13,16 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.apps.psij import suite as psij_suite
-from repro.core.reporting import parse_pytest_stdout
-from repro.core.workflow_builder import WorkflowBuilder
-from repro.experiments import common
 from repro.faults.plan import FaultPlan, TestFailure
-from repro.world import World
+from repro.suites import run_suite
 
 REPO_SLUG = "exaworks/psij-python"
 WORKFLOW_PATH = ".github/workflows/correct.yml"
 SITE = "anvil"
+SUITE = "fig5"
 
 
 @dataclass
@@ -71,7 +72,9 @@ def inject_failure_plan(seed: int = 0) -> FaultPlan:
     return plan
 
 
-def run_fig5(telemetry: bool = True, inject_failure: bool = False) -> Fig5Result:
+def run_fig5(
+    telemetry: bool = True, inject_failure: bool = False, suite=SUITE
+) -> Fig5Result:
     """Execute the §6.2 experiment; returns the run + recovered outputs.
 
     ``inject_failure=True`` ships the *fixed* PSI/J suite and reproduces
@@ -79,53 +82,23 @@ def run_fig5(telemetry: bool = True, inject_failure: bool = False) -> Fig5Result
     the library defect: the run must fail identically either way.
     """
     faults = inject_failure_plan() if inject_failure else None
-    world = World(telemetry=telemetry, faults=faults)
-    if inject_failure:
-        world.arm_faults()
-    user = world.register_user("vhayot", {SITE: "x-vhayot"})
-    common.provision_user_site(
-        world, user, SITE, "x-vhayot", conda_env="psij", stack=common.PSIJ_STACK
+    suite_run = run_suite(
+        suite,
+        telemetry=telemetry,
+        faults=faults,
+        arm_faults="at-start" if inject_failure else "none",
+        files_kwargs={"fixed": inject_failure},
     )
-    # the Anvil MEP runs everything on the login node (LocalProvider)
-    mep = common.deploy_site_mep(world, SITE, login_only=True)
+    return fig5_result_from(suite_run)
 
-    step = WorkflowBuilder.correct_step(
-        name="Run PSI/J test suite",
-        step_id="psij-tests",
-        shell_cmd="pip install -r requirements.txt && pytest",
-        conda_env="psij",
-        artifact_prefix="psij-ci",
-    )
-    builder = WorkflowBuilder("PSI/J CI via CORRECT").on_push()
-    builder.add_job(
-        "psij-anvil",
-        steps=[step],
-        environment="hpc-anvil",
-        env={"ENDPOINT_UUID": mep.endpoint_id},
-    )
-    common.create_repo_with_workflow(
-        world,
-        REPO_SLUG,
-        owner=user,
-        files=psij_suite.repo_files(fixed=inject_failure),
-        workflow_path=WORKFLOW_PATH,
-        workflow_text=builder.render(),
-        environments={
-            "hpc-anvil": {
-                "GLOBUS_ID": user.client_id,
-                "GLOBUS_SECRET": user.client_secret,
-            }
-        },
-    )
-    run = world.engine.runs[-1]
-    common.approve_all(world, run, user.login)
 
-    stdout = world.hub.artifacts.download(run.run_id, "psij-ci-stdout").content
-    stderr = world.hub.artifacts.download(run.run_id, "psij-ci-stderr").content
+def fig5_result_from(suite_run) -> Fig5Result:
+    """Adapt a completed suite run into the historical result shape."""
+    result = suite_run.results[0]
     return Fig5Result(
-        run=run,
-        stdout_artifact=stdout,
-        stderr_artifact=stderr,
-        tests=parse_pytest_stdout(stdout),
-        world=world,
+        run=suite_run.run,
+        stdout_artifact=result.stdout,
+        stderr_artifact=result.stderr,
+        tests=result.parsed or {},
+        world=suite_run.world,
     )

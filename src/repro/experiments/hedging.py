@@ -257,6 +257,35 @@ def run_fig4_failslow(params: HedgingParams) -> FailSlowComparison:
     )
 
 
+def run_suite_failslow(
+    spec,
+    seed: int = 7,
+    profile: str = "",
+    policy: str = "least-loaded",
+    pool_size: int = 3,
+    params: Optional[HedgingParams] = None,
+):
+    """Run a declarative suite through FaaS with hedged execution armed.
+
+    Thin entry point for ``repro suite run <file> --hedge``: every suite
+    instance is submitted as an async CORRECT task under the same hedge
+    tuning the synthetic experiment uses, sized by ``params`` (default
+    :class:`HedgingParams` at the given seed). Returns the
+    :class:`~repro.suites.sweep.SweepResult`.
+    """
+    from repro.suites import run_sweep
+
+    params = params or HedgingParams(seed=seed, endpoints=pool_size)
+    return run_sweep(
+        spec,
+        seed=seed,
+        profile=profile,
+        policy=policy,
+        pool_size=pool_size,
+        hedge=hedge_config(params),
+    )
+
+
 def format_hedging_report(comparison: FailSlowComparison) -> str:
     """The fail-slow defense figure, deterministic to the byte."""
     p = comparison.params

@@ -91,8 +91,9 @@ def run_fig4_obs(
     telemetry: bool = True,
     health_routing: bool = False,
     sites: Tuple[str, ...] = FIG4_SITES,
+    suite: str = "fig4",
 ) -> ObsFig4Result:
-    """Run Fig. 4 with the observability plane attached.
+    """Run a suite (Fig. 4 by default) with the observability plane attached.
 
     ``profile="none"`` runs the fault-free experiment (the default SLO
     pack must stay silent on it); any chaos profile name runs
@@ -106,11 +107,13 @@ def run_fig4_obs(
         )
 
     if profile in FAULT_FREE_PROFILES:
-        base = run_fig4(sites=sites, telemetry=telemetry, world_setup=setup)
+        base = run_fig4(
+            sites=sites, telemetry=telemetry, world_setup=setup, suite=suite
+        )
     else:
         base = run_fig4_chaos(
             seed=seed, profile=profile, telemetry=telemetry, sites=sites,
-            world_setup=setup,
+            world_setup=setup, suite=suite,
         )
     world = base.world
     end_time = world.clock.now

@@ -408,6 +408,36 @@ def run_overload_comparison(params: OverloadParams) -> OverloadComparison:
     return OverloadComparison(params, baseline, unprotected, protected)
 
 
+def run_suite_overload(
+    spec,
+    seed: int = 7,
+    profile: str = "",
+    policy: str = "least-loaded",
+    pool_size: int = 4,
+    params: Optional[OverloadParams] = None,
+):
+    """Run a declarative suite through FaaS with the protection plane armed.
+
+    Thin entry point for ``repro suite run <file> --overload``: every
+    suite instance is submitted as an async CORRECT task with the same
+    admission/AIMD/shed tuning the synthetic experiment uses, sized by
+    ``params`` (default :class:`OverloadParams` at the given seed).
+    Returns the :class:`~repro.suites.sweep.SweepResult`.
+    """
+    from repro.suites import run_sweep
+
+    # one tenant submits the whole suite, so don't split capacity four ways
+    params = params or OverloadParams(seed=seed, tenants=1, endpoints=pool_size)
+    return run_sweep(
+        spec,
+        seed=seed,
+        profile=profile,
+        policy=policy,
+        pool_size=pool_size,
+        overload=overload_config(params),
+    )
+
+
 def format_overload_report(comparison: OverloadComparison) -> str:
     """The goodput-under-overload figure, deterministic to the byte."""
     p = comparison.params

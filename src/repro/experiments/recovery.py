@@ -26,16 +26,12 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.apps.parsldock import suite as parsldock_suite
 from repro.core.reporting import parse_pytest_stdout
-from repro.core.workflow_builder import WorkflowBuilder
-from repro.errors import CoordinatorCrashed
-from repro.experiments import common
-from repro.experiments.fig4_parsldock import REPO_SLUG, WORKFLOW_PATH
 from repro.faults.plan import CoordinatorCrash, FaultPlan
-from repro.world import World
+from repro.suites import execute_suite, prepare_suite
 
 RECOVERY_SITES: Tuple[str, ...] = ("chameleon", "faster", "expanse")
+RECOVERY_SUITE = "fig4"
 # generous TTL: leases are on to prove the machinery coexists with
 # recovery, but no lease may expire mid-run and perturb byte-identity
 LEASE_TTL = 100000.0
@@ -44,60 +40,40 @@ CRASH_POINT_NAMES: Tuple[str, ...] = (
 )
 
 
-def _build_workflow(endpoints: Dict[str, str]) -> str:
-    """Per-site CORRECT jobs plus a dependent summarize wave.
-
-    The ``summarize`` job needs every test job, so with concurrent jobs
-    it forms a second wave — which is what makes the ``between-waves``
-    crash point meaningful.
-    """
-    builder = WorkflowBuilder("ParslDock crash-safe CI").on_push()
-    for site_name, endpoint_id in endpoints.items():
-        step = WorkflowBuilder.correct_step(
-            name=f"Run pytest on {site_name}",
-            step_id=f"pytest-{site_name}",
-            shell_cmd="pytest",
-            conda_env="docking",
-            artifact_prefix=f"correct-{site_name}",
-        )
-        builder.add_job(
-            f"test-{site_name}",
-            steps=[step],
-            env={"ENDPOINT_UUID": endpoint_id},
-        )
-    builder.add_job(
-        "summarize",
-        steps=[{"name": "Summarize", "run": "echo all sites done"}],
-        needs=[f"test-{site}" for site in endpoints],
-    )
-    return builder.render()
-
-
 def _execute(
     crash_at: Optional[int] = None,
     resume_journal=None,
     telemetry: bool = True,
     seed: int = 0,
     journaled: bool = True,
+    suite=RECOVERY_SUITE,
 ):
-    """One journaled ParslDock run; returns (world, run, journal, crashed).
+    """One journaled suite run; returns (world, run, journal, crashed).
 
-    ``crash_at`` arms a :class:`CoordinatorCrash` at that journal record;
-    ``resume_journal`` boots the world in recovery mode from a crashed
-    run's journal. Setup (users, sites, endpoints) is identical in every
-    mode, so journal offsets line up across baseline, crash, and resume.
+    The suite's per-site jobs are augmented with a dependent
+    ``summarize`` job that needs every test job, so with concurrent jobs
+    it forms a second wave — which is what makes the ``between-waves``
+    crash point meaningful. ``crash_at`` arms a :class:`CoordinatorCrash`
+    at that journal record; ``resume_journal`` boots the world in
+    recovery mode from a crashed run's journal. Setup (users, sites,
+    endpoints) is identical in every mode, so journal offsets line up
+    across baseline, crash, and resume.
     """
-    world = World(concurrent_jobs=True, telemetry=telemetry)
-    accounts = {site: "x-vhayot" for site in RECOVERY_SITES}
-    user = world.register_user("vhayot", accounts)
-    endpoints: Dict[str, str] = {}
-    for site_name in RECOVERY_SITES:
-        common.provision_user_site(
-            world, user, site_name, accounts[site_name],
-            conda_env="docking", stack=common.DOCKING_STACK,
-        )
-        mep = common.deploy_site_mep(world, site_name)
-        endpoints[site_name] = mep.endpoint_id
+    prepared = prepare_suite(
+        suite,
+        telemetry=telemetry,
+        concurrent_jobs=True,
+        gated=False,
+        name_override=(
+            "ParslDock crash-safe CI" if suite == RECOVERY_SUITE else ""
+        ),
+    )
+    world = prepared.world
+    prepared.builder.add_job(
+        "summarize",
+        steps=[{"name": "Summarize", "run": "echo all sites done"}],
+        needs=list(prepared.mat.jobs),
+    )
 
     journal = None
     if journaled:
@@ -112,25 +88,16 @@ def _execute(
         world.install_faults(plan)
         world.arm_faults()
 
-    hosted = world.hub.create_repo(REPO_SLUG, owner=user.login)
-    hosted.secrets.set("GLOBUS_ID", user.client_id, set_by=user.login)
-    hosted.secrets.set("GLOBUS_SECRET", user.client_secret, set_by=user.login)
-    all_files = dict(parsldock_suite.repo_files())
-    all_files[WORKFLOW_PATH] = _build_workflow(endpoints)
-    crashed = False
-    try:
-        world.hub.push_commit(
-            REPO_SLUG, author=user.login,
-            message="Initial commit with CI", files=all_files,
-        )
-    except CoordinatorCrashed:
-        crashed = True
-    run = world.engine.runs[-1] if world.engine.runs else None
-    return world, run, journal, crashed
+    suite_run = execute_suite(prepared, crash_ok=True)
+    return world, suite_run.run, journal, suite_run.crashed
 
 
-def crash_points_of(journal) -> Dict[str, int]:
-    """Map each named crash point to its 1-based journal record offset."""
+def crash_points_of(journal, job_count: int = len(RECOVERY_SITES)) -> Dict[str, int]:
+    """Map each named crash point to its 1-based journal record offset.
+
+    ``job_count`` is the number of first-wave test jobs (one per suite
+    instance job for the default Fig. 4 recovery suite).
+    """
     dispatched: List[int] = []
     completed: List[int] = []
     jobs_finished: List[int] = []
@@ -141,9 +108,7 @@ def crash_points_of(journal) -> Dict[str, int]:
             completed.append(i)
         elif record.kind == "job.finished":
             jobs_finished.append(i)
-    if not dispatched or not completed or len(jobs_finished) < len(
-        RECOVERY_SITES
-    ):
+    if not dispatched or not completed or len(jobs_finished) < job_count:
         raise ValueError(
             "baseline journal is missing lifecycle records; "
             f"have {len(journal)} records"
@@ -151,7 +116,7 @@ def crash_points_of(journal) -> Dict[str, int]:
     return {
         "mid-dispatch": dispatched[0],
         "mid-execute": completed[0],
-        "between-waves": jobs_finished[len(RECOVERY_SITES) - 1],
+        "between-waves": jobs_finished[job_count - 1],
         "after-last": completed[-1],
     }
 

@@ -29,16 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.apps.parsldock import suite as parsldock_suite
-from repro.core.workflow_builder import WorkflowBuilder
-from repro.experiments import common
-from repro.experiments.fig4_parsldock import REPO_SLUG, WORKFLOW_PATH
 from repro.faas.placement import RouteDecision
-from repro.world import World
+from repro.suites import run_suite
 
 # Sites the pooled comparison runs on (see the module docstring for why
 # the batch sites sit this one out).
 ROUTE_SITES: Tuple[str, ...] = ("chameleon",)
+ROUTE_SUITE = "fig4-sharded"
 
 # Near-balanced split of the ParslDock suite by *effective* cost — work
 # divided by each case's thread count, the time a multi-core node
@@ -93,75 +90,49 @@ class RoutingComparison:
         return self.routed.makespan < self.pinned.makespan
 
 
-def _build_sharded_workflow(sites: Tuple[str, ...]) -> str:
-    """One job per (site, shard); every job targets the *site* pool."""
-    builder = WorkflowBuilder("ParslDock pooled multi-site CI").on_push()
-    for site_name in sites:
-        for shard_name, keyword in SHARDS:
-            step = WorkflowBuilder.correct_step(
-                name=f"Run pytest {shard_name} on {site_name}",
-                step_id=f"pytest-{site_name}-{shard_name}",
-                shell_cmd=f'pytest -k "{keyword}"',
-                conda_env="docking",
-                artifact_prefix=f"correct-{site_name}-{shard_name}",
-            )
-            builder.add_job(
-                f"test-{site_name}-{shard_name}",
-                steps=[step],
-                env={"ENDPOINT_UUID": site_name},
-            )
-    return builder.render()
-
-
 def run_pooled(
     policy: str,
     pool_size: int = 2,
     sites: Tuple[str, ...] = ROUTE_SITES,
     telemetry: bool = True,
+    suite=ROUTE_SUITE,
 ) -> PooledRun:
-    """One sharded Fig. 4 run on ``pool_size`` endpoints per site."""
-    world = World(
-        concurrent_jobs=True, telemetry=telemetry, placement_policy=policy
-    )
-    accounts = {site: "x-vhayot" for site in sites}
-    user = world.register_user("vhayot", accounts)
-    for site_name in sites:
-        common.provision_user_site(
-            world, user, site_name, accounts[site_name],
-            conda_env="docking", stack=common.DOCKING_STACK,
-        )
-        common.deploy_site_mep_pool(world, site_name, pool_size)
+    """One sharded suite run on ``pool_size`` endpoints per site.
 
-    hosted = world.hub.create_repo(REPO_SLUG, owner=user.login)
-    hosted.secrets.set("GLOBUS_ID", user.client_id, set_by=user.login)
-    hosted.secrets.set("GLOBUS_SECRET", user.client_secret, set_by=user.login)
-    all_files = dict(parsldock_suite.repo_files())
-    all_files[WORKFLOW_PATH] = _build_sharded_workflow(sites)
-    started_at = world.clock.now
-    world.hub.push_commit(
-        REPO_SLUG, author=user.login,
-        message="Initial commit with CI", files=all_files,
+    The workload comes from a suite file (``suites/fig4-sharded.yaml``
+    by default) whose jobs use ``route: pool`` — each job targets its
+    *site name* and the router's policy picks a pool member. Placements
+    are keyed by each instance's ``shard`` variable (falling back to the
+    step id for suites without one).
+    """
+    suite_run = run_suite(
+        suite,
+        overrides={"site": list(sites)},
+        strict=True,
+        telemetry=telemetry,
+        concurrent_jobs=True,
+        placement_policy=policy,
+        pool_size=pool_size,
+        gated=False,
     )
-    run = world.engine.runs[-1]
-    if run.status != "success":
-        raise RuntimeError(
-            f"pooled ParslDock run ({policy}) ended {run.status}; log:\n"
-            + "\n".join(run.log)
-        )
-    makespan = world.clock.now - started_at
-
-    placements: Dict[str, Dict[str, str]] = {site: {} for site in sites}
+    world = suite_run.world
+    by_artifact = {
+        instance.stdout_artifact: instance
+        for instance in suite_run.mat.active
+    }
+    placements: Dict[str, Dict[str, str]] = {
+        site: {} for site in suite_run.mat.sites()
+    }
     for record in world.provenance.all():
-        for site_name in sites:
-            for shard_name, _ in SHARDS:
-                prefix = f"correct-{site_name}-{shard_name}"
-                if record.stdout_artifact == f"{prefix}-stdout":
-                    placements[site_name][shard_name] = record.endpoint_id
+        instance = by_artifact.get(record.stdout_artifact)
+        if instance is not None:
+            shard = str(instance.variables.get("shard", instance.step_id))
+            placements[instance.target][shard] = record.endpoint_id
     return PooledRun(
         policy=policy,
         pool_size=pool_size,
-        makespan=makespan,
-        run=run,
+        makespan=suite_run.makespan,
+        run=suite_run.run,
         decisions=list(world.faas.router.decisions),
         placements=placements,
         world=world,
@@ -173,6 +144,7 @@ def run_fig4_pooled(
     pool_size: int = 2,
     sites: Tuple[str, ...] = ROUTE_SITES,
     telemetry: bool = True,
+    suite=ROUTE_SUITE,
 ) -> RoutingComparison:
     """Sharded Fig. 4 under ``pinned`` vs. ``policy`` on identical pools.
 
@@ -182,10 +154,12 @@ def run_fig4_pooled(
     shards side by side, cutting the makespan.
     """
     pinned = run_pooled(
-        "pinned", pool_size=pool_size, sites=sites, telemetry=telemetry
+        "pinned", pool_size=pool_size, sites=sites,
+        telemetry=telemetry, suite=suite,
     )
     routed = run_pooled(
-        policy, pool_size=pool_size, sites=sites, telemetry=telemetry
+        policy, pool_size=pool_size, sites=sites,
+        telemetry=telemetry, suite=suite,
     )
     return RoutingComparison(pinned=pinned, routed=routed)
 

@@ -109,6 +109,14 @@ class ExecutionRecord:
     hedged: bool = False
     hedge_won: bool = False
     loser_endpoint: str = ""
+    # suite provenance: which declarative suite / series / permutation
+    # produced this execution — empty for ad-hoc or legacy submissions.
+    # The permutation string is the sorted "k=v" rendering of the
+    # instance's variables, so a record names its own re-run recipe
+    # (``repro suite run <suite> --var k=v``)
+    suite: str = ""
+    series: str = ""
+    permutation: str = ""
 
     @property
     def duration(self) -> float:

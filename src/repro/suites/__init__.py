@@ -1,0 +1,82 @@
+"""Declarative workload suites (Pavilion2-style, §ROADMAP item 3).
+
+A *suite* is a yamlite file describing parameterized test series: which
+repository and stack to set up, which sites to target, and a set of
+series whose ``variables``/``permutations`` expand deterministically into
+test instances. The resolver materializes instances into the existing
+engine/FaaS submission path; the runner executes them as one CI workflow
+(byte-identical to the legacy hard-coded apps) or as a direct FaaS sweep
+(``repro suite run <file> --permute``); pluggable :class:`ResultParser`\\ s
+turn captured task output into structured, comparable results.
+"""
+
+from repro.suites.parsers import (
+    ResultParser,
+    make_parser,
+    register_parser,
+)
+from repro.suites.resolver import (
+    Materialized,
+    TestInstance,
+    expand_instances,
+    materialize,
+)
+from repro.suites.spec import (
+    SeriesSpec,
+    SiteSpec,
+    SuiteError,
+    SuiteSpec,
+    TestSpec,
+    load_suite,
+    parse_suite,
+    resolve_suite_path,
+    suites_root,
+)
+from repro.suites.runner import (
+    InstanceResult,
+    PreparedSuite,
+    SuiteRun,
+    execute_suite,
+    format_suite_report,
+    prepare_suite,
+    run_suite,
+)
+from repro.suites.sweep import (
+    SweepResult,
+    format_sweep_report,
+    run_sweep,
+)
+
+__all__ = [
+    # spec
+    "SeriesSpec",
+    "SiteSpec",
+    "SuiteError",
+    "SuiteSpec",
+    "TestSpec",
+    "load_suite",
+    "parse_suite",
+    "resolve_suite_path",
+    "suites_root",
+    # resolver
+    "Materialized",
+    "TestInstance",
+    "expand_instances",
+    "materialize",
+    # parsers
+    "ResultParser",
+    "make_parser",
+    "register_parser",
+    # runner
+    "InstanceResult",
+    "PreparedSuite",
+    "SuiteRun",
+    "execute_suite",
+    "format_suite_report",
+    "prepare_suite",
+    "run_suite",
+    # sweep
+    "SweepResult",
+    "format_sweep_report",
+    "run_sweep",
+]

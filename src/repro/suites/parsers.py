@@ -1,0 +1,150 @@
+"""Pluggable result parsers: captured task output -> structured results.
+
+A suite's ``parse:`` block names a parser; the runner applies it to each
+instance's stdout artifact so downstream consumers (reports, crates,
+assertions) compare structured values instead of raw text. Parsers are
+registered by name — third-party suites can install their own with
+:func:`register_parser` before running.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict
+
+from repro.suites.spec import ParseSpec, SuiteError
+
+
+class ResultParser:
+    """Base parser: subclasses override :meth:`parse`."""
+
+    name = "raw"
+
+    def __init__(self, options: Dict[str, Any]) -> None:
+        self.options = dict(options)
+
+    def parse(self, stdout: str) -> Any:
+        return stdout
+
+
+class PytestParser(ResultParser):
+    """Per-test outcome/duration pairs from simulated pytest stdout."""
+
+    name = "pytest"
+
+    def parse(self, stdout: str) -> Dict[str, tuple]:
+        from repro.core.reporting import parse_pytest_stdout
+
+        return parse_pytest_stdout(stdout)
+
+
+class RegexParser(ResultParser):
+    """All matches of ``pattern``; named groups become dict rows."""
+
+    name = "regex"
+
+    def __init__(self, options: Dict[str, Any]) -> None:
+        super().__init__(options)
+        pattern = options.get("pattern", "")
+        if not pattern:
+            raise SuiteError("regex parser requires a 'pattern' option")
+        try:
+            self._regex = re.compile(pattern, re.MULTILINE)
+        except re.error as exc:
+            raise SuiteError(f"bad regex pattern {pattern!r}: {exc}") from exc
+
+    def parse(self, stdout: str) -> list:
+        rows = []
+        for match in self._regex.finditer(stdout):
+            if match.groupdict():
+                rows.append(match.groupdict())
+            elif match.groups():
+                rows.append(list(match.groups()))
+            else:
+                rows.append(match.group(0))
+        return rows
+
+
+class JsonParser(ResultParser):
+    """``json.loads`` of stdout; an optional dotted ``key`` drills in."""
+
+    name = "json"
+
+    def parse(self, stdout: str) -> Any:
+        try:
+            value = json.loads(stdout)
+        except json.JSONDecodeError as exc:
+            raise SuiteError(f"json parser: invalid JSON output: {exc}") from exc
+        key = self.options.get("key", "")
+        if key:
+            for part in str(key).split("."):
+                try:
+                    value = value[part]
+                except (KeyError, TypeError) as exc:
+                    raise SuiteError(
+                        f"json parser: key {key!r} not found"
+                    ) from exc
+        return value
+
+
+class TableParser(ResultParser):
+    """Whitespace-aligned table with a header row -> list of dict rows.
+
+    ``skip`` (default 0) drops leading lines before the header; rows
+    shorter than the header are padded with empty strings.
+    """
+
+    name = "table"
+
+    def parse(self, stdout: str) -> list:
+        lines = [line for line in stdout.splitlines() if line.strip()]
+        skip = int(self.options.get("skip", 0))
+        lines = lines[skip:]
+        if not lines:
+            return []
+        header = lines[0].split()
+        rows = []
+        for line in lines[1:]:
+            cells = line.split()
+            cells += [""] * (len(header) - len(cells))
+            rows.append(dict(zip(header, cells)))
+        return rows
+
+
+class VerdictParser(ResultParser):
+    """The KaMPIng-style pass/fail verdict of an artifact script."""
+
+    name = "verdict"
+
+    def parse(self, stdout: str) -> Dict[str, bool]:
+        return {
+            "passed": "verdict: PASS" in stdout or "passed" in stdout,
+        }
+
+
+_REGISTRY: Dict[str, Callable[[Dict[str, Any]], ResultParser]] = {}
+
+
+def register_parser(
+    name: str, factory: Callable[[Dict[str, Any]], ResultParser]
+) -> None:
+    """Install (or replace) a parser under ``name``."""
+    _REGISTRY[name] = factory
+
+
+for _cls in (ResultParser, PytestParser, RegexParser, JsonParser,
+             TableParser, VerdictParser):
+    register_parser(_cls.name, _cls)
+
+
+def make_parser(parse: ParseSpec) -> ResultParser:
+    """Instantiate the parser a series' ``parse:`` block names."""
+    try:
+        factory = _REGISTRY[parse.parser]
+    except KeyError:
+        raise SuiteError(
+            f"unknown result parser {parse.parser!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(parse.options)

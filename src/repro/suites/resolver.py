@@ -1,0 +1,320 @@
+"""Resolver: expand a suite into test instances, materialize workflows.
+
+Expansion is deterministic by construction: series in declaration order,
+the cartesian product of each series' variables in declaration order
+(last variable varies fastest), then the permutation overlays in list
+order. Instance ids hash the (suite, series, permutation) identity, so
+the same suite file expands to the same ids on every run and machine —
+the property the permutation-determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.suites.spec import ParseSpec, SeriesSpec, SuiteError, SuiteSpec
+
+
+@dataclass
+class TestInstance:
+    """One fully resolved test: a concrete CORRECT step and its target."""
+
+    suite: str
+    series: str
+    index: int  # position within the series expansion
+    variables: Dict[str, Any]
+    permutation: str  # sorted "k=v" rendering of the variables
+    instance_id: str  # deterministic short hash of the identity
+    job_id: str
+    environment: str
+    target: str  # site name
+    route: str  # "endpoint" | "pool"
+    step_name: str
+    step_id: str
+    command: str
+    conda_env: str
+    artifact_prefix: str
+    clone: bool
+    container_image: str
+    timeout: float
+    parse: ParseSpec
+    skipped: bool = False
+    skip_reason: str = ""
+
+    @property
+    def key(self) -> str:
+        """Display key: the site variable when present, else the step id."""
+        return str(self.variables.get("site", self.step_id))
+
+    @property
+    def stdout_artifact(self) -> str:
+        return f"{self.artifact_prefix}-stdout"
+
+
+@dataclass
+class JobPlan:
+    """One workflow job: the instances whose steps it carries."""
+
+    job_id: str
+    environment: str
+    target: str
+    route: str
+    instances: List[TestInstance] = field(default_factory=list)
+
+
+@dataclass
+class Materialized:
+    """A suite expanded against overrides, grouped into workflow jobs."""
+
+    spec: SuiteSpec
+    instances: List[TestInstance]  # every instance, skipped included
+    jobs: Dict[str, JobPlan]  # insertion-ordered, active instances only
+
+    @property
+    def active(self) -> List[TestInstance]:
+        return [i for i in self.instances if not i.skipped]
+
+    @property
+    def skipped(self) -> List[TestInstance]:
+        return [i for i in self.instances if i.skipped]
+
+    def sites(self) -> List[str]:
+        """Unique target sites of active instances, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for instance in self.active:
+            seen.setdefault(instance.target, None)
+        return list(seen)
+
+    def environments(self) -> List[str]:
+        """Unique non-empty job environments, in job order."""
+        seen: Dict[str, None] = {}
+        for job in self.jobs.values():
+            if job.environment:
+                seen.setdefault(job.environment, None)
+        return list(seen)
+
+
+class _StrictVars(dict):
+    """format_map source that names the missing variable on error."""
+
+    def __missing__(self, key: str) -> str:
+        raise SuiteError(f"template references unknown variable {key!r}")
+
+
+def render_template(template: str, variables: Dict[str, Any]) -> str:
+    """Substitute ``{var}`` placeholders; unknown names raise."""
+    try:
+        return template.format_map(_StrictVars(variables))
+    except SuiteError:
+        raise SuiteError(
+            f"template {template!r} references a variable not in "
+            f"{sorted(variables)}"
+        ) from None
+
+
+def permutation_label(variables: Dict[str, Any]) -> str:
+    """Canonical permutation identity: sorted ``k=v`` pairs."""
+    return ", ".join(f"{k}={variables[k]}" for k in sorted(variables))
+
+
+def instance_id_for(suite: str, series: str, permutation: str) -> str:
+    """Deterministic short id: stable across runs, machines, seeds."""
+    digest = hashlib.sha256(
+        f"{suite}/{series}/{permutation}".encode("utf-8")
+    ).hexdigest()
+    return digest[:10]
+
+
+def evaluate_skip_if(expr: str, variables: Dict[str, Any]) -> bool:
+    """Evaluate a ``skip_if`` expression over the instance's variables.
+
+    The expression sees only the variables (no builtins); any evaluation
+    error is a suite authoring bug and raises :class:`SuiteError`.
+    """
+    if not expr:
+        return False
+    try:
+        return bool(eval(expr, {"__builtins__": {}}, dict(variables)))  # noqa: S307
+    except Exception as exc:  # noqa: BLE001 - surface authoring errors
+        raise SuiteError(f"skip_if {expr!r} failed to evaluate: {exc}") from exc
+
+
+def expand_series(
+    spec: SuiteSpec,
+    series: SeriesSpec,
+    overrides: Optional[Dict[str, Any]] = None,
+) -> List[TestInstance]:
+    """Expand one series into its deterministic instance list."""
+    variables = dict(series.variables)
+    for name, value in (overrides or {}).items():
+        if name in variables:
+            variables[name] = list(value) if isinstance(value, (list, tuple)) else [value]
+    names = list(variables)
+    value_lists = [variables[name] for name in names]
+    rows: List[Dict[str, Any]] = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*value_lists)
+    ] if names else [{}]
+    overlays = series.permutations or [{}]
+
+    instances: List[TestInstance] = []
+    for row in rows:
+        for overlay in overlays:
+            resolved = dict(row)
+            resolved.update(overlay)
+            permutation = permutation_label(resolved)
+            skipped = evaluate_skip_if(series.skip_if, resolved)
+            test = series.test
+            instances.append(
+                TestInstance(
+                    suite=spec.name,
+                    series=series.name,
+                    index=len(instances),
+                    variables=resolved,
+                    permutation=permutation,
+                    instance_id=instance_id_for(
+                        spec.name, series.name, permutation
+                    ),
+                    job_id=render_template(series.job, resolved),
+                    environment=(
+                        render_template(series.environment, resolved)
+                        if series.environment
+                        else ""
+                    ),
+                    target=render_template(series.target, resolved),
+                    route=series.route,
+                    step_name=render_template(test.name, resolved),
+                    step_id=render_template(test.id, resolved),
+                    command=render_template(test.command, resolved),
+                    conda_env=test.conda_env,
+                    artifact_prefix=render_template(
+                        test.artifact_prefix, resolved
+                    ),
+                    clone=test.clone,
+                    container_image=test.container_image,
+                    timeout=test.timeout or series.timeout,
+                    parse=series.parse,
+                    skipped=skipped,
+                    skip_reason=(
+                        f"skip_if: {series.skip_if}" if skipped else ""
+                    ),
+                )
+            )
+    return instances
+
+
+def expand_instances(
+    spec: SuiteSpec, overrides: Optional[Dict[str, Any]] = None
+) -> List[TestInstance]:
+    """Expand every series of a suite, in declaration order."""
+    instances: List[TestInstance] = []
+    for series in spec.series.values():
+        instances.extend(expand_series(spec, series, overrides))
+    return instances
+
+
+def materialize(
+    spec: SuiteSpec, overrides: Optional[Dict[str, Any]] = None
+) -> Materialized:
+    """Expand a suite and group its active instances into workflow jobs."""
+    instances = expand_instances(spec, overrides)
+    jobs: Dict[str, JobPlan] = {}
+    for instance in instances:
+        if instance.skipped:
+            continue
+        plan = jobs.get(instance.job_id)
+        if plan is None:
+            plan = JobPlan(
+                job_id=instance.job_id,
+                environment=instance.environment,
+                target=instance.target,
+                route=instance.route,
+            )
+            jobs[instance.job_id] = plan
+        else:
+            if (plan.environment, plan.target) != (
+                instance.environment, instance.target
+            ):
+                raise SuiteError(
+                    f"job {instance.job_id!r} mixes environments/targets: "
+                    f"({plan.environment!r}, {plan.target!r}) vs "
+                    f"({instance.environment!r}, {instance.target!r})"
+                )
+        plan.instances.append(instance)
+    if not jobs:
+        raise SuiteError(
+            f"suite {spec.name!r} expanded to zero runnable instances"
+        )
+    return Materialized(spec=spec, instances=instances, jobs=jobs)
+
+
+def correct_step_for(instance: TestInstance) -> dict:
+    """Build the CORRECT step dict for one instance.
+
+    Keyword order matters: it fixes the rendered ``with:`` block, which
+    the byte-identity gates pin (``conda_env`` before ``artifact_prefix``
+    before ``clone``, matching the legacy hard-coded apps).
+    """
+    from repro.core.workflow_builder import WorkflowBuilder
+
+    extra: Dict[str, Any] = {}
+    if instance.conda_env:
+        extra["conda_env"] = instance.conda_env
+    extra["artifact_prefix"] = instance.artifact_prefix
+    if not instance.clone:
+        extra["clone"] = "false"
+    if instance.container_image:
+        extra["container_image"] = instance.container_image
+    if instance.timeout:
+        extra["timeout"] = f"{instance.timeout:g}"
+    return WorkflowBuilder.correct_step(
+        name=instance.step_name,
+        step_id=instance.step_id,
+        shell_cmd=instance.command,
+        **extra,
+    )
+
+
+def build_workflow_builder(
+    materialized: Materialized,
+    endpoints: Dict[str, str],
+    name_override: str = "",
+    gated: bool = True,
+):
+    """Materialize the workflow: one builder job per suite job plan.
+
+    ``endpoints`` maps site name -> endpoint id; a ``route: pool`` job
+    targets the *site name* so the FaaS placement policy picks the pool
+    member. ``gated=False`` drops the ``environment:`` gate from every
+    job (the repo-level-secret variants the recovery and routing
+    experiments use).
+    """
+    from repro.core.workflow_builder import WorkflowBuilder
+
+    spec = materialized.spec
+    builder = WorkflowBuilder(name_override or spec.workflow_name).on_push()
+    for plan in materialized.jobs.values():
+        steps = [correct_step_for(inst) for inst in plan.instances]
+        if plan.route == "pool":
+            endpoint_value = plan.target
+        else:
+            try:
+                endpoint_value = endpoints[plan.target]
+            except KeyError:
+                raise SuiteError(
+                    f"job {plan.job_id!r} targets unknown site "
+                    f"{plan.target!r}; deployed: {sorted(endpoints)}"
+                ) from None
+        kwargs: Dict[str, Any] = {}
+        if gated and plan.environment:
+            kwargs["environment"] = plan.environment
+        builder.add_job(
+            plan.job_id,
+            steps=steps,
+            env={"ENDPOINT_UUID": endpoint_value},
+            **kwargs,
+        )
+    return builder

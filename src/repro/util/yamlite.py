@@ -1,27 +1,33 @@
-"""A small YAML-subset parser for workflow files.
+"""A small YAML-subset parser for workflow and suite files.
 
 GitHub Actions workflows are YAML. PyYAML is not available offline, so this
 module implements the subset that workflow documents actually use:
 
 * nested block mappings (two-space indentation)
 * block sequences (``- item`` and ``- key: value`` compound entries)
-* flow sequences (``[a, b, c]``) and flow mappings (``{a: 1}``)
+* flow sequences (``[a, b, c]``, nesting allowed) and flow mappings
+  (``{a: 1}``)
 * scalars: int, float, bool (``true``/``false``), null (``null``/``~``),
   single/double-quoted strings, plain strings
+* quoted keys (``"a: b": 1``), in both block and flow mappings
 * comments (``#`` to end of line, outside quotes)
 * literal block scalars (``key: |`` followed by an indented block)
 * the GitHub-ism where ``on:`` parses as a key (we do not convert to bool
   in key position)
 
-Not supported (raises :class:`repro.errors.WorkflowParseError`): anchors,
-aliases, tags, multi-document streams, folded scalars, tab indentation.
+Not supported (raises :class:`repro.errors.YamliteError`, which names the
+offending 1-based source line): anchors, aliases, tags, multi-document
+streams, folded scalars, tab indentation.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
-from repro.errors import WorkflowParseError
+from repro.errors import YamliteError
+
+# (indent, content, lineno); indent == -1 marks a blank/comment-only line
+_Line = Tuple[int, str, int]
 
 
 def loads(text: str) -> Any:
@@ -33,23 +39,23 @@ def loads(text: str) -> Any:
     return value
 
 
-def _strip_comments(text: str) -> List[Tuple[int, str]]:
-    """Return (indent, content) for each significant line.
+def _strip_comments(text: str) -> List[_Line]:
+    """Return (indent, content, lineno) for each significant line.
 
     Comments are removed unless the ``#`` sits inside quotes. Blank lines
-    are dropped. Literal-block bodies are handled separately by the parser,
-    which re-reads raw lines, so we also keep the raw text.
+    are kept (marked ``indent=-1``) because literal-block bodies re-read
+    them; line numbers are 1-based for error messages.
     """
-    out: List[Tuple[int, str]] = []
-    for raw in text.splitlines():
+    out: List[_Line] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         if "\t" in raw[: len(raw) - len(raw.lstrip())]:
-            raise WorkflowParseError("tab indentation is not supported")
+            raise YamliteError("tab indentation is not supported", line=lineno)
         stripped = _cut_comment(raw)
         if not stripped.strip():
-            out.append((-1, raw))  # keep raw for literal blocks; -1 = blank
+            out.append((-1, raw, lineno))  # keep raw for literal blocks
             continue
         indent = len(stripped) - len(stripped.lstrip(" "))
-        out.append((indent, stripped.rstrip()))
+        out.append((indent, stripped.rstrip(), lineno))
     return out
 
 
@@ -67,29 +73,33 @@ def _cut_comment(line: str) -> str:
 
 
 class _Parser:
-    def __init__(self, lines: List[Tuple[int, str]]) -> None:
+    def __init__(self, lines: List[_Line]) -> None:
         self._lines = lines
         self._pos = 0
 
     # -- cursor helpers ----------------------------------------------------
-    def _peek(self) -> Optional[Tuple[int, str]]:
+    def _peek(self) -> Optional[_Line]:
         while self._pos < len(self._lines) and self._lines[self._pos][0] == -1:
             self._pos += 1
         if self._pos >= len(self._lines):
             return None
         return self._lines[self._pos]
 
-    def _next(self) -> Tuple[int, str]:
+    def _next(self) -> _Line:
         item = self._peek()
         if item is None:
-            raise WorkflowParseError("unexpected end of document")
+            last = self._lines[-1][2] if self._lines else 0
+            raise YamliteError("unexpected end of document", line=last)
         self._pos += 1
         return item
 
     def expect_end(self) -> None:
-        if self._peek() is not None:
-            _, line = self._peek()  # type: ignore[misc]
-            raise WorkflowParseError(f"trailing content: {line.strip()!r}")
+        item = self._peek()
+        if item is not None:
+            _, line, lineno = item
+            raise YamliteError(
+                f"trailing content: {line.strip()!r}", line=lineno
+            )
 
     # -- block parsing -----------------------------------------------------
     def parse_block(self, indent: int) -> Any:
@@ -97,7 +107,7 @@ class _Parser:
         item = self._peek()
         if item is None:
             return None
-        line_indent, line = item
+        line_indent, line, _ = item
         if line_indent < indent:
             return None
         content = line.strip()
@@ -111,7 +121,7 @@ class _Parser:
             item = self._peek()
             if item is None or item[0] != indent:
                 break
-            line_indent, line = item
+            line_indent, line, lineno = item
             content = line.strip()
             if not (content.startswith("- ") or content == "-"):
                 break
@@ -123,31 +133,36 @@ class _Parser:
             elif _looks_like_mapping_entry(rest):
                 # Compound entry: "- key: value" plus continuation lines
                 # indented deeper than the dash.
-                entry = self._parse_inline_mapping_entry(rest, indent + 2)
+                entry = self._parse_inline_mapping_entry(
+                    rest, indent + 2, lineno
+                )
                 result.append(entry)
             else:
-                result.append(_parse_scalar(rest))
+                result.append(_parse_scalar(rest, lineno))
         return result
 
-    def _parse_inline_mapping_entry(self, first: str, indent: int) -> Any:
-        key, _, value_text = _split_mapping(first)
+    def _parse_inline_mapping_entry(
+        self, first: str, indent: int, lineno: int
+    ) -> Any:
+        key, _, value_text = _split_mapping(first, lineno)
         mapping = {}
-        mapping[key] = self._value_for(value_text, indent)
+        mapping[key] = self._value_for(value_text, indent, lineno)
         # continuation keys at `indent`
         while True:
             item = self._peek()
             if item is None or item[0] != indent:
                 break
             content = item[1].strip()
+            entry_lineno = item[2]
             if content.startswith("- ") or content == "-":
                 break
             if not _looks_like_mapping_entry(content):
                 break
             self._next()
-            k, _, v = _split_mapping(content)
+            k, _, v = _split_mapping(content, entry_lineno)
             if k in mapping:
-                raise WorkflowParseError(f"duplicate key {k!r}")
-            mapping[k] = self._value_for(v, indent + 2)
+                raise YamliteError(f"duplicate key {k!r}", line=entry_lineno)
+            mapping[k] = self._value_for(v, indent + 2, entry_lineno)
         return mapping
 
     def _parse_mapping(self, indent: int) -> dict:
@@ -156,27 +171,30 @@ class _Parser:
             item = self._peek()
             if item is None or item[0] != indent:
                 break
-            line_indent, line = item
+            line_indent, line, lineno = item
             content = line.strip()
             if content.startswith("- ") or content == "-":
-                raise WorkflowParseError(
-                    f"sequence item in mapping context: {content!r}"
+                raise YamliteError(
+                    f"sequence item in mapping context: {content!r}",
+                    line=lineno,
                 )
             if not _looks_like_mapping_entry(content):
-                raise WorkflowParseError(f"expected 'key: value', got {content!r}")
+                raise YamliteError(
+                    f"expected 'key: value', got {content!r}", line=lineno
+                )
             self._next()
-            key, _, value_text = _split_mapping(content)
+            key, _, value_text = _split_mapping(content, lineno)
             if key in result:
-                raise WorkflowParseError(f"duplicate key {key!r}")
-            result[key] = self._value_for(value_text, indent + 2)
+                raise YamliteError(f"duplicate key {key!r}", line=lineno)
+            result[key] = self._value_for(value_text, indent + 2, lineno)
         return result
 
-    def _value_for(self, value_text: str, child_indent: int) -> Any:
+    def _value_for(self, value_text: str, child_indent: int, lineno: int) -> Any:
         value_text = value_text.strip()
         if value_text == "|" or value_text == "|-":
             return self._parse_literal_block(child_indent, chomp=value_text == "|-")
         if value_text:
-            return _parse_scalar(value_text)
+            return _parse_scalar(value_text, lineno)
         # empty value: nested block or null
         item = self._peek()
         if item is not None and item[0] >= child_indent:
@@ -188,7 +206,7 @@ class _Parser:
         collected: List[str] = []
         block_indent: Optional[int] = None
         while self._pos < len(self._lines):
-            line_indent, line = self._lines[self._pos]
+            line_indent, line, _ = self._lines[self._pos]
             if line_indent == -1:
                 collected.append("")
                 self._pos += 1
@@ -229,28 +247,32 @@ def _try_split_mapping(content: str) -> Tuple[str, bool, str]:
     return content, False, ""
 
 
-def _split_mapping(content: str) -> Tuple[str, bool, str]:
+def _split_mapping(content: str, lineno: Optional[int] = None) -> Tuple[str, bool, str]:
     key, ok, value = _try_split_mapping(content)
     if not ok:
-        raise WorkflowParseError(f"not a mapping entry: {content!r}")
+        raise YamliteError(f"not a mapping entry: {content!r}", line=lineno)
     if key.startswith(("'", '"')) and key.endswith(key[0]) and len(key) >= 2:
         key = key[1:-1]
     return key, ok, value
 
 
-def _parse_scalar(text: str) -> Any:
+def _parse_scalar(text: str, lineno: Optional[int] = None) -> Any:
     text = text.strip()
     if text.startswith("[") and text.endswith("]"):
-        return [_parse_scalar(p) for p in _split_flow(text[1:-1])]
+        return [_parse_scalar(p, lineno) for p in _split_flow(text[1:-1])]
     if text.startswith("{") and text.endswith("}"):
         result = {}
         for part in _split_flow(text[1:-1]):
+            if not part:
+                continue
             k, ok, v = _try_split_mapping(part)
             if not ok:
-                raise WorkflowParseError(f"bad flow mapping entry: {part!r}")
+                raise YamliteError(
+                    f"bad flow mapping entry: {part!r}", line=lineno
+                )
             if k.startswith(("'", '"')) and len(k) >= 2 and k.endswith(k[0]):
                 k = k[1:-1]
-            result[k] = _parse_scalar(v)
+            result[k] = _parse_scalar(v, lineno)
         return result
     if text.startswith("'") and text.endswith("'") and len(text) >= 2:
         return text[1:-1].replace("''", "'")

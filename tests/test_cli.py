@@ -50,3 +50,62 @@ class TestCommands:
         assert main(["ablations"]) == 0
         out = capsys.readouterr().out
         assert "amortization" in out
+
+
+class TestSuiteCommand:
+    def test_suite_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite"])
+
+    def test_suite_list(self, capsys):
+        assert main(["suite", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4", "fig5", "exp63", "fig4-sweep"):
+            assert name in out
+        assert "instance(s)" in out
+
+    def test_suite_show(self, capsys):
+        assert main(["suite", "show", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "suite fig4" in out
+        assert "chameleon" in out
+
+    def test_suite_show_with_var_override(self, capsys):
+        assert main(["suite", "show", "fig4", "--var", "site=chameleon"]) == 0
+        out = capsys.readouterr().out
+        assert "chameleon" in out
+        assert "expanse" not in out
+
+    def test_suite_run_fig4_matches_legacy_output(self, capsys):
+        assert main(["suite", "run", "fig4"]) == 0
+        suite_out = capsys.readouterr().out
+        assert main(["fig4"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert suite_out == legacy_out
+
+    def test_suite_run_exits_zero_when_all_pass(self, capsys):
+        assert main(["suite", "run", "fig4", "--var", "site=chameleon"]) == 0
+
+    def test_suite_run_exits_nonzero_on_test_failure(self, capsys):
+        # unlike the legacy `fig5` command (exit 0: the failure IS the
+        # reproduced result), the suite contract is exit 1 iff any
+        # non-skipped instance fails
+        assert main(["suite", "run", "fig5"]) == 1
+        out = capsys.readouterr().out
+        assert "test_batch_attributes" in out
+
+    def test_suite_run_unknown_suite_exits_two(self, capsys):
+        assert main(["suite", "run", "nope"]) == 2
+        assert "no suite file found" in capsys.readouterr().err
+
+    def test_suite_bad_var_exits_two(self, capsys):
+        assert main(["suite", "show", "fig4", "--var", "badpair"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_suite_run_permute_sweep(self, capsys):
+        code = main([
+            "suite", "run", "fig4", "--permute", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Suite sweep — fig4" in out

@@ -177,3 +177,33 @@ class TestWholeStackDeterminism:
         assert again.durations == fig4.durations
         assert again.outcomes == fig4.outcomes
         assert again.queue_waits == fig4.queue_waits
+
+
+class TestExportSurface:
+    """``__all__`` is the package's contract; it must stay importable."""
+
+    def test_all_names_importable(self):
+        import repro.experiments as experiments
+
+        missing = [
+            name for name in experiments.__all__
+            if not hasattr(experiments, name)
+        ]
+        assert not missing, f"__all__ exports missing attributes: {missing}"
+
+    def test_all_names_unique(self):
+        import repro.experiments as experiments
+
+        dupes = [
+            name for name in set(experiments.__all__)
+            if experiments.__all__.count(name) > 1
+        ]
+        assert not dupes, f"__all__ lists duplicates: {dupes}"
+
+    def test_star_import_matches_all(self):
+        import repro.experiments as experiments
+
+        namespace = {}
+        exec("from repro.experiments import *", namespace)  # noqa: S102
+        exported = {n for n in namespace if not n.startswith("_")}
+        assert exported == set(experiments.__all__)

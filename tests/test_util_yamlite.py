@@ -136,3 +136,73 @@ jobs:
     step = parsed["jobs"]["test"]["steps"][0]
     assert step["uses"] == "globus-labs/correct@v1"
     assert step["with"]["shell_cmd"] == "tox"
+
+
+class TestQuotedKeys:
+    def test_double_quoted_key(self):
+        assert yamlite.loads('"a key": 1\n') == {"a key": 1}
+
+    def test_single_quoted_key_with_colon(self):
+        assert yamlite.loads("'other:key': 2\n") == {"other:key": 2}
+
+    def test_quoted_key_nested(self):
+        doc = 'env:\n  "MY VAR": x\n'
+        assert yamlite.loads(doc) == {"env": {"MY VAR": "x"}}
+
+
+class TestNestedFlowCollections:
+    def test_nested_flow_lists(self):
+        assert yamlite.loads("m: [[1, 2], [3, [4, x]]]\n") == {
+            "m": [[1, 2], [3, [4, "x"]]]
+        }
+
+    def test_flow_mapping_holding_list_and_mapping(self):
+        assert yamlite.loads("m: {a: [1, {b: 2}]}\n") == {
+            "m": {"a": [1, {"b": 2}]}
+        }
+
+    def test_flow_list_of_mappings(self):
+        doc = "permutations: [{site: faster}, {site: expanse, shard: s-b}]\n"
+        assert yamlite.loads(doc) == {
+            "permutations": [
+                {"site": "faster"},
+                {"site": "expanse", "shard": "s-b"},
+            ]
+        }
+
+
+class TestErrorLineNumbers:
+    def test_yamlite_error_is_workflow_parse_error(self):
+        from repro.errors import YamliteError
+
+        assert issubclass(YamliteError, WorkflowParseError)
+
+    def test_duplicate_key_names_line(self):
+        from repro.errors import YamliteError
+
+        with pytest.raises(YamliteError) as exc:
+            yamlite.loads("ok: 1\na: 1\na: 2\n")
+        assert exc.value.line == 3
+        assert "line 3" in str(exc.value)
+
+    def test_tab_indent_names_line(self):
+        from repro.errors import YamliteError
+
+        with pytest.raises(YamliteError) as exc:
+            yamlite.loads("a: 1\n\tb: 2\n")
+        assert exc.value.line == 2
+
+    def test_bad_flow_entry_names_line(self):
+        from repro.errors import YamliteError
+
+        with pytest.raises(YamliteError) as exc:
+            yamlite.loads("a: {k 1}\n")
+        assert exc.value.line == 1
+        assert "flow mapping" in str(exc.value)
+
+    def test_bad_indent_names_line(self):
+        from repro.errors import YamliteError
+
+        with pytest.raises(YamliteError) as exc:
+            yamlite.loads("a: 1\n   b: 2\n")
+        assert exc.value.line == 2
